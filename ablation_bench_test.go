@@ -1,0 +1,168 @@
+package localapprox
+
+// Ablation benchmarks for the design choices recorded in DESIGN.md:
+//
+//   - lazy (implicit) vs materialised neighbourhood access for the
+//     homogeneous Cayley graphs — laziness is what makes the paper's
+//     astronomically large graphs usable at all; on materialisable
+//     sizes it costs a constant factor per ball;
+//   - girth-certification cost as the group level grows — the number
+//     of reduced words is level-insensitive and only the per-
+//     multiplication tuple cost grows (2^i − 1 coordinates), so
+//     certification scales to levels whose groups have 2^(2^i − 1)
+//     elements even though they could never be enumerated;
+//   - exact full-scan homogeneity vs Monte-Carlo sampling;
+//   - the certified lower-bound engine's cost as the instance grows
+//     (linear in instance size for a fixed, symmetric type structure).
+//
+// Run: go test -bench=Ablation -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/digraph"
+	"repro/internal/group"
+	"repro/internal/homog"
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/problems"
+)
+
+// lazy vs materialised ball extraction on C(H_2(8), S).
+
+func ablationConstruction(b *testing.B) *homog.Construction {
+	b.Helper()
+	c, err := homog.Search(1, 1, homog.SearchOptions{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if c.Level > 2 {
+		b.Skip("construction level too large to materialise")
+	}
+	return c
+}
+
+func BenchmarkAblationBallLazy(b *testing.B) {
+	c := ablationConstruction(b)
+	cay, err := c.HCayley(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fam := group.H(c.Level, 8)
+	rng := rand.New(rand.NewSource(1))
+	nodes := make([]string, 64)
+	for i := range nodes {
+		nodes[i] = cay.Node(fam.Rand(rng))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = digraph.Ball[string](cay, nodes[i%len(nodes)], 2)
+	}
+}
+
+func BenchmarkAblationBallMaterialised(b *testing.B) {
+	c := ablationConstruction(b)
+	cay, err := c.HCayley(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fam := group.H(c.Level, 8)
+	id := cay.Node(fam.Identity())
+	mat, nodes, _, err := digraph.Materialize[string](cay, []string{id}, 1<<12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = digraph.Ball[int](mat, i%len(nodes), 2)
+	}
+}
+
+// Girth certification cost by level: the word enumeration does not
+// materialise the group, so cost depends on word length only.
+
+func benchGirthAtLevel(b *testing.B, level int) {
+	b.Helper()
+	f := group.W(level)
+	rng := rand.New(rand.NewSource(2))
+	gens := []group.Elem{f.Rand(rng), f.Rand(rng)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.GirthUpTo(gens, 5)
+	}
+}
+
+func BenchmarkAblationGirthLevel3(b *testing.B) { benchGirthAtLevel(b, 3) }
+func BenchmarkAblationGirthLevel5(b *testing.B) { benchGirthAtLevel(b, 5) }
+func BenchmarkAblationGirthLevel7(b *testing.B) { benchGirthAtLevel(b, 7) }
+
+// Exact scan vs sampling for homogeneity measurement at m=8.
+
+func BenchmarkAblationHomogExact(b *testing.B) {
+	c := ablationConstruction(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.HomogeneityExact(8, 1<<12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHomogSampled(b *testing.B) {
+	c := ablationConstruction(b)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.HomogeneitySample(8, 64, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Lower-bound engine scaling on symmetric cycles (type count stays 1,
+// so cost is linear in n).
+
+func benchCertify(b *testing.B, n int) {
+	b.Helper()
+	bl := digraph.NewBuilder(n, 1)
+	for i := 0; i < n; i++ {
+		bl.MustAddArc(i, (i+1)%n, 0)
+	}
+	h, err := model.NewHost(bl.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CertifyPOLowerBound(h, problems.MinEdgeDominatingSet{}, 1, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCertifyN9(b *testing.B)  { benchCertify(b, 9) }
+func BenchmarkAblationCertifyN27(b *testing.B) { benchCertify(b, 27) }
+func BenchmarkAblationCertifyN81(b *testing.B) { benchCertify(b, 81) }
+
+// OI vs PO certified-bound engine on the same instance: OI pays for
+// seam types.
+
+func BenchmarkAblationCertifyOI(b *testing.B) {
+	bl := digraph.NewBuilder(15, 1)
+	for i := 0; i < 15; i++ {
+		bl.MustAddArc(i, (i+1)%15, 0)
+	}
+	h, err := model.NewHost(bl.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rank := order.Identity(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CertifyOILowerBound(h, rank, problems.MinEdgeDominatingSet{}, 1, 1<<22); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package localapprox
+
+// The benchmark harness: one benchmark per experiment (each experiment
+// regenerates one figure or theorem-as-table of the paper; see
+// DESIGN.md's index and EXPERIMENTS.md for measured-vs-paper), plus
+// micro-benchmarks of the substrates (group arithmetic, views, balls,
+// exact solvers, the certified lower-bound engine).
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/digraph"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/group"
+	"repro/internal/homog"
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/problems"
+	"repro/internal/solve"
+	"repro/internal/view"
+)
+
+func benchExperiment(b *testing.B, run func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per experiment ---
+
+func BenchmarkE1Models(b *testing.B)     { benchExperiment(b, experiments.Models) }
+func BenchmarkE2Separation(b *testing.B) { benchExperiment(b, experiments.Separation) }
+func BenchmarkE3Approximability(b *testing.B) {
+	benchExperiment(b, experiments.Approximability)
+}
+func BenchmarkE4Homogeneous(b *testing.B) { benchExperiment(b, experiments.HomogeneousGraphs) }
+func BenchmarkE5Torus(b *testing.B)       { benchExperiment(b, experiments.TorusHomogeneity) }
+func BenchmarkE6UHomogeneity(b *testing.B) {
+	benchExperiment(b, experiments.UHomogeneity)
+}
+func BenchmarkE7Lift(b *testing.B)    { benchExperiment(b, experiments.Lifts) }
+func BenchmarkE8OIToPO(b *testing.B)  { benchExperiment(b, experiments.Transfer) }
+func BenchmarkE9Ramsey(b *testing.B)  { benchExperiment(b, experiments.RamseyIDOI) }
+func BenchmarkE10EDS(b *testing.B)    { benchExperiment(b, experiments.EDSLowerBound) }
+func BenchmarkE11Girth(b *testing.B)  { benchExperiment(b, experiments.GirthSearch) }
+func BenchmarkE12Growth(b *testing.B) { benchExperiment(b, experiments.Growth) }
+func BenchmarkE13PN(b *testing.B)     { benchExperiment(b, experiments.PNSeparation) }
+func BenchmarkE14Views(b *testing.B)  { benchExperiment(b, experiments.Views) }
+func BenchmarkE15Random(b *testing.B) { benchExperiment(b, experiments.Randomized) }
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkGroupMulW4(b *testing.B) {
+	f := group.W(4)
+	rng := rand.New(rand.NewSource(1))
+	x, y := f.Rand(rng), f.Rand(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, y)
+	}
+}
+
+func BenchmarkGroupMulU4(b *testing.B) {
+	f := group.U(4)
+	rng := rand.New(rand.NewSource(1))
+	x, y := f.RandSmall(rng, 3), f.RandSmall(rng, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Mul(x, y)
+	}
+}
+
+func BenchmarkGroupOrderCompare(b *testing.B) {
+	f := group.U(3)
+	rng := rand.New(rand.NewSource(2))
+	x, y := f.RandSmall(rng, 10), f.RandSmall(rng, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Less(x, y)
+	}
+}
+
+func BenchmarkGirthCertificateK2(b *testing.B) {
+	f := group.W(4)
+	rng := rand.New(rand.NewSource(3))
+	gens := []group.Elem{f.Rand(rng), f.Rand(rng)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.GirthUpTo(gens, 5)
+	}
+}
+
+func BenchmarkViewBuildPetersenR3(b *testing.B) {
+	d := digraph.FromPorts(graph.Petersen(), nil).D
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = view.Build[int](d, i%10, 3)
+	}
+}
+
+func BenchmarkViewEncode(b *testing.B) {
+	t := view.Complete(2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Encode()
+	}
+}
+
+func BenchmarkCanonicalBall(b *testing.B) {
+	g := graph.Torus(8, 8)
+	rank := order.Identity(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = order.CanonicalBall(g, rank, i%g.N(), 2)
+	}
+}
+
+func BenchmarkHomogeneitySample(b *testing.B) {
+	c, err := homog.Search(1, 1, homog.SearchOptions{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.HomogeneitySample(20, 10, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveMinVC(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomRegular(18, 3, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = solve.MinVertexCoverSize(g)
+	}
+}
+
+func BenchmarkSolveMinEDS(b *testing.B) {
+	g := graph.Circulant(13, 1, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = solve.MinEdgeDominatingSetSize(g)
+	}
+}
+
+func BenchmarkCertifyEDSBound(b *testing.B) {
+	bl := digraph.NewBuilder(12, 1)
+	for i := 0; i < 12; i++ {
+		bl.MustAddArc(i, (i+1)%12, 0)
+	}
+	h, err := model.NewHost(bl.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CertifyPOLowerBound(h, problems.MinEdgeDominatingSet{}, 1, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunPOEDSCycle60(b *testing.B) {
+	bl := digraph.NewBuilder(60, 1)
+	for i := 0; i < 60; i++ {
+		bl.MustAddArc(i, (i+1)%60, 0)
+	}
+	h, err := model.NewHost(bl.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := algorithms.EDSOneOut()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.RunPO(h, alg, model.EdgeKind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColeVishkin1024(b *testing.B) {
+	bl := digraph.NewBuilder(1024, 1)
+	for i := 0; i < 1024; i++ {
+		bl.MustAddArc(i, (i+1)%1024, 0)
+	}
+	h, err := model.NewHost(bl.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	ids := rng.Perm(8192)[:1024]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algorithms.ColeVishkinMIS(h, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildHomogeneousLift(b *testing.B) {
+	c, err := homog.Search(1, 1, homog.SearchOptions{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if c.Level > 2 {
+		b.Skip("construction level too large")
+	}
+	bl := digraph.NewBuilder(9, 1)
+	for i := 0; i < 9; i++ {
+		bl.MustAddArc(i, (i+1)%9, 0)
+	}
+	base := bl.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildHomogeneousLift(c, base, 4, 1<<17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command experiments runs the full experiment suite reproducing every
+// figure and theorem-as-table of the paper (see DESIGN.md for the
+// index) and prints the results as text tables, or as markdown with
+// -markdown (the source of EXPERIMENTS.md's tables).
+//
+// Usage:
+//
+//	experiments [-markdown] [-only E10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	only := flag.String("only", "", "run a single experiment by id (e.g. E10)")
+	flag.Parse()
+	if err := run(*markdown, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(markdown bool, only string) error {
+	ran := 0
+	for _, e := range experiments.All() {
+		if only != "" && e.ID != only {
+			continue
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
+		}
+		if markdown {
+			fmt.Print(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.String())
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q", only)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Command localsim runs a named local algorithm on a named graph
+// family in one of the three models and reports solution size,
+// optimum, and approximation ratio.
+//
+// Usage:
+//
+//	localsim -alg eds-one-out -graph cycle -n 12 [-model po] [-seed 1]
+//
+// Algorithms: eds-one-out, eds-all, ec-one-edge, ds-all, vc-all,
+// vc-packing (round-based PO), id-greedy-eds, id-nonmin-vc,
+// oi-smallest-eds, oi-nonmin-vc, cole-vishkin (directed cycles only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/algorithms"
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/problems"
+)
+
+func main() {
+	alg := flag.String("alg", "eds-one-out", "algorithm name")
+	graphName := flag.String("graph", "cycle", "graph family: cycle|dcycle|petersen|torus|regular|circulant")
+	n := flag.Int("n", 12, "instance size")
+	d := flag.Int("d", 3, "degree for -graph regular")
+	seed := flag.Int64("seed", 1, "seed for random graphs and identifiers")
+	flag.Parse()
+	if err := run(*alg, *graphName, *n, *d, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "localsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algName, graphName string, n, d int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	h, err := buildHost(graphName, n, d, rng)
+	if err != nil {
+		return err
+	}
+	ids := rng.Perm(8 * h.G.N())[:h.G.N()]
+	rank := order.Identity(h.G.N())
+
+	var (
+		sol  *model.Solution
+		prob problems.Problem
+	)
+	switch algName {
+	case "eds-one-out":
+		prob = problems.MinEdgeDominatingSet{}
+		sol, err = model.RunPO(h, algorithms.EDSOneOut(), model.EdgeKind)
+	case "eds-all":
+		prob = problems.MinEdgeDominatingSet{}
+		sol, err = model.RunPO(h, algorithms.EDSAll(), model.EdgeKind)
+	case "ec-one-edge":
+		prob = problems.MinEdgeCover{}
+		sol, err = model.RunPO(h, algorithms.ECOneEdge(), model.EdgeKind)
+	case "ds-all":
+		prob = problems.MinDominatingSet{}
+		sol, err = model.RunPO(h, algorithms.DSAll(), model.VertexKind)
+	case "vc-all":
+		prob = problems.MinVertexCover{}
+		sol, err = model.RunPO(h, algorithms.VCAll(), model.VertexKind)
+	case "vc-packing":
+		prob = problems.MinVertexCover{}
+		var res *algorithms.VCEdgePackingResult
+		res, err = algorithms.VCEdgePacking(h)
+		if err == nil {
+			sol = res.Cover
+			fmt.Printf("bargaining rounds: %d\n", res.Rounds)
+		}
+	case "id-greedy-eds":
+		prob = problems.MinEdgeDominatingSet{}
+		sol, err = model.RunID(h, ids, algorithms.IDGreedyEDS(), model.EdgeKind)
+	case "id-nonmin-vc":
+		prob = problems.MinVertexCover{}
+		sol, err = model.RunID(h, ids, algorithms.IDNonMinimumVC(), model.VertexKind)
+	case "oi-smallest-eds":
+		prob = problems.MinEdgeDominatingSet{}
+		sol, err = model.RunOI(h, rank, algorithms.OISmallestNeighborEDS(), model.EdgeKind)
+	case "oi-nonmin-vc":
+		prob = problems.MinVertexCover{}
+		sol, err = model.RunOI(h, rank, algorithms.OILocalMinJoinsVC(), model.VertexKind)
+	case "cole-vishkin":
+		prob = problems.MaxIndependentSet{}
+		var res *algorithms.ColeVishkinResult
+		res, err = algorithms.ColeVishkinMIS(h, ids)
+		if err == nil {
+			sol = res.MIS
+			fmt.Printf("rounds: %d (O(log* n) colour reduction + O(1) cleanup)\n", res.Rounds)
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algName)
+	}
+	if err != nil {
+		return err
+	}
+	if err := prob.Feasible(h.G, sol); err != nil {
+		return fmt.Errorf("solution infeasible: %w", err)
+	}
+	opt, err := prob.Optimum(h.G)
+	if err != nil {
+		return err
+	}
+	ratio, err := problems.Ratio(prob, h.G, sol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s (n=%d, m=%d, Δ=%d)\n", graphName, h.G.N(), h.G.M(), h.G.MaxDegree())
+	fmt.Printf("problem: %s   |solution| = %d   optimum = %d   ratio = %.4f\n",
+		prob.Name(), sol.Size(), opt, ratio)
+	fmt.Printf("locally verified (PO-checkable): %v\n", problems.VerifyLocally(prob, h.G, sol))
+	return nil
+}
+
+func buildHost(name string, n, d int, rng *rand.Rand) (*model.Host, error) {
+	switch name {
+	case "cycle":
+		g := graph.Cycle(n)
+		orient, err := digraph.EulerianOrientation(g)
+		if err != nil {
+			return nil, err
+		}
+		return model.NewHost(digraph.FromPorts(g, orient).D)
+	case "dcycle":
+		b := digraph.NewBuilder(n, 1)
+		for i := 0; i < n; i++ {
+			b.MustAddArc(i, (i+1)%n, 0)
+		}
+		return model.NewHost(b.Build())
+	case "petersen":
+		return model.HostFromGraph(graph.Petersen()), nil
+	case "torus":
+		side := 3
+		for side*side < n {
+			side++
+		}
+		g := graph.Torus(side, side)
+		orient, err := digraph.EulerianOrientation(g)
+		if err != nil {
+			return nil, err
+		}
+		return model.NewHost(digraph.FromPorts(g, orient).D)
+	case "regular":
+		return model.HostFromGraph(graph.RandomRegular(n, d, rng)), nil
+	case "circulant":
+		return model.HostFromGraph(graph.Circulant(n, 1, 2)), nil
+	default:
+		return nil, fmt.Errorf("unknown graph %q", name)
+	}
+}

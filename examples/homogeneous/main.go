@@ -1,0 +1,96 @@
+// Homogeneous graphs: the Theorem 3.2 construction, step by step.
+//
+// The paper's key technical tool is a finite 2k-regular graph of girth
+// > 2r+1 whose nodes are linearly ordered so that a 1−ε fraction share
+// one ordered neighbourhood type τ*. This example walks the Section 5
+// pipeline: girth search in the 2-group W_i, the left-invariant order
+// on the soluble group U_i, τ* extraction, and the finite cut-down
+// H_i(m) — then measures everything.
+//
+// Run: go run ./examples/homogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/group"
+	"repro/internal/homog"
+)
+
+func main() {
+	k, r := 1, 1
+	fmt.Printf("== Theorem 3.2 for k=%d, r=%d ==\n\n", k, r)
+
+	// Step 1 (Thm 5.1 stand-in): find generators S ⊆ W_i with girth
+	// certified > 2r+1 by reduced-word enumeration.
+	c, err := homog.Search(k, r, homog.SearchOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	floor, err := c.CertifiedGirthFloor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 1: level i=%d after %d attempt(s); girth certified >= %d\n",
+		c.Level, c.Attempts, floor)
+	for i, g := range c.Gens {
+		fmt.Printf("        s%d = (%s) in W_%d, reinterpreted in H and U\n",
+			i, group.EncodeElem(g), c.Level)
+	}
+
+	// Step 2: τ* — the ordered complete tree, extracted from the
+	// left-invariant positive-cone order on the infinite group U.
+	tau, err := c.TauStar()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 2: τ* is the ordered complete tree T*(%d,%d) with %d vertices\n",
+		k, r, tau.Tree.Size())
+
+	// Step 3: U itself is (1, r)-homogeneous — every element has type τ*.
+	tauEnc, err := c.TauStarBallEncoding()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	u := group.U(c.Level)
+	all := true
+	for i := 0; i < 10; i++ {
+		typ, err := c.TypeAt(0, u.RandSmall(rng, 25))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if typ != tauEnc {
+			all = false
+		}
+	}
+	fmt.Printf("step 3: 10/10 random elements of U have ordered type τ*: %v\n", all)
+
+	// Step 4: cut down to the finite H(m) and measure (1−ε, r).
+	for _, eps := range []float64{0.5, 0.3, 0.1} {
+		m := c.MForEpsilon(eps)
+		fam, err := group.NewFamily(c.Level, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ord := fam.Order(); ord.IsInt64() && ord.Int64() <= 1<<16 {
+			rep, err := c.HomogeneityExact(m, 1<<16)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("step 4: eps=%.1f -> m=%-3d |H|=%-6d girth=%d  alpha=%.4f (bound %.4f) [exact]\n",
+				eps, m, rep.N, rep.Girth, rep.Alpha, rep.InnerBound)
+		} else {
+			rep, err := c.HomogeneitySample(m, 120, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("step 4: eps=%.1f -> m=%-3d |H|=%-6s alpha~=%.4f (bound %.4f) [sampled]\n",
+				eps, m, fam.Order().String(), rep.Alpha, rep.InnerBound)
+		}
+	}
+	fmt.Println("\nall four properties hold at once: (P1) homogeneous, (P2) 2k-regular,")
+	fmt.Println("(P3) girth > 2r+1, (P4) finite — which no naive construction achieves.")
+}

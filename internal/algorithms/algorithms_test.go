@@ -1,0 +1,433 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/problems"
+)
+
+// eulerianHost equips an even-degree graph with an Eulerian orientation.
+func eulerianHost(t *testing.T, g *graph.Graph) *model.Host {
+	t.Helper()
+	orient, err := digraph.EulerianOrientation(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := model.NewHost(digraph.FromPorts(g, orient).D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func ratioOf(t *testing.T, p problems.Problem, g *graph.Graph, sol *model.Solution) float64 {
+	t.Helper()
+	r, err := problems.Ratio(p, g, sol)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return r
+}
+
+func TestEDSOneOutOnCycles(t *testing.T) {
+	// On Δ'=2 (cycles), the bound is 4 − 2/2 = 3.
+	for _, n := range []int{6, 9, 12, 15} {
+		h := eulerianHost(t, graph.Cycle(n))
+		sol, err := model.RunPO(h, EDSOneOut(), model.EdgeKind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ratioOf(t, problems.MinEdgeDominatingSet{}, h.G, sol)
+		if r > 3.0001 {
+			t.Errorf("C%d: ratio %v exceeds 3", n, r)
+		}
+	}
+}
+
+func TestEDSOneOutOnFourRegular(t *testing.T) {
+	// Δ' = 4: bound 4 − 2/4 = 3.5.
+	for _, g := range []*graph.Graph{
+		graph.Circulant(9, 1, 2),
+		graph.Circulant(11, 1, 3),
+		graph.Torus(3, 4),
+	} {
+		h := eulerianHost(t, g)
+		sol, err := model.RunPO(h, EDSOneOut(), model.EdgeKind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ratioOf(t, problems.MinEdgeDominatingSet{}, h.G, sol)
+		if r > 3.5001 {
+			t.Errorf("%v: ratio %v exceeds 4 - 2/Δ' = 3.5", g, r)
+		}
+	}
+}
+
+func TestEDSOneOutFeasibleAnyOrientation(t *testing.T) {
+	// Feasibility must hold under the default (non-Eulerian)
+	// orientation too, including nodes with out-degree 0.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5; i++ {
+		g := graph.RandomRegular(10, 3, rng)
+		h := model.HostFromGraph(g)
+		sol, err := model.RunPO(h, EDSOneOut(), model.EdgeKind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := (problems.MinEdgeDominatingSet{}).Feasible(g, sol); err != nil {
+			t.Errorf("infeasible EDS: %v", err)
+		}
+	}
+}
+
+func TestECOneEdgeRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, g := range []*graph.Graph{
+		graph.Cycle(8),
+		graph.Petersen(),
+		graph.RandomRegular(12, 3, rng),
+		graph.Star(6),
+	} {
+		h := model.HostFromGraph(g)
+		sol, err := model.RunPO(h, ECOneEdge(), model.EdgeKind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ratioOf(t, problems.MinEdgeCover{}, g, sol)
+		if r > 2.0001 {
+			t.Errorf("%v: edge cover ratio %v exceeds 2", g, r)
+		}
+	}
+}
+
+func TestDSAllRatio(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(9), graph.Petersen(), graph.Complete(5)} {
+		h := model.HostFromGraph(g)
+		sol, err := model.RunPO(h, DSAll(), model.VertexKind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ratioOf(t, problems.MinDominatingSet{}, g, sol)
+		bound := float64(g.MaxDegree() + 1)
+		if r > bound+0.0001 {
+			t.Errorf("%v: DS ratio %v exceeds Δ+1 = %v", g, r, bound)
+		}
+	}
+}
+
+func TestVCAllRatioOnRegular(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(8), graph.Petersen(), graph.Complete(6)} {
+		h := model.HostFromGraph(g)
+		sol, err := model.RunPO(h, VCAll(), model.VertexKind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ratioOf(t, problems.MinVertexCover{}, g, sol)
+		if r > 2.0001 {
+			t.Errorf("%v: VC ratio %v exceeds 2 on a regular graph", g, r)
+		}
+	}
+}
+
+func TestEmptyOutputsFeasible(t *testing.T) {
+	g := graph.Cycle(6)
+	h := model.HostFromGraph(g)
+	is, err := model.RunPO(h, EmptyVertex(), model.VertexKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (problems.MaxIndependentSet{}).Feasible(g, is); err != nil {
+		t.Errorf("empty IS infeasible: %v", err)
+	}
+	mm, err := model.RunPO(h, EmptyEdge(), model.EdgeKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (problems.MaxMatching{}).Feasible(g, mm); err != nil {
+		t.Errorf("empty matching infeasible: %v", err)
+	}
+}
+
+func TestEDSAllFeasible(t *testing.T) {
+	g := graph.Cycle(9)
+	h := model.HostFromGraph(g)
+	sol, err := model.RunPO(h, EDSAll(), model.EdgeKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Size() != 9 {
+		t.Errorf("EDSAll should select all 9 edges, got %d", sol.Size())
+	}
+	r := ratioOf(t, problems.MinEdgeDominatingSet{}, g, sol)
+	if r != 3 {
+		t.Errorf("C9: all-edges ratio %v, want 3 (= n/⌈n/3⌉)", r)
+	}
+}
+
+func TestVCEdgePacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	hosts := []*graph.Graph{
+		graph.Cycle(9),
+		graph.Path(7),
+		graph.Star(5),
+		graph.Petersen(),
+		graph.CompleteBipartite(3, 5),
+		graph.RandomRegular(14, 3, rng),
+		graph.RandomGraph(12, 0.3, rng),
+	}
+	for _, g := range hosts {
+		if g.M() == 0 {
+			continue
+		}
+		h := model.HostFromGraph(g)
+		res, err := VCEdgePacking(h)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		valid, maximal := PackingIsValid(g, res.Packing)
+		if !valid || !maximal {
+			t.Errorf("%v: packing valid=%v maximal=%v", g, valid, maximal)
+		}
+		r := ratioOf(t, problems.MinVertexCover{}, g, res.Cover)
+		if r > 2.0001 {
+			t.Errorf("%v: VC ratio %v exceeds 2", g, r)
+		}
+		if res.Rounds <= 0 || res.Rounds > g.N()+1 {
+			t.Errorf("%v: rounds %d out of range", g, res.Rounds)
+		}
+	}
+}
+
+func TestVCEdgePackingSymmetricFast(t *testing.T) {
+	// On vertex-transitive instances the bargaining finishes in one
+	// round (everything saturates simultaneously).
+	h := model.HostFromGraph(graph.Cycle(30))
+	res, err := VCEdgePacking(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("cycle bargaining rounds = %d, want 1", res.Rounds)
+	}
+}
+
+func TestColeVishkinMIS(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 16, 33} {
+		g := graph.Cycle(n)
+		// Orient around the cycle: i -> i+1.
+		b := digraph.NewBuilder(n, 1)
+		for i := 0; i < n; i++ {
+			b.MustAddArc(i, (i+1)%n, 0)
+		}
+		h, err := model.NewHost(b.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = (i*137 + 11) % (10 * n) // scrambled but unique mod 10n? ensure unique below
+		}
+		seen := map[int]bool{}
+		for i := range ids {
+			for seen[ids[i]] {
+				ids[i]++
+			}
+			seen[ids[i]] = true
+		}
+		res, err := ColeVishkinMIS(h, ids)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Valid MIS: independent and maximal.
+		if err := (problems.MaxIndependentSet{}).Feasible(g, res.MIS); err != nil {
+			t.Fatalf("n=%d: not independent: %v", n, err)
+		}
+		for v := 0; v < n; v++ {
+			if res.MIS.Vertices[v] {
+				continue
+			}
+			dominated := false
+			for _, u := range g.Neighbors(v) {
+				if res.MIS.Vertices[u] {
+					dominated = true
+				}
+			}
+			if !dominated {
+				t.Fatalf("n=%d: node %d violates maximality", n, v)
+			}
+		}
+		// Proper 3-colouring.
+		for _, e := range g.Edges() {
+			if res.Colors[e.U] == res.Colors[e.V] {
+				t.Fatalf("n=%d: adjacent nodes share colour %d", n, res.Colors[e.U])
+			}
+		}
+	}
+}
+
+func TestColeVishkinRejectsBadHost(t *testing.T) {
+	h := model.HostFromGraph(graph.Cycle(5)) // smaller-endpoint orientation: not consistent
+	if _, err := ColeVishkinMIS(h, []int{1, 2, 3, 4, 5}); err == nil {
+		t.Error("inconsistent orientation accepted")
+	}
+}
+
+func TestCVRoundsGrowth(t *testing.T) {
+	// log*-type growth: rounds increase extremely slowly.
+	r10 := CVRounds(10)
+	r1e6 := CVRounds(1_000_000)
+	r1e12 := CVRounds(1_000_000_000_000)
+	if !(r10 <= r1e6 && r1e6 <= r1e12) {
+		t.Errorf("rounds not monotone: %d %d %d", r10, r1e6, r1e12)
+	}
+	if r1e12 > r10+4 {
+		t.Errorf("rounds grow too fast for log*: %d vs %d", r1e12, r10)
+	}
+}
+
+func TestOIAlgorithmsFeasible(t *testing.T) {
+	g := graph.Petersen()
+	h := model.HostFromGraph(g)
+	rank := order.Identity(g.N())
+	eds, err := model.RunOI(h, rank, OISmallestNeighborEDS(), model.EdgeKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (problems.MinEdgeDominatingSet{}).Feasible(g, eds); err != nil {
+		t.Errorf("OI EDS infeasible: %v", err)
+	}
+	vc, err := model.RunOI(h, rank, OILocalMinJoinsVC(), model.VertexKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (problems.MinVertexCover{}).Feasible(g, vc); err != nil {
+		t.Errorf("OI VC infeasible: %v", err)
+	}
+}
+
+func TestIDAlgorithmsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomRegular(12, 4, rng)
+	h := model.HostFromGraph(g)
+	ids := rng.Perm(100)[:12]
+	eds, err := model.RunID(h, ids, IDGreedyEDS(), model.EdgeKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (problems.MinEdgeDominatingSet{}).Feasible(g, eds); err != nil {
+		t.Errorf("ID EDS infeasible: %v", err)
+	}
+	vc, err := model.RunID(h, ids, IDNonMinimumVC(), model.VertexKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (problems.MinVertexCover{}).Feasible(g, vc); err != nil {
+		t.Errorf("ID VC infeasible: %v", err)
+	}
+	ds, err := model.RunID(h, ids, IDParityDS(), model.VertexKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (problems.MinDominatingSet{}).Feasible(g, ds); err != nil {
+		t.Errorf("ID DS infeasible: %v", err)
+	}
+}
+
+// Property: the edge-packing cover is feasible and 2-approximate on
+// random graphs.
+func TestQuickEdgePackingTwoApprox(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGraph(4+rng.Intn(10), 0.2+0.5*rng.Float64(), rng)
+		if g.M() == 0 {
+			return true
+		}
+		h := model.HostFromGraph(g)
+		res, err := VCEdgePacking(h)
+		if err != nil {
+			return false
+		}
+		if err := (problems.MinVertexCover{}).Feasible(g, res.Cover); err != nil {
+			return false
+		}
+		r, err := problems.Ratio(problems.MinVertexCover{}, g, res.Cover)
+		return err == nil && r <= 2.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IDGreedyEDS is feasible on arbitrary graphs without
+// isolated vertices.
+func TestQuickIDGreedyEDSFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomRegular(8+2*rng.Intn(4), 3, rng)
+		h := model.HostFromGraph(g)
+		ids := rng.Perm(1000)[:g.N()]
+		sol, err := model.RunID(h, ids, IDGreedyEDS(), model.EdgeKind)
+		if err != nil {
+			return false
+		}
+		return (problems.MinEdgeDominatingSet{}).Feasible(g, sol) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomizedMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, g := range []*graph.Graph{graph.Cycle(20), graph.Petersen(), graph.RandomRegular(16, 4, rng)} {
+		h := model.HostFromGraph(g)
+		for i := 0; i < 5; i++ {
+			sol := RandomizedMatching(h, rng)
+			if err := (problems.MaxMatching{}).Feasible(g, sol); err != nil {
+				t.Fatalf("%v: invalid matching: %v", g, err)
+			}
+		}
+		// Expectation check: E|M| >= m/Δ² with generous slack.
+		avg := RandomizedMatchingTrials(h, 300, rng)
+		lower := float64(g.M()) / float64(g.MaxDegree()*g.MaxDegree())
+		if avg < lower*0.5 {
+			t.Errorf("%v: average %v below half the m/Δ² bound %v", g, avg, lower)
+		}
+	}
+}
+
+func TestEDSOneOutOperationalEquivalence(t *testing.T) {
+	// The ball-function and round-based executions of a PO algorithm
+	// coincide (equation (1) of the paper, for a real algorithm).
+	g := graph.Circulant(11, 1, 3)
+	orient, err := digraph.EulerianOrientation(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := model.NewHost(digraph.FromPorts(g, orient).D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := model.RunPO(h, EDSOneOut(), model.EdgeKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.SimulatePO(h, EDSOneOut(), model.EdgeKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() {
+		t.Fatalf("sizes differ: %d vs %d", a.Size(), b.Size())
+	}
+	for e := range a.Edges {
+		if !b.Edges[e] {
+			t.Fatalf("edge %v missing from the message-passing run", e)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/view"
+)
+
+// ColeVishkinResult reports a Cole–Vishkin MIS computation on a
+// directed cycle.
+type ColeVishkinResult struct {
+	// MIS is the computed maximal independent set.
+	MIS *model.Solution
+	// Rounds is the total number of communication rounds used: the
+	// O(log* n) colour-reduction phase plus O(1) cleanup.
+	Rounds int
+	// Colors is the final 3-colouring (values 0..2).
+	Colors []int
+}
+
+// cvState is a node's state in the Cole–Vishkin pipeline.
+type cvState struct {
+	letters []view.Letter
+	color   int
+	inMIS   bool
+}
+
+// cvMsg is the per-round broadcast payload.
+type cvMsg struct {
+	color int
+	inMIS bool
+}
+
+// ColeVishkinMIS computes a maximal independent set on a directed
+// cycle in the ID model in O(log* id) + O(1) rounds: the classical
+// Cole–Vishkin [1986] colour reduction from identifiers to 6 colours,
+// the shift-down reduction from 6 to 3 colours, and a 3-round greedy
+// sweep turning the colouring into an MIS. This is the algorithm
+// behind Fig. 2's separation: it is fast in the ID model, needs Θ(n)
+// time in OI, and is impossible in PO.
+//
+// The host must be a consistently oriented cycle (every node with out-
+// and in-degree 1) with unique non-negative identifiers. As is
+// standard in the LOCAL model, the nodes know the identifier space
+// bound (poly(n)) and hence the reduction-step horizon S.
+func ColeVishkinMIS(h *model.Host, ids []int) (*ColeVishkinResult, error) {
+	if !h.D.IsRegularDigraph(1) {
+		return nil, fmt.Errorf("algorithms: Cole–Vishkin needs a consistently oriented cycle")
+	}
+	if len(ids) != h.G.N() {
+		return nil, fmt.Errorf("algorithms: %d ids for %d nodes", len(ids), h.G.N())
+	}
+	maxID := 0
+	for _, id := range ids {
+		if id < 0 {
+			return nil, fmt.Errorf("algorithms: negative id %d", id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	steps := cvSteps(maxID)
+	// Round schedule (every live node broadcasts (color, inMIS) on
+	// both arcs every round):
+	//   rounds 1..steps          — CV recolour on the predecessor's colour
+	//   rounds steps+1..steps+3  — shift down colour 5, then 4, then 3
+	//   rounds steps+4..steps+6  — MIS sweep for colour 0, then 1, then 2
+	last := steps + 6
+
+	algo := model.RoundAlgo{
+		Init: func(info model.NodeInfo) any {
+			return &cvState{letters: info.Letters, color: info.ID}
+		},
+		Step: func(state any, round int, inbox []model.Msg) (any, []model.Msg, bool) {
+			s := state.(*cvState)
+			var pred, succ cvMsg
+			for _, m := range inbox {
+				c := m.Data.(cvMsg)
+				if m.L.In {
+					pred = c // arrived on the in-arc: from the predecessor
+				} else {
+					succ = c
+				}
+			}
+			switch {
+			case round == 0:
+				// Nothing received yet; just broadcast below.
+			case round <= steps:
+				// Cole–Vishkin reduction against the predecessor.
+				i := lowestDifferingBit(s.color, pred.color)
+				s.color = 2*i + bitOf(s.color, i)
+			case round <= steps+3:
+				// Shift down 5 -> then 4 -> then 3.
+				target := 5 - (round - steps - 1)
+				if s.color == target {
+					s.color = freeColor(pred.color, succ.color)
+				}
+			default:
+				// MIS sweep for colour classes 0, 1, 2.
+				class := round - steps - 4
+				if s.color == class && !pred.inMIS && !succ.inMIS {
+					s.inMIS = true
+				}
+			}
+			if round == last {
+				return s, nil, true
+			}
+			out := make([]model.Msg, 0, len(s.letters))
+			for _, l := range s.letters {
+				out = append(out, model.Msg{L: l, Data: cvMsg{color: s.color, inMIS: s.inMIS}})
+			}
+			return s, out, false
+		},
+		Out: func(state any) model.Output {
+			return model.Output{Member: state.(*cvState).inMIS}
+		},
+	}
+
+	states, rounds, err := model.RunRoundsStates(h, ids, algo, last+2)
+	if err != nil {
+		return nil, fmt.Errorf("algorithms: Cole–Vishkin: %w", err)
+	}
+	res := &ColeVishkinResult{
+		MIS:    model.NewSolution(model.VertexKind, h.G.N()),
+		Rounds: rounds,
+		Colors: make([]int, h.G.N()),
+	}
+	for v, st := range states {
+		s := st.(*cvState)
+		res.MIS.Vertices[v] = s.inMIS
+		res.Colors[v] = s.color
+		if s.color < 0 || s.color > 2 {
+			return nil, fmt.Errorf("algorithms: node %d ended with colour %d", v, s.color)
+		}
+	}
+	return res, nil
+}
+
+// CVRounds predicts the number of rounds ColeVishkinMIS uses for a
+// given maximum identifier: the Θ(log* id) separation curve of the
+// Fig. 2 experiment.
+func CVRounds(maxID int) int { return cvSteps(maxID) + 6 }
+
+// cvSteps returns a safe number of Cole–Vishkin reduction steps to
+// bring colours from {0..maxID} into {0..5}: iterate
+// bits -> ceil(log2 bits) + 1 until bits <= 3, plus one extra step to
+// settle inside {0..5}.
+func cvSteps(maxID int) int {
+	bits := 1
+	for 1<<bits <= maxID {
+		bits++
+	}
+	steps := 0
+	for bits > 3 {
+		nb := 1
+		for 1<<nb < bits {
+			nb++
+		}
+		bits = nb + 1
+		steps++
+	}
+	return steps + 2
+}
+
+// freeColor returns the smallest colour in {0,1,2} unused by the two
+// arguments.
+func freeColor(a, b int) int {
+	for c := 0; c <= 2; c++ {
+		if c != a && c != b {
+			return c
+		}
+	}
+	return 0 // unreachable: two values cannot block three colours
+}
+
+func lowestDifferingBit(a, b int) int {
+	x := a ^ b
+	if x == 0 {
+		return 0
+	}
+	i := 0
+	for x&1 == 0 {
+		x >>= 1
+		i++
+	}
+	return i
+}
+
+func bitOf(x, i int) int { return (x >> i) & 1 }

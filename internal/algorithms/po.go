@@ -1,0 +1,219 @@
+// Package algorithms implements the local algorithms discussed in
+// Sections 1.4–1.7 of the paper:
+//
+//   - PO upper-bound baselines: the one-out-edge edge-dominating-set
+//     algorithm (factor 4−2/Δ' on Δ'-regular Eulerian-oriented
+//     graphs), the one-incident-edge edge-cover algorithm (factor 2),
+//     the everyone-joins dominating-set algorithm (factor Δ+1), the
+//     select-everything vertex cover (factor 2 on regular graphs), and
+//     a maximal-edge-packing vertex cover (factor 2 on every graph);
+//   - the Cole–Vishkin O(log* n) 3-colouring + MIS pipeline on
+//     directed cycles in the ID model (the separation of Fig. 2);
+//   - identifier-greedy heuristics used as ID-model adversaries in the
+//     lower-bound transfer experiments.
+package algorithms
+
+import (
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/view"
+)
+
+// EDSOneOut is the radius-1 PO algorithm for minimum edge dominating
+// set: every node selects its smallest-label outgoing arc (if any).
+// Every node with an out-arc gets an incident selected edge, so the
+// result is edge dominating whenever every node has out-degree >= 1 or
+// a neighbour with out-degree >= 1; in particular it is feasible under
+// any orientation (a node with out-degree 0 has all arcs incoming, and
+// each tail selects some out-arc at its own side).
+//
+// On Δ'-regular graphs with an Eulerian orientation it selects at most
+// n edges while the optimum is at least Δ'n/(4Δ'−2) giving the factor
+// 4 − 2/Δ' of Suomela [2010].
+func EDSOneOut() model.PO {
+	return model.FuncPO{R: 1, Fn: func(t *view.Tree) model.Output {
+		best, ok := minOutLetter(t)
+		if !ok {
+			return model.Output{}
+		}
+		return model.Output{Letters: []view.Letter{best}}
+	}}
+}
+
+// ECOneEdge is the radius-1 PO algorithm for minimum edge cover: every
+// node selects one incident arc (its smallest-label out-arc if it has
+// one, else its smallest-label in-arc). Every non-isolated node is
+// covered and at most n edges are selected; since any edge cover has
+// at least n/2 edges, this is a factor-2 approximation — matching the
+// tight bound of Section 1.4.
+func ECOneEdge() model.PO {
+	return model.FuncPO{R: 1, Fn: func(t *view.Tree) model.Output {
+		if best, ok := minOutLetter(t); ok {
+			return model.Output{Letters: []view.Letter{best}}
+		}
+		if best, ok := minInLetter(t); ok {
+			return model.Output{Letters: []view.Letter{best}}
+		}
+		return model.Output{}
+	}}
+}
+
+// DSAll is the radius-0 PO algorithm for minimum dominating set:
+// everyone joins. Any dominating set has size at least n/(Δ+1), so
+// this is a (Δ+1)-approximation — which equals the tight bound
+// Δ' + 1 of Section 1.4 for even Δ. (For odd Δ the tight algorithm
+// needs the weak-colouring machinery of Åstrand et al. [2010], which
+// shaves the bound to Δ' + 1 = Δ; we keep the simple variant and
+// document the gap.)
+func DSAll() model.PO {
+	return model.FuncPO{R: 0, Fn: func(*view.Tree) model.Output {
+		return model.Output{Member: true}
+	}}
+}
+
+// VCAll is the radius-0 PO algorithm selecting every vertex. On
+// d-regular graphs (d >= 1) the optimum vertex cover has size at least
+// m/d = n/2, so this is a factor-2 approximation there — and factor 2
+// is optimal in all three models (Section 1.4).
+func VCAll() model.PO {
+	return model.FuncPO{R: 0, Fn: func(*view.Tree) model.Output {
+		return model.Output{Member: true}
+	}}
+}
+
+// EDSAll is the radius-0 PO algorithm selecting every incident edge —
+// the trivial feasible edge dominating set. On cycles (Δ' = 2) it
+// selects all n edges against an optimum of ⌈n/3⌉: asymptotically the
+// factor-3 = 4 − 2/Δ' bound, which the lower-bound engine certifies to
+// be optimal for PO algorithms on cycles.
+func EDSAll() model.PO {
+	return model.FuncPO{R: 1, Fn: func(t *view.Tree) model.Output {
+		out := model.Output{}
+		for l := range t.Children {
+			out.Letters = append(out.Letters, l)
+		}
+		return out
+	}}
+}
+
+// EmptyVertex outputs the empty vertex set: the only feasible constant
+// output for maximum independent set on symmetric instances, witnessing
+// the non-approximability of MIS in PO (Section 1.4).
+func EmptyVertex() model.PO {
+	return model.FuncPO{R: 0, Fn: func(*view.Tree) model.Output {
+		return model.Output{}
+	}}
+}
+
+// EmptyEdge outputs the empty edge set: the only feasible constant
+// output for maximum matching on symmetric instances.
+func EmptyEdge() model.PO {
+	return model.FuncPO{R: 0, Fn: func(*view.Tree) model.Output {
+		return model.Output{}
+	}}
+}
+
+func minOutLetter(t *view.Tree) (view.Letter, bool) {
+	var best view.Letter
+	found := false
+	for l := range t.Children {
+		if l.In {
+			continue
+		}
+		if !found || l.Label < best.Label {
+			best = l
+			found = true
+		}
+	}
+	return best, found
+}
+
+func minInLetter(t *view.Tree) (view.Letter, bool) {
+	var best view.Letter
+	found := false
+	for l := range t.Children {
+		if !l.In {
+			continue
+		}
+		if !found || l.Label < best.Label {
+			best = l
+			found = true
+		}
+	}
+	return best, found
+}
+
+// --- OI algorithms ---
+
+// OISmallestNeighborEDS is the OI analogue of the greedy edge selection:
+// every node selects the edge towards its smallest-ordered neighbour.
+// The union contains an incident edge of every non-isolated node, so it
+// is edge dominating.
+func OISmallestNeighborEDS() model.OI {
+	return model.FuncOI{R: 1, Fn: func(b *order.Ball) model.Output {
+		ns := model.RootNeighbors(b.G, b.Root)
+		if len(ns) == 0 {
+			return model.Output{}
+		}
+		return model.Output{Neighbors: ns[:1]}
+	}}
+}
+
+// OILocalMinJoinsVC is an order-based vertex cover: a node joins unless
+// it is a strict local minimum of the order. Every edge has a
+// non-minimum endpoint, so the result is a vertex cover.
+func OILocalMinJoinsVC() model.OI {
+	return model.FuncOI{R: 1, Fn: func(b *order.Ball) model.Output {
+		return model.Output{Member: b.Root != 0}
+	}}
+}
+
+// --- ID adversaries ---
+
+// IDGreedyEDS selects the edge towards the smallest-identifier
+// neighbour; an ID-model heuristic that genuinely uses identifiers for
+// coordination (adjacent nodes often agree on the same edge, shrinking
+// the solution) and serves as the adversary algorithm in the
+// Theorem 1.6 transfer experiment.
+func IDGreedyEDS() model.ID {
+	return model.FuncID{R: 1, Fn: func(b *model.IDBall) model.Output {
+		ns := model.RootNeighbors(b.G, b.Root)
+		if len(ns) == 0 {
+			return model.Output{}
+		}
+		// IDs are sorted by ball index, so ns[0] is the smallest-id
+		// neighbour.
+		return model.Output{Neighbors: ns[:1]}
+	}}
+}
+
+// IDNonMinimumVC joins the cover unless the node's identifier is
+// smaller than all neighbours' identifiers.
+func IDNonMinimumVC() model.ID {
+	return model.FuncID{R: 1, Fn: func(b *model.IDBall) model.Output {
+		return model.Output{Member: b.Root != 0}
+	}}
+}
+
+// IDParityDS is a deliberately identifier-abusing dominating set: a
+// node joins iff its identifier is even, patched to stay feasible by
+// also joining when it is a local minimum among odd nodes. Used in the
+// Ramsey (ID -> OI) demonstration: its output depends on numeric
+// identifier values, which no OI algorithm can express, yet on
+// Ramsey-selected identifier sets it collapses to an order-invariant
+// behaviour.
+func IDParityDS() model.ID {
+	return model.FuncID{R: 1, Fn: func(b *model.IDBall) model.Output {
+		if b.IDs[b.Root]%2 == 0 {
+			return model.Output{Member: true}
+		}
+		// Feasibility patch: an odd node joins unless it has an even
+		// neighbour (which covers it).
+		for _, u := range b.G.Neighbors(b.Root) {
+			if b.IDs[u]%2 == 0 {
+				return model.Output{}
+			}
+		}
+		return model.Output{Member: true}
+	}}
+}

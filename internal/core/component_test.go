@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/problems"
+)
+
+func TestBestComponentAveraging(t *testing.T) {
+	// The averaging argument of Theorem 3.3: the best connected
+	// component's τ* fraction is at least the whole lift's.
+	c := mustConstruction(t, 1, 1)
+	if c.Level > 2 {
+		t.Skipf("level %d too large", c.Level)
+	}
+	base := directedCycleK(t, 9, c.K)
+	lr, err := BuildHomogeneousLift(c, base, 6, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lr.BestComponent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Components < 1 {
+		t.Fatal("no components")
+	}
+	if rep.BestTauFrac < rep.OverallTauFrac-1e-12 {
+		t.Errorf("best component fraction %v below overall %v — averaging violated",
+			rep.BestTauFrac, rep.OverallTauFrac)
+	}
+	total := 0
+	for _, s := range rep.Sizes {
+		total += s
+	}
+	if total != lr.Host.G.N() {
+		t.Errorf("component sizes sum to %d, want %d", total, lr.Host.G.N())
+	}
+	if !rep.Host.G.Connected() {
+		t.Error("best component host is not connected")
+	}
+	if err := rep.Rank.Validate(rep.Host.G.N()); err != nil {
+		t.Errorf("restricted rank invalid: %v", err)
+	}
+}
+
+func TestBestComponentStillRunnable(t *testing.T) {
+	// The component host with its restricted order supports OI runs,
+	// and the solution remains feasible — the connected main theorem's
+	// instances are fully usable.
+	c := mustConstruction(t, 1, 1)
+	if c.Level > 2 {
+		t.Skipf("level %d too large", c.Level)
+	}
+	base := directedCycleK(t, 6, c.K)
+	lr, err := BuildHomogeneousLift(c, base, 4, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lr.BestComponent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run an OI vertex-cover algorithm on the component.
+	alg := localMinVC()
+	sol, err := runOIVC(rep, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (problems.MinVertexCover{}).Feasible(rep.Host.G, sol); err != nil {
+		t.Errorf("component VC infeasible: %v", err)
+	}
+}
+
+// localMinVC is the "join unless locally minimal" OI vertex cover.
+func localMinVC() model.OI {
+	return model.FuncOI{R: 1, Fn: func(b *order.Ball) model.Output {
+		return model.Output{Member: b.Root != 0}
+	}}
+}
+
+func runOIVC(rep *ComponentReport, alg model.OI) (*model.Solution, error) {
+	return model.RunOI(rep.Host, rep.Rank, alg, model.VertexKind)
+}

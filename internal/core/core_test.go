@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/homog"
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/problems"
+)
+
+// directedCycleK returns the n-cycle directed around, declared over an
+// alphabet of size k (labels used: only 0).
+func directedCycleK(t *testing.T, n, k int) *digraph.Digraph {
+	t.Helper()
+	b := digraph.NewBuilder(n, 1)
+	for i := 0; i < n; i++ {
+		b.MustAddArc(i, (i+1)%n, 0)
+	}
+	d, err := b.Build().WithAlphabet(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustConstruction(t *testing.T, k, r int) *homog.Construction {
+	t.Helper()
+	c, err := homog.Search(k, r, homog.SearchOptions{Seed: 42})
+	if err != nil {
+		t.Fatalf("homog.Search: %v", err)
+	}
+	return c
+}
+
+func TestOIToPORadiusCheck(t *testing.T) {
+	c := mustConstruction(t, 1, 1)
+	tau, err := c.TauStar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := model.FuncOI{R: 5, Fn: func(*order.Ball) model.Output { return model.Output{} }}
+	if _, err := OIToPO(a, tau); err == nil {
+		t.Error("radius larger than τ* depth accepted")
+	}
+}
+
+func TestTheorem41VertexProblem(t *testing.T) {
+	// A = "join the cover unless locally minimal" (OI, radius 1).
+	// Transfer it to PO via τ* and check the full pipeline on the
+	// directed cycle: agreement ≥ TauFrac on the lift, B feasible on
+	// the base, and B's ratio close to A's.
+	c := mustConstruction(t, 1, 1)
+	if c.Level > 2 {
+		t.Skipf("construction level %d too large to materialise", c.Level)
+	}
+	base := directedCycleK(t, 9, c.K)
+	m := 8
+	rep, err := TransferOIToPO(c, base, algorithms.OILocalMinJoinsVC(), problems.MinVertexCover{}, m, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AgreementFrac < rep.TauFrac {
+		t.Errorf("agreement %v below τ* fraction %v", rep.AgreementFrac, rep.TauFrac)
+	}
+	if !rep.BFeasibleOnBase {
+		t.Error("B infeasible on base")
+	}
+	// RatioA is a lower bound via opt(lift) <= l·opt(base); it can dip
+	// below 1 when the lift's optimum beats l·opt(base) (odd cycles
+	// lifting to longer cycles), but it must be positive.
+	if rep.RatioA <= 0 {
+		t.Errorf("RatioA %v must be positive", rep.RatioA)
+	}
+	if rep.RatioB > 2.2 {
+		t.Errorf("B's vertex-cover ratio %v unexpectedly bad on the cycle", rep.RatioB)
+	}
+}
+
+func TestTheorem41EdgeProblem(t *testing.T) {
+	// A = "select the edge to the smallest-ordered neighbour" (EDS).
+	c := mustConstruction(t, 1, 1)
+	if c.Level > 2 {
+		t.Skipf("construction level %d too large", c.Level)
+	}
+	base := directedCycleK(t, 6, c.K)
+	rep, err := TransferOIToPO(c, base, algorithms.OISmallestNeighborEDS(), problems.MinEdgeDominatingSet{}, 8, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AgreementFrac < rep.TauFrac {
+		t.Errorf("agreement %v below τ* fraction %v", rep.AgreementFrac, rep.TauFrac)
+	}
+	if !rep.BFeasibleOnBase {
+		t.Error("B infeasible on base")
+	}
+	// On a symmetric cycle, B must select every edge (its behaviour is
+	// the same at every node and nonempty), so its ratio is n/⌈n/3⌉ = 3.
+	if rep.RatioB != 3 {
+		t.Errorf("B's EDS ratio on C6 = %v, want 3", rep.RatioB)
+	}
+}
+
+func TestCertifyPOLowerBoundEDSOnCycle(t *testing.T) {
+	// The certified PO bound for EDS on the directed 9-cycle is
+	// exactly 3 = 4 − 2/Δ' (Theorem 1.6 with Δ = 2): the only feasible
+	// radius-1 PO behaviours select all edges (ratio 9/3 = 3).
+	base := directedCycleK(t, 9, 1)
+	h, err := model.NewHost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := CertifyPOLowerBound(h, problems.MinEdgeDominatingSet{}, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Types != 1 {
+		t.Errorf("symmetric cycle should have one view type, got %d", lb.Types)
+	}
+	if lb.BestRatio != 3 {
+		t.Errorf("certified EDS bound %v, want exactly 3", lb.BestRatio)
+	}
+	if lb.Optimum != 3 {
+		t.Errorf("optimum %d, want 3", lb.Optimum)
+	}
+}
+
+func TestCertifyPOLowerBoundVCOnCycle(t *testing.T) {
+	// Vertex cover on the symmetric directed cycle: the only feasible
+	// constant outputs select all nodes, ratio n/⌈n/2⌉ -> 2 − ε.
+	base := directedCycleK(t, 10, 1)
+	h, err := model.NewHost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := CertifyPOLowerBound(h, problems.MinVertexCover{}, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.BestRatio != 2 {
+		t.Errorf("certified VC bound %v, want 2 (= 10/5)", lb.BestRatio)
+	}
+}
+
+func TestCertifyPOLowerBoundMISInfeasible(t *testing.T) {
+	// Maximum independent set on the symmetric cycle: the two constant
+	// behaviours are "everyone" (infeasible) and "no one" (ratio +Inf):
+	// no constant-factor PO approximation exists (Section 1.4).
+	base := directedCycleK(t, 9, 1)
+	h, err := model.NewHost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := CertifyPOLowerBound(h, problems.MaxIndependentSet{}, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(lb.BestRatio, 1) {
+		t.Errorf("certified MIS bound %v, want +Inf", lb.BestRatio)
+	}
+	if lb.FeasibleCount == 0 {
+		t.Error("the empty set is feasible; FeasibleCount should be positive")
+	}
+}
+
+func TestCertifyPOLowerBoundBudget(t *testing.T) {
+	base := digraph.FromPorts(graph.Petersen(), nil).D
+	h, err := model.NewHost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CertifyPOLowerBound(h, problems.MinVertexCover{}, 2, 4); err == nil {
+		t.Error("budget overflow not detected")
+	}
+}
+
+func TestIDToOIOnCycleCatalogue(t *testing.T) {
+	// The parity-abusing dominating-set algorithm is not
+	// order-invariant in general, but on a Ramsey-selected identifier
+	// pool its behaviour is monochromatic.
+	h := model.HostFromGraph(graph.Cycle(8))
+	cat := BallCatalogue(h, order.Identity(8), 1)
+	if len(cat) == 0 {
+		t.Fatal("empty catalogue")
+	}
+	w, err := IDToOI(algorithms.IDParityDS(), cat, 40, 8+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.J) != 11 {
+		t.Errorf("witness size %d", len(w.J))
+	}
+	// Verify monochromaticity directly: any t-subset of J induces the
+	// recorded behaviour.
+	for _, b := range cat {
+		want := w.Behaviour[b.Encode()]
+		k := b.G.N()
+		// Use a different t-subset than the first: the last k of J.
+		ids := append([]int(nil), w.J[len(w.J)-k:]...)
+		got := algorithms.IDParityDS().EvalID(&model.IDBall{G: b.G, Root: b.Root, IDs: ids})
+		if got.Member != want.Member {
+			t.Errorf("behaviour differs across t-subsets of J")
+		}
+	}
+}
+
+func TestIDToOIInducedAlgorithmRuns(t *testing.T) {
+	h := model.HostFromGraph(graph.Cycle(8))
+	rank := order.Identity(8)
+	cat := BallCatalogue(h, rank, 1)
+	w, err := IDToOI(algorithms.IDParityDS(), cat, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi := w.InducedOI(1)
+	// Running the induced OI algorithm with ranks = the Ramsey ids
+	// must equal running the ID algorithm with OrderRespectingIDs.
+	ids, err := OrderRespectingIDs(rank, w.J)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solOI, err := model.RunOI(h, rank, oi, model.VertexKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solID, err := model.RunID(h, ids, algorithms.IDParityDS(), model.VertexKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		if solOI.Vertices[v] != solID.Vertices[v] {
+			t.Fatalf("node %d: OI %v vs ID %v — Proposition 4.4 violated", v, solOI.Vertices[v], solID.Vertices[v])
+		}
+	}
+}
+
+func TestOrderRespectingIDs(t *testing.T) {
+	rank := order.Rank{2, 0, 1}
+	ids, err := OrderRespectingIDs(rank, []int{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{30, 10, 20}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if _, err := OrderRespectingIDs(rank, []int{1, 2}); err == nil {
+		t.Error("short pool accepted")
+	}
+	if _, err := OrderRespectingIDs(rank, []int{3, 2, 1}); err == nil {
+		t.Error("non-increasing pool accepted")
+	}
+}
+
+func TestBuildHomogeneousLiftIsCovering(t *testing.T) {
+	c := mustConstruction(t, 1, 1)
+	if c.Level > 2 {
+		t.Skipf("level %d too large", c.Level)
+	}
+	base := directedCycleK(t, 5, c.K)
+	lr, err := BuildHomogeneousLift(c, base, 6, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := digraph.VerifyCovering(lr.Host.D, base, lr.Phi); err != nil {
+		t.Errorf("lift is not a covering: %v", err)
+	}
+	if err := lr.Rank.Validate(lr.Host.G.N()); err != nil {
+		t.Errorf("lift order invalid: %v", err)
+	}
+	if lr.TauFrac <= 0 || lr.TauFrac > 1 {
+		t.Errorf("TauFrac %v out of range", lr.TauFrac)
+	}
+	// Girth inheritance: the lift has girth > 2R+1.
+	u, err := lr.Host.D.Underlying()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := u.Girth(); g != -1 && g <= 2*c.R+1 {
+		t.Errorf("lift girth %d <= 2R+1", g)
+	}
+	if lr.TauFrac < c.InnerFraction(6) {
+		t.Errorf("lift τ-fraction %v below analytic bound %v", lr.TauFrac, c.InnerFraction(6))
+	}
+}
+
+func TestBuildHomogeneousLiftAlphabetMismatch(t *testing.T) {
+	c := mustConstruction(t, 2, 1)
+	base := directedCycleK(t, 5, 1)
+	if _, err := BuildHomogeneousLift(c, base, 6, 1<<16); err == nil {
+		t.Error("alphabet mismatch accepted")
+	}
+}
+
+func TestBuildHomogeneousLiftBudget(t *testing.T) {
+	c := mustConstruction(t, 1, 1)
+	base := directedCycleK(t, 5, c.K)
+	if _, err := BuildHomogeneousLift(c, base, 6, 10); err == nil {
+		t.Error("budget overflow accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/problems"
+	"repro/internal/view"
+)
+
+// LowerBound is a machine-checked PO-model lower bound on one
+// instance: since a radius-r PO algorithm's output at a node is a
+// function of the node's view type alone, enumerating every assignment
+// of outputs to the view types occurring on the instance covers the
+// entire space of radius-r PO algorithms restricted to it. BestRatio
+// is therefore a certified bound: no PO algorithm of radius r achieves
+// a better approximation ratio on this instance.
+type LowerBound struct {
+	// Radius is the locality radius of the certified class.
+	Radius int
+	// Types is the number of distinct view types on the instance.
+	Types int
+	// Algorithms is the number of type-to-output assignments examined.
+	Algorithms int
+	// FeasibleCount is how many assignments produced feasible solutions.
+	FeasibleCount int
+	// BestRatio is the best (smallest) approximation ratio achievable
+	// by a radius-r PO algorithm on the instance; +Inf if none is
+	// feasible.
+	BestRatio float64
+	// Optimum is the instance's exact optimum.
+	Optimum int
+}
+
+// CertifyPOLowerBound enumerates all radius-r PO algorithms restricted
+// to the host and returns the certified bound. maxAlgorithms caps the
+// enumeration (error when the space is larger). Vertex problems have
+// 2^Types assignments; edge problems have ∏ 2^(root letters) over the
+// types.
+func CertifyPOLowerBound(h *model.Host, p problems.Problem, r, maxAlgorithms int) (*LowerBound, error) {
+	n := h.G.N()
+	opt, err := p.Optimum(h.G)
+	if err != nil {
+		return nil, err
+	}
+	// Classify nodes by view type; record each type's root letters.
+	typeOf := make([]int, n)
+	index := map[string]int{}
+	var rootLetters [][]view.Letter
+	for v := 0; v < n; v++ {
+		t := view.Build[int](h.D, v, r)
+		enc := t.Encode()
+		id, ok := index[enc]
+		if !ok {
+			id = len(index)
+			index[enc] = id
+			ls := make([]view.Letter, 0, len(t.Children))
+			for l := range t.Children {
+				ls = append(ls, l)
+			}
+			sort.Slice(ls, func(i, j int) bool { return ls[i].Less(ls[j]) })
+			rootLetters = append(rootLetters, ls)
+		}
+		typeOf[v] = id
+	}
+	types := len(index)
+
+	// Choices per type.
+	choices := make([]int, types)
+	total := 1
+	for i := 0; i < types; i++ {
+		if p.Kind() == model.VertexKind {
+			choices[i] = 2
+		} else {
+			choices[i] = 1 << len(rootLetters[i])
+		}
+		if total > maxAlgorithms/choices[i] {
+			return nil, fmt.Errorf("core: algorithm space exceeds budget %d", maxAlgorithms)
+		}
+		total *= choices[i]
+	}
+
+	lb := &LowerBound{Radius: r, Types: types, Algorithms: total, Optimum: opt, BestRatio: math.Inf(1)}
+	assign := make([]int, types)
+	for a := 0; a < total; a++ {
+		x := a
+		for i := 0; i < types; i++ {
+			assign[i] = x % choices[i]
+			x /= choices[i]
+		}
+		sol := model.NewSolution(p.Kind(), n)
+		bad := false
+		for v := 0; v < n && !bad; v++ {
+			c := assign[typeOf[v]]
+			if p.Kind() == model.VertexKind {
+				sol.Vertices[v] = c == 1
+				continue
+			}
+			for bi, l := range rootLetters[typeOf[v]] {
+				if c&(1<<bi) == 0 {
+					continue
+				}
+				var to int
+				var ok bool
+				if l.In {
+					if arc, found := h.D.InArc(v, l.Label); found {
+						to, ok = arc.To, true
+					}
+				} else {
+					if arc, found := h.D.OutArc(v, l.Label); found {
+						to, ok = arc.To, true
+					}
+				}
+				if !ok {
+					bad = true
+					break
+				}
+				sol.Edges[graph.NewEdge(v, to)] = true
+			}
+		}
+		if bad {
+			continue
+		}
+		if p.Feasible(h.G, sol) != nil {
+			continue
+		}
+		lb.FeasibleCount++
+		ratio, err := problems.Ratio(p, h.G, sol)
+		if err != nil {
+			continue
+		}
+		if ratio < lb.BestRatio {
+			lb.BestRatio = ratio
+		}
+	}
+	return lb, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/problems"
+)
+
+func TestCertifyOILowerBoundEDSOnOrderedCycle(t *testing.T) {
+	// On the identity-ordered cycle, an OI algorithm sees 2r+1 ordered
+	// ball types (interior + 2r seam types). The certified OI bound for
+	// EDS is below the PO bound 3: the seam lets OI algorithms skip
+	// edges near it — but only O(r) of them, so the bound approaches 3
+	// as n grows. This is the quantitative content of "one seam does
+	// not help" (Section 1.8).
+	var prev float64
+	for i, n := range []int{9, 15, 21} {
+		base := directedCycleK(t, n, 1)
+		h, err := model.NewHost(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := CertifyOILowerBound(h, order.Identity(n), problems.MinEdgeDominatingSet{}, 1, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb.Types != 3 {
+			t.Errorf("n=%d: expected 3 ordered ball types (interior + 2 seam), got %d", n, lb.Types)
+		}
+		if lb.BestRatio > 3 {
+			t.Errorf("n=%d: OI bound %v exceeds the PO bound 3", n, lb.BestRatio)
+		}
+		if lb.BestRatio < 2 {
+			t.Errorf("n=%d: OI bound %v suspiciously low", n, lb.BestRatio)
+		}
+		if i > 0 && lb.BestRatio < prev-1e-9 {
+			t.Errorf("n=%d: OI bound %v not approaching 3 (prev %v)", n, lb.BestRatio, prev)
+		}
+		prev = lb.BestRatio
+	}
+}
+
+func TestCertifyOILowerBoundVCOnOrderedCycle(t *testing.T) {
+	base := directedCycleK(t, 10, 1)
+	h, err := model.NewHost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := CertifyOILowerBound(h, order.Identity(10), problems.MinVertexCover{}, 1, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The OI algorithm "everyone except local minima" yields n-1 here;
+	// the true optimum on the ordered cycle: the certified bound must
+	// lie in [1, 2].
+	if lb.BestRatio < 1 || lb.BestRatio > 2 {
+		t.Errorf("OI VC bound %v outside [1, 2]", lb.BestRatio)
+	}
+	if lb.FeasibleCount == 0 {
+		t.Error("no feasible OI algorithm found")
+	}
+}
+
+func TestCertifyOIBoundAtMostPOBound(t *testing.T) {
+	// Every PO algorithm on a host induces outputs constant on view
+	// types; OI algorithms are at least as expressive on ordered
+	// instances whose order refines the view structure, so the
+	// certified OI bound can only be lower or equal.
+	for _, n := range []int{9, 12} {
+		base := directedCycleK(t, n, 1)
+		h, err := model.NewHost(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := problems.MinEdgeDominatingSet{}
+		po, err := CertifyPOLowerBound(h, p, 1, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oi, err := CertifyOILowerBound(h, order.Identity(n), p, 1, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oi.BestRatio > po.BestRatio+1e-9 {
+			t.Errorf("n=%d: OI bound %v exceeds PO bound %v", n, oi.BestRatio, po.BestRatio)
+		}
+	}
+}
+
+func TestCertifyOILowerBoundMISUnbounded(t *testing.T) {
+	// Even with the seam, a constant-radius OI algorithm cannot
+	// approximate maximum independent set on cycles to any constant
+	// factor: the only feasible solutions it can produce on the
+	// interior are empty there, and the optimum grows with n.
+	base := directedCycleK(t, 15, 1)
+	h, err := model.NewHost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := CertifyOILowerBound(h, order.Identity(15), problems.MaxIndependentSet{}, 1, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best OI solution selects O(r) nodes near the seam: ratio >= opt/3.
+	if !math.IsInf(lb.BestRatio, 1) && lb.BestRatio < float64(lb.Optimum)/3 {
+		t.Errorf("OI MIS bound %v below opt/3 = %v", lb.BestRatio, float64(lb.Optimum)/3)
+	}
+}
+
+func TestCertifyOILowerBoundValidation(t *testing.T) {
+	base := directedCycleK(t, 6, 1)
+	h, err := model.NewHost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CertifyOILowerBound(h, order.Rank{0, 1}, problems.MinVertexCover{}, 1, 1<<20); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if _, err := CertifyOILowerBound(h, order.Identity(6), problems.MinEdgeDominatingSet{}, 2, 2); err == nil {
+		t.Error("budget overflow accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/ramsey"
+)
+
+// RamseyWitness is the outcome of the Section 4.2 argument run
+// constructively: a pool J of identifiers such that the ID algorithm's
+// behaviour on every catalogued ball type depends only on the relative
+// order of the identifiers drawn from J — i.e. the algorithm is
+// order-invariant on J.
+type RamseyWitness struct {
+	// J is the monochromatic identifier pool (increasing).
+	J []int
+	// T is the subset size coloured (the largest catalogued ball).
+	T int
+	// Behaviour maps a canonical ball encoding to the induced output.
+	Behaviour map[string]model.Output
+}
+
+// InducedOI returns the order-invariant algorithm the witness induces:
+// on a catalogued ball it plays the monochromatic behaviour; on an
+// uncatalogued ball it returns the zero output (and records the miss).
+func (w *RamseyWitness) InducedOI(radius int) model.OI {
+	return model.FuncOI{R: radius, Fn: func(b *order.Ball) model.Output {
+		return w.Behaviour[b.Encode()]
+	}}
+}
+
+// IDToOI runs the Ramsey argument of Section 4.2 for an ID algorithm
+// over a catalogue of ordered ball types (the τ(G, <, v) arising in
+// the family of interest). Identifier t-subsets S ⊆ {0..universe−1}
+// are coloured by the algorithm's joint behaviour when the k smallest
+// elements of S are used as the identifiers of each k-vertex ball (the
+// paper's order-preserving injection f_{W,S}); a monochromatic
+// m-subset J certifies order-invariance of the algorithm restricted to
+// identifiers from J.
+func IDToOI(a model.ID, catalogue []*order.Ball, universe, m int) (*RamseyWitness, error) {
+	if len(catalogue) == 0 {
+		return nil, fmt.Errorf("core: empty ball catalogue")
+	}
+	t := 0
+	for _, b := range catalogue {
+		if b.G.N() > t {
+			t = b.G.N()
+		}
+	}
+	if m < t {
+		return nil, fmt.Errorf("core: m=%d smaller than ball size t=%d", m, t)
+	}
+	behave := func(s []int) []model.Output {
+		outs := make([]model.Output, len(catalogue))
+		for i, b := range catalogue {
+			ids := make([]int, b.G.N())
+			copy(ids, s[:b.G.N()])
+			outs[i] = a.EvalID(&model.IDBall{G: b.G, Root: b.Root, IDs: ids})
+		}
+		return outs
+	}
+	color := func(s []int) string {
+		var sb strings.Builder
+		for _, o := range behave(s) {
+			encodeOutput(&sb, o)
+		}
+		return sb.String()
+	}
+	j, _, ok := ramsey.FindMonochromatic(universe, t, m, color)
+	if !ok {
+		return nil, fmt.Errorf("core: no monochromatic %d-subset in universe %d (enlarge the universe)", m, universe)
+	}
+	outs := behave(j[:t])
+	w := &RamseyWitness{J: j, T: t, Behaviour: make(map[string]model.Output, len(catalogue))}
+	for i, b := range catalogue {
+		w.Behaviour[b.Encode()] = outs[i]
+	}
+	return w, nil
+}
+
+// encodeOutput renders an output canonically for colouring.
+func encodeOutput(sb *strings.Builder, o model.Output) {
+	if o.Member {
+		sb.WriteByte('1')
+	} else {
+		sb.WriteByte('0')
+	}
+	ns := append([]int(nil), o.Neighbors...)
+	sort.Ints(ns)
+	for _, x := range ns {
+		fmt.Fprintf(sb, ",%d", x)
+	}
+	sb.WriteByte(';')
+}
+
+// BallCatalogue collects the distinct canonical ordered ball types of
+// radius r occurring on the ordered host — the W-space of the Ramsey
+// colouring.
+func BallCatalogue(h *model.Host, rank order.Rank, r int) []*order.Ball {
+	seen := map[string]*order.Ball{}
+	var keys []string
+	for v := 0; v < h.G.N(); v++ {
+		b := order.CanonicalBall(h.G, rank, v, r)
+		enc := b.Encode()
+		if _, ok := seen[enc]; !ok {
+			seen[enc] = b
+			keys = append(keys, enc)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]*order.Ball, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// OrderRespectingIDs assigns identifiers that realise a given rank:
+// the vertex of rank i receives the i-th element of pool (pool must be
+// increasing and at least as long as the rank). With pool drawn from a
+// Ramsey witness J, an ID algorithm behaves order-invariantly on the
+// resulting instance (Proposition 4.4).
+func OrderRespectingIDs(rank order.Rank, pool []int) ([]int, error) {
+	if len(pool) < len(rank) {
+		return nil, fmt.Errorf("core: pool of %d ids for %d nodes", len(pool), len(rank))
+	}
+	for i := 1; i < len(pool); i++ {
+		if pool[i-1] >= pool[i] {
+			return nil, fmt.Errorf("core: pool not increasing at %d", i)
+		}
+	}
+	ids := make([]int, len(rank))
+	for v, p := range rank {
+		ids[v] = pool[p]
+	}
+	return ids, nil
+}

@@ -1,0 +1,321 @@
+// Package core implements the paper's primary contribution: the
+// machinery proving ID = OI = PO for local approximation of simple
+// PO-checkable problems.
+//
+//   - OIToPO (Theorem 4.1): from an order-invariant algorithm A and the
+//     homogeneity type τ* it constructs the PO algorithm
+//     B(W) := A((T*, <*, λ) ↾ W), which simulates A on all τ*-typed
+//     nodes of a homogeneous lift (Fact 4.2) and therefore achieves
+//     the same approximation ratio on the base graph.
+//   - BuildHomogeneousLift (Theorem 3.3): materialises the
+//     label-matching product of a finite homogeneous Cayley graph H(m)
+//     with a base graph, together with the transferred linear order.
+//   - IDToOI (Section 4.2): the Ramsey argument, run as an explicit
+//     search for identifier sets on which an ID algorithm is
+//     order-invariant.
+//   - CertifyPOLowerBound: exhaustive enumeration of the (finite) space
+//     of radius-r PO algorithms restricted to an instance, yielding
+//     machine-checked PO-model lower bounds, which the transforms then
+//     carry over to OI and ID — exactly the paper's program of
+//     "prove it in PO, amplify to ID".
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/digraph"
+	"repro/internal/group"
+	"repro/internal/homog"
+	"repro/internal/lift"
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/problems"
+	"repro/internal/view"
+)
+
+// POFromOI is the PO algorithm B of Theorem 4.1.
+type POFromOI struct {
+	// A is the simulated OI algorithm.
+	A model.OI
+	// Tau is the homogeneity type τ* = (T*, <*, λ).
+	Tau *order.OrderedTree
+
+	mu      sync.Mutex
+	firstEh error
+}
+
+var _ model.PO = (*POFromOI)(nil)
+
+// OIToPO constructs B(W) := A((T*, <*, λ) ↾ W). The ordered tree must
+// have depth at least the algorithm's radius.
+func OIToPO(a model.OI, tau *order.OrderedTree) (*POFromOI, error) {
+	if tau.Tree.Depth() < a.Radius() {
+		return nil, fmt.Errorf("core: τ* depth %d < algorithm radius %d", tau.Tree.Depth(), a.Radius())
+	}
+	if err := tau.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid τ*: %w", err)
+	}
+	return &POFromOI{A: a, Tau: tau}, nil
+}
+
+// Radius implements model.PO.
+func (b *POFromOI) Radius() int { return b.A.Radius() }
+
+// EvalPO implements model.PO: embed the view into the ordered tree,
+// hand the resulting ordered ball to A, and translate A's neighbour
+// selections back into letters.
+func (b *POFromOI) EvalPO(t *view.Tree) model.Output {
+	ball, walks, err := b.Tau.BallOfSubtreeWalks(t)
+	if err != nil {
+		b.recordErr(err)
+		return model.Output{}
+	}
+	out := b.A.EvalOI(ball)
+	if len(out.Neighbors) == 0 {
+		return model.Output{Member: out.Member}
+	}
+	trans := model.Output{Member: out.Member}
+	for _, idx := range out.Neighbors {
+		if idx < 0 || idx >= len(walks) || len(walks[idx]) != 1 {
+			b.recordErr(fmt.Errorf("core: OI algorithm selected non-neighbour ball vertex %d", idx))
+			continue
+		}
+		trans.Letters = append(trans.Letters, walks[idx][0])
+	}
+	return trans
+}
+
+func (b *POFromOI) recordErr(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.firstEh == nil {
+		b.firstEh = err
+	}
+}
+
+// Err returns the first structural error encountered during
+// evaluation, if any. A non-nil value means some view did not embed
+// into τ* — i.e. the host was outside the algorithm's family.
+func (b *POFromOI) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.firstEh
+}
+
+// LiftResult is a materialised homogeneous lift (Theorem 3.3) of a
+// base L-digraph: the lift as a runnable host, the transferred linear
+// order, and the covering map onto the base.
+type LiftResult struct {
+	// Host is the lift, runnable in all three models.
+	Host *model.Host
+	// Rank is the transferred order <_C (by the H-coordinate under the
+	// restricted U-order, ties within fibres broken by base index).
+	Rank order.Rank
+	// Phi is the covering map onto the base digraph.
+	Phi digraph.FibreMap
+	// Base is the base digraph.
+	Base *digraph.Digraph
+	// M is the homogeneous modulus used for H(m).
+	M int
+	// TauFrac is the fraction of lift nodes whose H-coordinate is
+	// τ*-typed (the 1−ε of Theorem 3.3, measured exactly).
+	TauFrac float64
+	// Pairs names each lift vertex.
+	Pairs []lift.Pair[string, int]
+}
+
+// BuildHomogeneousLift materialises H(m) × base for a construction of
+// Theorem 3.2 whose alphabet matches the base's. |H(m)|·|base| must
+// not exceed maxNodes.
+func BuildHomogeneousLift(c *homog.Construction, base *digraph.Digraph, m, maxNodes int) (*LiftResult, error) {
+	if base.Alphabet() != c.K {
+		return nil, fmt.Errorf("core: base alphabet %d != construction k %d", base.Alphabet(), c.K)
+	}
+	fam, err := group.NewFamily(c.Level, m)
+	if err != nil {
+		return nil, err
+	}
+	total := fam.Order()
+	if !total.IsInt64() || total.Int64()*int64(base.N()) > int64(maxNodes) {
+		return nil, fmt.Errorf("core: lift of size %v × %d exceeds budget %d", total, base.N(), maxNodes)
+	}
+	hcay, err := c.HCayley(m)
+	if err != nil {
+		return nil, err
+	}
+	// Enumerate H(m) by odometer.
+	nH := int(total.Int64())
+	hs := make([]string, 0, nH)
+	e := make(group.Elem, fam.Dim())
+	for i := 0; i < nH; i++ {
+		hs = append(hs, hcay.Node(e))
+		for j := 0; j < len(e); j++ {
+			e[j]++
+			if e[j] < m {
+				break
+			}
+			e[j] = 0
+		}
+	}
+	gs := make([]int, base.N())
+	for i := range gs {
+		gs[i] = i
+	}
+	prod, err := lift.NewProduct[string, int](hcay, base)
+	if err != nil {
+		return nil, err
+	}
+	d, pairs, phi := lift.MaterializeFull(prod, hs, gs)
+	host, err := model.NewHost(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: lift host: %w", err)
+	}
+	// Transferred order: H-coordinate under the restricted U-order,
+	// base index as the fibre tiebreak.
+	less := prod.Less(c.NodeLess, func(a, b int) bool { return a < b })
+	perm := make([]int, len(pairs))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool { return less(pairs[perm[i]], pairs[perm[j]]) })
+	rank := make(order.Rank, len(pairs))
+	for pos, i := range perm {
+		rank[i] = pos
+	}
+	// Count τ*-typed H-coordinates exactly.
+	tauType, err := c.TauStarBallEncoding()
+	if err != nil {
+		return nil, err
+	}
+	isTau := make(map[string]bool, nH)
+	for _, hnode := range hs {
+		ball, err := order.CanonicalBallImplicit[string](hcay, c.NodeLess, hnode, c.R)
+		if err != nil {
+			return nil, err
+		}
+		isTau[hnode] = ball.Encode() == tauType
+	}
+	tau := 0
+	for _, pr := range pairs {
+		if isTau[pr.H] {
+			tau++
+		}
+	}
+	return &LiftResult{
+		Host:    host,
+		Rank:    rank,
+		Phi:     phi,
+		Base:    base,
+		M:       m,
+		TauFrac: float64(tau) / float64(len(pairs)),
+		Pairs:   pairs,
+	}, nil
+}
+
+// Agreement measures the fraction of host nodes on which the OI
+// algorithm a (under rank) and the PO algorithm b produce identical
+// normalised outputs — the empirical Fact 4.2.
+func Agreement(h *model.Host, rank order.Rank, a model.OI, b model.PO, kind model.Kind) (float64, error) {
+	oi, err := model.OIOutputs(h, rank, a, kind)
+	if err != nil {
+		return 0, err
+	}
+	po, err := model.POOutputs(h, b, kind)
+	if err != nil {
+		return 0, err
+	}
+	return model.Agreement(oi, po)
+}
+
+// TransferReport is the outcome of an end-to-end Theorem 4.1 run.
+type TransferReport struct {
+	// M is the homogeneous modulus used for the lift.
+	M int
+	// LiftN is the lift's order.
+	LiftN int
+	// TauFrac is the measured 1−ε of the lift.
+	TauFrac float64
+	// AgreementFrac is the measured Fact 4.2 agreement on the lift.
+	AgreementFrac float64
+	// RatioA bounds A's approximation ratio on the ordered lift from
+	// below: |A(lift)| / (l·opt(base)) for minimisation problems (and
+	// the reciprocal convention for maximisation). The denominator
+	// uses the paper's own inequality opt(lift) <= l·opt(base) — the
+	// preimage of a feasible base solution is feasible on the lift —
+	// so exact optima never need to be computed on the (large) lift.
+	RatioA float64
+	// RatioB is B's approximation ratio on the base graph.
+	RatioB float64
+	// BFeasibleOnBase records that B's output passed the problem's
+	// feasibility check on the base graph.
+	BFeasibleOnBase bool
+}
+
+// TransferOIToPO runs the whole Theorem 4.1 pipeline: build τ* and the
+// homogeneous lift, construct B from A, measure agreement on the lift,
+// and compare approximation ratios of A (on the lift) and B (on the
+// base).
+func TransferOIToPO(c *homog.Construction, base *digraph.Digraph, a model.OI, p problems.Problem, m, maxNodes int) (*TransferReport, error) {
+	tau, err := c.TauStar()
+	if err != nil {
+		return nil, err
+	}
+	b, err := OIToPO(a, tau)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := BuildHomogeneousLift(c, base, m, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	rep := &TransferReport{M: m, LiftN: lr.Host.G.N(), TauFrac: lr.TauFrac}
+
+	rep.AgreementFrac, err = Agreement(lr.Host, lr.Rank, a, b, p.Kind())
+	if err != nil {
+		return nil, err
+	}
+	solA, err := model.RunOI(lr.Host, lr.Rank, a, p.Kind())
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Feasible(lr.Host.G, solA); err != nil {
+		return nil, fmt.Errorf("core: A infeasible on the lift: %w", err)
+	}
+	baseHost, err := model.NewHost(base)
+	if err != nil {
+		return nil, err
+	}
+	baseOpt, err := p.Optimum(baseHost.G)
+	if err != nil {
+		return nil, err
+	}
+	l := lr.Host.G.N() / base.N() // uniform fibre size
+	liftOptBound := float64(l * baseOpt)
+	sizeA := float64(solA.Size())
+	if p.Goal() == problems.Minimize {
+		rep.RatioA = sizeA / liftOptBound
+	} else if sizeA > 0 {
+		rep.RatioA = liftOptBound / sizeA
+	} else {
+		rep.RatioA = math.Inf(1)
+	}
+	solB, err := model.RunPO(baseHost, b, p.Kind())
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("core: B hit a structural error: %w", err)
+	}
+	if err := p.Feasible(baseHost.G, solB); err != nil {
+		return nil, fmt.Errorf("core: B infeasible on the base: %w", err)
+	}
+	rep.BFeasibleOnBase = true
+	rep.RatioB, err = problems.Ratio(p, baseHost.G, solB)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

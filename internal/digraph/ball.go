@@ -1,0 +1,162 @@
+package digraph
+
+import "fmt"
+
+// BallOf is a materialised radius-r ball around a centre vertex of an
+// implicit digraph: the restriction of the digraph to the vertices at
+// undirected distance at most r from the centre (the paper's
+// τ(G, v) = (G, v) ↾ B_G(v, r)).
+type BallOf[V comparable] struct {
+	// D is the ball as a materialised digraph on vertices 0..k-1.
+	D *Digraph
+	// Root is the index of the centre (always 0).
+	Root int
+	// Nodes maps ball index -> original vertex, in BFS order.
+	Nodes []V
+	// Index maps original vertex -> ball index.
+	Index map[V]int
+	// Dist maps ball index -> undirected distance from the centre.
+	Dist []int
+}
+
+// Ball extracts the radius-r ball around centre in g. BFS follows both
+// out- and in-arcs (distance is undirected); all arcs with both
+// endpoints inside the ball are kept.
+func Ball[V comparable](g Implicit[V], centre V, r int) *BallOf[V] {
+	index := map[V]int{centre: 0}
+	nodes := []V{centre}
+	dist := []int{0}
+	for head := 0; head < len(nodes); head++ {
+		v := nodes[head]
+		if dist[head] == r {
+			continue
+		}
+		for _, a := range g.Out(v) {
+			if _, seen := index[a.To]; !seen {
+				index[a.To] = len(nodes)
+				nodes = append(nodes, a.To)
+				dist = append(dist, dist[head]+1)
+			}
+		}
+		for _, a := range g.In(v) {
+			if _, seen := index[a.To]; !seen {
+				index[a.To] = len(nodes)
+				nodes = append(nodes, a.To)
+				dist = append(dist, dist[head]+1)
+			}
+		}
+	}
+	b := NewBuilder(len(nodes), g.Alphabet())
+	for i, v := range nodes {
+		for _, a := range g.Out(v) {
+			if j, in := index[a.To]; in {
+				b.MustAddArc(i, j, a.Label)
+			}
+		}
+	}
+	return &BallOf[V]{D: b.Build(), Root: 0, Nodes: nodes, Index: index, Dist: dist}
+}
+
+// Materialize explores everything reachable (in the undirected sense)
+// from the start vertices and builds a concrete Digraph. It fails if
+// more than maxNodes vertices are found, which guards against
+// accidentally expanding one of the paper's astronomically large
+// implicit graphs.
+func Materialize[V comparable](g Implicit[V], starts []V, maxNodes int) (*Digraph, []V, map[V]int, error) {
+	index := make(map[V]int)
+	var nodes []V
+	push := func(v V) error {
+		if _, seen := index[v]; seen {
+			return nil
+		}
+		if len(nodes) >= maxNodes {
+			return fmt.Errorf("digraph: materialisation exceeds %d nodes", maxNodes)
+		}
+		index[v] = len(nodes)
+		nodes = append(nodes, v)
+		return nil
+	}
+	for _, s := range starts {
+		if err := push(s); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for head := 0; head < len(nodes); head++ {
+		v := nodes[head]
+		for _, a := range g.Out(v) {
+			if err := push(a.To); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		for _, a := range g.In(v) {
+			if err := push(a.To); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	b := NewBuilder(len(nodes), g.Alphabet())
+	for i, v := range nodes {
+		for _, a := range g.Out(v) {
+			b.MustAddArc(i, index[a.To], a.Label)
+		}
+	}
+	return b.Build(), nodes, index, nil
+}
+
+// UndirectedGirth computes the girth of the underlying undirected
+// multigraph of an implicit digraph by exploring non-backtracking walks
+// of length up to maxLen from the given start vertices. A walk may not
+// immediately reverse the arc it just traversed, but any other return
+// to a visited vertex closes a cycle. It returns the shortest cycle
+// length found, or -1 if no cycle of length <= maxLen exists through
+// the start vertices.
+//
+// For vertex-transitive implicit graphs (Cayley graphs, lifts of a
+// single-vertex digraph) a single start vertex suffices, because every
+// cycle can be translated to pass through it.
+func UndirectedGirth[V comparable](g Implicit[V], starts []V, maxLen int) int {
+	best := -1
+	var (
+		onPath map[V]int
+		dfs    func(cur, prev V, prevLabel int, prevOut bool, depth int)
+	)
+	dfs = func(cur, prev V, prevLabel int, prevOut bool, depth int) {
+		if best != -1 && depth+1 >= best {
+			return
+		}
+		try := func(to V, label int, out bool) {
+			// Non-backtracking: never re-traverse the arc we just used
+			// in the opposite direction. Parallel arcs (same endpoints,
+			// different label or direction pattern) are distinct arcs
+			// and may legitimately close a 2-cycle.
+			if depth > 0 && to == prev && label == prevLabel && out != prevOut {
+				return
+			}
+			if at, seen := onPath[to]; seen {
+				c := depth + 1 - at
+				if c >= 2 && (best == -1 || c < best) {
+					best = c
+				}
+				return
+			}
+			if depth+1 >= maxLen {
+				return
+			}
+			onPath[to] = depth + 1
+			dfs(to, cur, label, out, depth+1)
+			delete(onPath, to)
+		}
+		for _, a := range g.Out(cur) {
+			try(a.To, a.Label, true)
+		}
+		for _, a := range g.In(cur) {
+			try(a.To, a.Label, false)
+		}
+	}
+	for _, s := range starts {
+		onPath = map[V]int{s: 0}
+		var zero V
+		dfs(s, zero, -1, false, 0)
+	}
+	return best
+}

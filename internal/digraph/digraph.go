@@ -1,0 +1,238 @@
+// Package digraph provides L-edge-labelled directed graphs (the
+// "L-digraphs" of Section 2.5 of the paper), port numberings and
+// orientations, covering-map verification, an interface for lazily
+// evaluated (implicit) digraphs, and radius-r ball extraction.
+//
+// A proper labelling assigns the outgoing edges of each node distinct
+// labels and the incoming edges of each node distinct labels; this is
+// exactly the structure induced by a port numbering and orientation.
+package digraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ArcTo is a labelled arc to a node of type V in an implicit digraph.
+type ArcTo[V comparable] struct {
+	To    V
+	Label int
+}
+
+// Arc is a labelled arc in a materialised digraph.
+type Arc = ArcTo[int]
+
+// Implicit is a lazily evaluated L-digraph. Implementations include
+// materialised digraphs, Cayley graphs of the paper's groups, and the
+// label-matching lift products — the latter two are far too large to
+// materialise, but every construction in the paper only ever inspects
+// a constant-radius neighbourhood, which Implicit supports.
+type Implicit[V comparable] interface {
+	// Alphabet returns |L|, the number of edge labels; labels are
+	// 0..Alphabet()-1.
+	Alphabet() int
+	// Out returns the labelled out-arcs of v, with distinct labels.
+	Out(v V) []ArcTo[V]
+	// In returns the labelled in-arcs of v (ArcTo.To is the arc's
+	// source), with distinct labels.
+	In(v V) []ArcTo[V]
+}
+
+// Digraph is a materialised L-digraph with a proper labelling.
+// It implements Implicit[int].
+type Digraph struct {
+	n        int
+	alphabet int
+	out      [][]Arc
+	in       [][]Arc
+}
+
+var _ Implicit[int] = (*Digraph)(nil)
+
+// Builder accumulates arcs for a Digraph, enforcing proper labelling.
+type Builder struct {
+	n        int
+	alphabet int
+	out      [][]Arc
+	in       [][]Arc
+}
+
+// NewBuilder returns a builder for an L-digraph on n vertices with the
+// given alphabet size.
+func NewBuilder(n, alphabet int) *Builder {
+	if n < 0 || alphabet < 0 {
+		panic("digraph: negative size")
+	}
+	return &Builder{
+		n:        n,
+		alphabet: alphabet,
+		out:      make([][]Arc, n),
+		in:       make([][]Arc, n),
+	}
+}
+
+// AddArc adds the arc u -> v with the given label. It returns an error
+// if the arc would violate the proper-labelling condition: u must not
+// already have an outgoing arc labelled label, and v must not already
+// have an incoming arc labelled label. Self-loops are rejected.
+func (b *Builder) AddArc(u, v, label int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("digraph: arc (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("digraph: self-loop at %d", u)
+	}
+	if label < 0 || label >= b.alphabet {
+		return fmt.Errorf("digraph: label %d out of range [0,%d)", label, b.alphabet)
+	}
+	for _, a := range b.out[u] {
+		if a.Label == label {
+			return fmt.Errorf("digraph: node %d already has out-label %d", u, label)
+		}
+	}
+	for _, a := range b.in[v] {
+		if a.Label == label {
+			return fmt.Errorf("digraph: node %d already has in-label %d", v, label)
+		}
+	}
+	b.out[u] = append(b.out[u], Arc{To: v, Label: label})
+	b.in[v] = append(b.in[v], Arc{To: u, Label: label})
+	return nil
+}
+
+// MustAddArc is AddArc that panics on error.
+func (b *Builder) MustAddArc(u, v, label int) {
+	if err := b.AddArc(u, v, label); err != nil {
+		panic(err)
+	}
+}
+
+// Build finalises the digraph. Arc lists are sorted by label.
+func (b *Builder) Build() *Digraph {
+	for v := 0; v < b.n; v++ {
+		sort.Slice(b.out[v], func(i, j int) bool { return b.out[v][i].Label < b.out[v][j].Label })
+		sort.Slice(b.in[v], func(i, j int) bool { return b.in[v][i].Label < b.in[v][j].Label })
+	}
+	return &Digraph{n: b.n, alphabet: b.alphabet, out: b.out, in: b.in}
+}
+
+// N returns the number of vertices.
+func (d *Digraph) N() int { return d.n }
+
+// Alphabet returns |L|.
+func (d *Digraph) Alphabet() int { return d.alphabet }
+
+// Out returns the out-arcs of v sorted by label. Do not modify.
+func (d *Digraph) Out(v int) []Arc { return d.out[v] }
+
+// In returns the in-arcs of v sorted by label (Arc.To is the source).
+// Do not modify.
+func (d *Digraph) In(v int) []Arc { return d.in[v] }
+
+// Degree returns the total number of arcs incident to v.
+func (d *Digraph) Degree(v int) int { return len(d.out[v]) + len(d.in[v]) }
+
+// Arcs returns the number of arcs.
+func (d *Digraph) Arcs() int {
+	m := 0
+	for v := 0; v < d.n; v++ {
+		m += len(d.out[v])
+	}
+	return m
+}
+
+// OutArc returns the out-arc of v with the given label, if any.
+func (d *Digraph) OutArc(v, label int) (Arc, bool) {
+	for _, a := range d.out[v] {
+		if a.Label == label {
+			return a, true
+		}
+	}
+	return Arc{}, false
+}
+
+// InArc returns the in-arc of v with the given label, if any.
+func (d *Digraph) InArc(v, label int) (Arc, bool) {
+	for _, a := range d.in[v] {
+		if a.Label == label {
+			return a, true
+		}
+	}
+	return Arc{}, false
+}
+
+// Underlying returns the simple undirected graph obtained by forgetting
+// directions and labels. It returns an error if two vertices are joined
+// by more than one arc (the underlying structure would be a multigraph,
+// which graph.Graph does not represent).
+func (d *Digraph) Underlying() (*graph.Graph, error) {
+	b := graph.NewBuilder(d.n)
+	for u := 0; u < d.n; u++ {
+		for _, a := range d.out[u] {
+			if b.HasEdge(u, a.To) {
+				return nil, fmt.Errorf("digraph: parallel arcs between %d and %d", u, a.To)
+			}
+			if err := b.AddEdge(u, a.To); err != nil {
+				return nil, fmt.Errorf("digraph: underlying graph: %w", err)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// IsRegularDigraph reports whether every vertex has out-degree and
+// in-degree exactly k (so the digraph is 2k-regular as an undirected
+// structure, the shape required of the homogeneous graphs H).
+func (d *Digraph) IsRegularDigraph(k int) bool {
+	for v := 0; v < d.n; v++ {
+		if len(d.out[v]) != k || len(d.in[v]) != k {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a short human-readable summary.
+func (d *Digraph) String() string {
+	return fmt.Sprintf("digraph{n=%d arcs=%d |L|=%d}", d.n, d.Arcs(), d.alphabet)
+}
+
+// Induced returns the subdigraph induced by the given vertices (arcs
+// with both endpoints inside), together with the map from new index to
+// old vertex.
+func (d *Digraph) Induced(verts []int) (*Digraph, []int) {
+	idx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+	}
+	b := NewBuilder(len(verts), d.alphabet)
+	for i, v := range verts {
+		for _, a := range d.out[v] {
+			if j, in := idx[a.To]; in {
+				b.MustAddArc(i, j, a.Label)
+			}
+		}
+	}
+	old := append([]int(nil), verts...)
+	return b.Build(), old
+}
+
+// WithAlphabet returns a copy of d whose declared alphabet is enlarged
+// to k (labels keep their values); used to match a base graph to the
+// alphabet of a homogeneous factor before forming a lift product.
+func (d *Digraph) WithAlphabet(k int) (*Digraph, error) {
+	if k < d.alphabet {
+		return nil, fmt.Errorf("digraph: cannot shrink alphabet %d to %d", d.alphabet, k)
+	}
+	b := NewBuilder(d.n, k)
+	for v := 0; v < d.n; v++ {
+		for _, a := range d.out[v] {
+			if err := b.AddArc(v, a.To, a.Label); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,378 @@
+package digraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestBuilderProperLabelling(t *testing.T) {
+	b := NewBuilder(3, 2)
+	if err := b.AddArc(0, 1, 0); err != nil {
+		t.Fatalf("valid arc rejected: %v", err)
+	}
+	if err := b.AddArc(0, 2, 0); err == nil {
+		t.Error("duplicate out-label accepted")
+	}
+	if err := b.AddArc(2, 1, 0); err == nil {
+		t.Error("duplicate in-label accepted")
+	}
+	if err := b.AddArc(0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := b.AddArc(0, 1, 5); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if err := b.AddArc(0, 1, 1); err != nil {
+		t.Errorf("second label on same pair should be allowed: %v", err)
+	}
+}
+
+func TestDigraphAccessors(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.MustAddArc(0, 1, 0)
+	b.MustAddArc(1, 2, 0)
+	b.MustAddArc(2, 0, 1)
+	d := b.Build()
+	if d.N() != 3 || d.Alphabet() != 2 || d.Arcs() != 3 {
+		t.Fatalf("bad accessors: %v", d)
+	}
+	if a, ok := d.OutArc(0, 0); !ok || a.To != 1 {
+		t.Error("OutArc wrong")
+	}
+	if _, ok := d.OutArc(0, 1); ok {
+		t.Error("phantom out arc")
+	}
+	if a, ok := d.InArc(0, 1); !ok || a.To != 2 {
+		t.Error("InArc wrong")
+	}
+	if d.Degree(0) != 2 {
+		t.Errorf("degree(0) = %d, want 2", d.Degree(0))
+	}
+	u, err := d.Underlying()
+	if err != nil {
+		t.Fatalf("underlying: %v", err)
+	}
+	if u.N() != 3 || u.M() != 3 {
+		t.Error("underlying graph wrong")
+	}
+}
+
+func TestUnderlyingRejectsParallel(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.MustAddArc(0, 1, 0)
+	b.MustAddArc(0, 1, 1)
+	if _, err := b.Build().Underlying(); err == nil {
+		t.Error("parallel arcs should make Underlying fail")
+	}
+}
+
+// directedCycle returns the n-cycle directed around, one label.
+func directedCycle(n int) *Digraph {
+	b := NewBuilder(n, 1)
+	for i := 0; i < n; i++ {
+		b.MustAddArc(i, (i+1)%n, 0)
+	}
+	return b.Build()
+}
+
+func TestFromPorts(t *testing.T) {
+	g := graph.Cycle(4)
+	p := FromPorts(g, nil)
+	if p.D.N() != 4 || p.D.Arcs() != 4 {
+		t.Fatalf("ported C4: %v", p.D)
+	}
+	u, err := p.D.Underlying()
+	if err != nil {
+		t.Fatalf("underlying: %v", err)
+	}
+	if u.M() != g.M() {
+		t.Error("port numbering must preserve the edge set")
+	}
+	// Every arc label decodes to a valid port pair.
+	for v := 0; v < p.D.N(); v++ {
+		for _, a := range p.D.Out(v) {
+			pl := p.Labels[a.Label]
+			if g.Neighbors(v)[pl.I-1] != a.To || g.Neighbors(a.To)[pl.J-1] != v {
+				t.Fatalf("label %v inconsistent for arc %d->%d", pl, v, a.To)
+			}
+		}
+	}
+}
+
+func TestFromPortsProperOnVariousGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := []*graph.Graph{
+		graph.Cycle(9),
+		graph.Complete(6),
+		graph.Petersen(),
+		graph.Torus(4, 4),
+		graph.RandomRegular(12, 3, rng),
+		graph.Star(5),
+	}
+	for _, g := range graphs {
+		p := FromPorts(g, nil)
+		u, err := p.D.Underlying()
+		if err != nil {
+			t.Fatalf("underlying: %v", err)
+		}
+		if u.M() != g.M() || u.N() != g.N() {
+			t.Errorf("edge set not preserved for %v", g)
+		}
+	}
+}
+
+func TestEulerianOrientation(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(7),
+		graph.Torus(4, 5),
+		graph.Complete(5), // 4-regular
+		graph.Circulant(11, 1, 2),
+	} {
+		orient, err := EulerianOrientation(g)
+		if err != nil {
+			t.Fatalf("EulerianOrientation(%v): %v", g, err)
+		}
+		outdeg := make([]int, g.N())
+		indeg := make([]int, g.N())
+		for _, e := range g.Edges() {
+			if orient(e) {
+				outdeg[e.U]++
+				indeg[e.V]++
+			} else {
+				outdeg[e.V]++
+				indeg[e.U]++
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if outdeg[v] != indeg[v] {
+				t.Errorf("%v: vertex %d has outdeg %d indeg %d", g, v, outdeg[v], indeg[v])
+			}
+		}
+	}
+	if _, err := EulerianOrientation(graph.Path(3)); err == nil {
+		t.Error("odd-degree graph should be rejected")
+	}
+}
+
+func TestVerifyCovering(t *testing.T) {
+	// The 6-cycle covers the 3-cycle (directed, single label).
+	h := directedCycle(6)
+	g := directedCycle(3)
+	phi := FibreMap{0, 1, 2, 0, 1, 2}
+	if err := VerifyCovering(h, g, phi); err != nil {
+		t.Errorf("C6 -> C3 should be a covering: %v", err)
+	}
+	// A wrong map is rejected.
+	bad := FibreMap{0, 1, 2, 0, 2, 1}
+	if err := VerifyCovering(h, g, bad); err == nil {
+		t.Error("invalid covering accepted")
+	}
+	// Not onto is rejected: map C6 to C6 identity but claim target C3... use same-size case.
+	if err := VerifyCovering(h, h, FibreMap{0, 1, 2, 3, 4, 5}); err != nil {
+		t.Errorf("identity should be a covering: %v", err)
+	}
+	if err := VerifyCovering(h, h, FibreMap{0, 1, 2, 3, 4, 3}); err == nil {
+		t.Error("non-onto non-homomorphism accepted")
+	}
+	fib := Fibres(3, phi)
+	for i, f := range fib {
+		if len(f) != 2 {
+			t.Errorf("fibre %d has size %d, want 2", i, len(f))
+		}
+	}
+}
+
+func TestBallDirectedCycle(t *testing.T) {
+	d := directedCycle(10)
+	ball := Ball[int](d, 0, 2)
+	if len(ball.Nodes) != 5 {
+		t.Fatalf("|B(0,2)| = %d, want 5", len(ball.Nodes))
+	}
+	if ball.Root != 0 || ball.Nodes[0] != 0 {
+		t.Error("root must be first")
+	}
+	if ball.D.Arcs() != 4 {
+		t.Errorf("ball arcs = %d, want 4", ball.D.Arcs())
+	}
+	for i, v := range ball.Nodes {
+		if ball.Index[v] != i {
+			t.Error("Index inconsistent with Nodes")
+		}
+	}
+	// Distances: 0,1,1,2,2 in BFS order.
+	wantDist := map[int]int{0: 0, 1: 1, 9: 1, 2: 2, 8: 2}
+	for i, v := range ball.Nodes {
+		if ball.Dist[i] != wantDist[v] {
+			t.Errorf("dist[%d (orig %d)] = %d, want %d", i, v, ball.Dist[i], wantDist[v])
+		}
+	}
+}
+
+func TestBallIncludesCrossArcs(t *testing.T) {
+	// Directed triangle: radius-1 ball around 0 is the whole triangle,
+	// including the arc 1->2 between two boundary nodes.
+	d := directedCycle(3)
+	ball := Ball[int](d, 0, 1)
+	if len(ball.Nodes) != 3 {
+		t.Fatalf("ball size %d", len(ball.Nodes))
+	}
+	if ball.D.Arcs() != 3 {
+		t.Errorf("ball should keep all 3 arcs, got %d", ball.D.Arcs())
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	d := directedCycle(8)
+	m, nodes, index, err := Materialize[int](d, []int{3}, 100)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	if m.N() != 8 || m.Arcs() != 8 {
+		t.Fatalf("materialised C8 wrong: %v", m)
+	}
+	if len(nodes) != 8 || index[3] != 0 {
+		t.Error("node bookkeeping wrong")
+	}
+	if _, _, _, err := Materialize[int](d, []int{0}, 4); err == nil {
+		t.Error("materialize should fail when exceeding maxNodes")
+	}
+}
+
+func TestUndirectedGirth(t *testing.T) {
+	if g := UndirectedGirth[int](directedCycle(5), []int{0}, 10); g != 5 {
+		t.Errorf("C5 girth = %d, want 5", g)
+	}
+	if g := UndirectedGirth[int](directedCycle(4), []int{0}, 3); g != -1 {
+		t.Errorf("C4 girth within maxLen 3 = %d, want -1", g)
+	}
+	// Parallel arcs u->v with different labels: girth 2.
+	b := NewBuilder(2, 2)
+	b.MustAddArc(0, 1, 0)
+	b.MustAddArc(0, 1, 1)
+	if g := UndirectedGirth[int](b.Build(), []int{0}, 5); g != 2 {
+		t.Errorf("parallel arcs girth = %d, want 2", g)
+	}
+	// A single arc back and forth is backtracking, not a cycle.
+	b2 := NewBuilder(2, 1)
+	b2.MustAddArc(0, 1, 0)
+	if g := UndirectedGirth[int](b2.Build(), []int{0}, 6); g != -1 {
+		t.Errorf("single edge girth = %d, want -1", g)
+	}
+	// Two arcs in opposite directions with the same label: a 2-cycle.
+	b3 := NewBuilder(2, 1)
+	b3.MustAddArc(0, 1, 0)
+	b3.MustAddArc(1, 0, 0)
+	if g := UndirectedGirth[int](b3.Build(), []int{0}, 6); g != 2 {
+		t.Errorf("anti-parallel arcs girth = %d, want 2", g)
+	}
+}
+
+// Property: for port-numbered cycles, UndirectedGirth matches graph.Girth.
+func TestQuickGirthAgreement(t *testing.T) {
+	f := func(k uint8) bool {
+		n := 3 + int(k)%20
+		g := graph.Cycle(n)
+		p := FromPorts(g, nil)
+		return UndirectedGirth[int](p.D, []int{0}, n+1) == g.Girth()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: balls of ported random regular graphs have the same vertex
+// set as balls in the underlying graph.
+func TestQuickBallMatchesGraphBall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomRegular(14, 3, rng)
+		p := FromPorts(g, nil)
+		v := rng.Intn(g.N())
+		r := rng.Intn(3)
+		ball := Ball[int](p.D, v, r)
+		want := g.Ball(v, r)
+		if len(ball.Nodes) != len(want) {
+			return false
+		}
+		set := map[int]bool{}
+		for _, u := range want {
+			set[u] = true
+		}
+		for _, u := range ball.Nodes {
+			if !set[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromPorts with an Eulerian orientation of an even-regular
+// graph yields equal in- and out-degree at every node.
+func TestQuickEulerianBalanced(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomRegular(10+2*(int(seed%5+5)%5), 4, rng)
+		orient, err := EulerianOrientation(g)
+		if err != nil {
+			return false
+		}
+		p := FromPorts(g, orient)
+		return p.D.IsRegularDigraph(2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInduced(t *testing.T) {
+	d := directedCycle(6)
+	sub, old := d.Induced([]int{1, 2, 3})
+	if sub.N() != 3 || sub.Arcs() != 2 {
+		t.Fatalf("induced path: n=%d arcs=%d", sub.N(), sub.Arcs())
+	}
+	if len(old) != 3 || old[0] != 1 {
+		t.Error("old-vertex map wrong")
+	}
+	if _, ok := sub.OutArc(0, 0); !ok {
+		t.Error("arc 1->2 missing in induced subdigraph")
+	}
+	if _, ok := sub.OutArc(2, 0); ok {
+		t.Error("phantom arc leaving the induced set")
+	}
+}
+
+func TestWithAlphabet(t *testing.T) {
+	d := directedCycle(4)
+	big, err := d.WithAlphabet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Alphabet() != 3 || big.Arcs() != 4 {
+		t.Errorf("enlarged digraph wrong: %v", big)
+	}
+	if _, err := d.WithAlphabet(0); err == nil {
+		t.Error("shrinking alphabet accepted")
+	}
+}
+
+func TestDigraphDOT(t *testing.T) {
+	d := directedCycle(3)
+	s := d.DOT("c3", nil)
+	for _, want := range []string{"digraph \"c3\"", "0 -> 1", "2 -> 0", "label=\"0\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	named := d.DOT("c3", func(v int) string { return "node" })
+	if !strings.Contains(named, "label=\"node\"") {
+		t.Error("custom names not rendered")
+	}
+}

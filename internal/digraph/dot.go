@@ -1,0 +1,28 @@
+package digraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the L-digraph in Graphviz format, labelling arcs with
+// their labels. The optional name function may be nil (vertex indices
+// are used).
+func (d *Digraph) DOT(graphName string, name func(v int) string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", graphName)
+	for v := 0; v < d.n; v++ {
+		if name != nil {
+			fmt.Fprintf(&sb, "  %d [label=%q];\n", v, name(v))
+		} else {
+			fmt.Fprintf(&sb, "  %d;\n", v)
+		}
+	}
+	for v := 0; v < d.n; v++ {
+		for _, a := range d.out[v] {
+			fmt.Fprintf(&sb, "  %d -> %d [label=\"%d\"];\n", v, a.To, a.Label)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

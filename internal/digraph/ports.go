@@ -1,0 +1,161 @@
+package digraph
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// PortLabel is the pair (i, j) arising from a port numbering: the arc
+// u -> v is labelled (i, j) when v is the i-th neighbour of u and u is
+// the j-th neighbour of v (ports are 1-based, as in the paper).
+type PortLabel struct{ I, J int }
+
+// Ported is a digraph derived from a port numbering and orientation of
+// an undirected graph, together with the meaning of its compact labels.
+type Ported struct {
+	D *Digraph
+	// Labels maps compact label -> port pair.
+	Labels []PortLabel
+	// Host is the original undirected graph.
+	Host *graph.Graph
+}
+
+// Orientation assigns a direction to each undirected edge: true means
+// the edge {U, V} (with U < V) is directed U -> V.
+type Orientation func(e graph.Edge) bool
+
+// OrientBySmaller directs every edge from its smaller endpoint to its
+// larger endpoint.
+func OrientBySmaller(graph.Edge) bool { return true }
+
+// FromPorts equips g with the canonical port numbering (the i-th
+// neighbour of u is Neighbors(u)[i-1]) and the given orientation, and
+// returns the resulting L-digraph with a compact label alphabet.
+// If orient is nil, OrientBySmaller is used.
+func FromPorts(g *graph.Graph, orient Orientation) *Ported {
+	if orient == nil {
+		orient = OrientBySmaller
+	}
+	type arcRec struct {
+		u, v int
+		pl   PortLabel
+	}
+	arcs := make([]arcRec, 0, g.M())
+	labelIdx := make(map[PortLabel]int)
+	var labels []PortLabel
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if !orient(e) {
+			u, v = v, u
+		}
+		pl := PortLabel{I: g.NeighborIndex(u, v) + 1, J: g.NeighborIndex(v, u) + 1}
+		if _, ok := labelIdx[pl]; !ok {
+			labelIdx[pl] = len(labels)
+			labels = append(labels, pl)
+		}
+		arcs = append(arcs, arcRec{u: u, v: v, pl: pl})
+	}
+	b := NewBuilder(g.N(), len(labels))
+	for _, a := range arcs {
+		b.MustAddArc(a.u, a.v, labelIdx[a.pl])
+	}
+	return &Ported{D: b.Build(), Labels: labels, Host: g}
+}
+
+// EulerianOrientation orients the edges of a graph whose vertices all
+// have even degree along Eulerian circuits, so that every vertex has
+// equal in- and out-degree. It returns an error if some degree is odd.
+func EulerianOrientation(g *graph.Graph) (Orientation, error) {
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v)%2 != 0 {
+			return nil, fmt.Errorf("digraph: vertex %d has odd degree %d", v, g.Degree(v))
+		}
+	}
+	// Hierholzer on each component; record the traversal direction of
+	// each edge.
+	dir := make(map[graph.Edge]bool, g.M()) // true: U -> V
+	used := make(map[graph.Edge]bool, g.M())
+	next := make([]int, g.N()) // per-vertex scan position into Neighbors
+	for s := 0; s < g.N(); s++ {
+		for next[s] < g.Degree(s) {
+			// Walk a closed trail from s using unused edges.
+			v := s
+			for {
+				advanced := false
+				for next[v] < g.Degree(v) {
+					w := g.Neighbors(v)[next[v]]
+					next[v]++
+					e := graph.NewEdge(v, w)
+					if used[e] {
+						continue
+					}
+					used[e] = true
+					dir[e] = v == e.U
+					v = w
+					advanced = true
+					break
+				}
+				if !advanced {
+					break
+				}
+				if v == s && next[s] >= g.Degree(s) {
+					break
+				}
+			}
+		}
+	}
+	return func(e graph.Edge) bool { return dir[e] }, nil
+}
+
+// FibreMap is a vertex map phi: V(H) -> V(G) claimed to be a covering.
+type FibreMap []int
+
+// VerifyCovering checks that phi is a covering map of L-digraphs from h
+// onto g: it must be onto, preserve arcs and labels, and preserve
+// out-/in-degrees (local bijectivity then follows from the proper
+// labelling). It returns nil if phi is a covering map.
+func VerifyCovering(h, g *Digraph, phi FibreMap) error {
+	if len(phi) != h.N() {
+		return fmt.Errorf("digraph: fibre map has length %d, want %d", len(phi), h.N())
+	}
+	if h.Alphabet() != g.Alphabet() {
+		return fmt.Errorf("digraph: alphabet mismatch %d vs %d", h.Alphabet(), g.Alphabet())
+	}
+	hit := make([]bool, g.N())
+	for v := 0; v < h.N(); v++ {
+		pv := phi[v]
+		if pv < 0 || pv >= g.N() {
+			return fmt.Errorf("digraph: phi(%d)=%d out of range", v, pv)
+		}
+		hit[pv] = true
+		if len(h.Out(v)) != len(g.Out(pv)) || len(h.In(v)) != len(g.In(pv)) {
+			return fmt.Errorf("digraph: degree not preserved at %d", v)
+		}
+		for _, a := range h.Out(v) {
+			ga, ok := g.OutArc(pv, a.Label)
+			if !ok {
+				return fmt.Errorf("digraph: out-arc label %d of %d missing at phi-image %d", a.Label, v, pv)
+			}
+			if ga.To != phi[a.To] {
+				return fmt.Errorf("digraph: arc (%d,%d,label %d) maps to (%d,%d), want (%d,%d)",
+					v, a.To, a.Label, pv, phi[a.To], pv, ga.To)
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if !hit[v] {
+			return fmt.Errorf("digraph: phi is not onto: %d has empty fibre", v)
+		}
+	}
+	return nil
+}
+
+// Fibres groups the vertices of the covering graph by their phi-image.
+func Fibres(gN int, phi FibreMap) [][]int {
+	out := make([][]int, gN)
+	for v, pv := range phi {
+		out[pv] = append(out[pv], v)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/problems"
+)
+
+// Approximability regenerates the Section 1.4 table: for each of the
+// six problems, the tight local approximation factor claimed by the
+// paper (identical across ID, OI, PO), the measured worst-case ratio
+// of our PO upper-bound algorithm over a test family, and the
+// machine-certified PO lower bound on a symmetric instance.
+func Approximability() (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "local approximability of the six problems (Δ = 2 instances)",
+		Ref:   "§1.4, §1.5",
+		Columns: []string{
+			"problem", "paper bound", "algorithm", "measured ratio", "certified PO bound", "instance",
+		},
+	}
+
+	// --- minimum vertex cover: bound 2, edge-packing algorithm ---
+	vcWorst := 0.0
+	rng := rand.New(rand.NewSource(23))
+	for _, g := range []*graph.Graph{graph.Cycle(10), graph.Cycle(13), graph.Petersen(), graph.RandomRegular(14, 3, rng)} {
+		h := model.HostFromGraph(g)
+		res, err := algorithms.VCEdgePacking(h)
+		if err != nil {
+			return nil, err
+		}
+		r, err := problems.Ratio(problems.MinVertexCover{}, g, res.Cover)
+		if err != nil {
+			return nil, err
+		}
+		vcWorst = math.Max(vcWorst, r)
+	}
+	vcLB, err := certifyOnDirectedCycle(problems.MinVertexCover{}, 10, 1)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("min vertex cover", "2", "edge packing", vcWorst, vcLB, "C10")
+
+	// --- minimum edge cover: bound 2, one-edge algorithm ---
+	ecWorst := 0.0
+	for _, g := range []*graph.Graph{graph.Cycle(9), graph.Cycle(12), graph.Petersen()} {
+		h := model.HostFromGraph(g)
+		sol, err := model.RunPO(h, algorithms.ECOneEdge(), model.EdgeKind)
+		if err != nil {
+			return nil, err
+		}
+		r, err := problems.Ratio(problems.MinEdgeCover{}, g, sol)
+		if err != nil {
+			return nil, err
+		}
+		ecWorst = math.Max(ecWorst, r)
+	}
+	ecLB, err := certifyOnDirectedCycle(problems.MinEdgeCover{}, 12, 1)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("min edge cover", "2", "one incident edge", ecWorst, ecLB, "C12")
+
+	// --- minimum dominating set: bound Δ'+1 (= 3 for Δ = 2) ---
+	dsWorst := 0.0
+	for _, g := range []*graph.Graph{graph.Cycle(9), graph.Cycle(12)} {
+		h := model.HostFromGraph(g)
+		sol, err := model.RunPO(h, algorithms.DSAll(), model.VertexKind)
+		if err != nil {
+			return nil, err
+		}
+		r, err := problems.Ratio(problems.MinDominatingSet{}, g, sol)
+		if err != nil {
+			return nil, err
+		}
+		dsWorst = math.Max(dsWorst, r)
+	}
+	dsLB, err := certifyOnDirectedCycle(problems.MinDominatingSet{}, 9, 1)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("min dominating set", "Δ'+1 = 3", "everyone joins", dsWorst, dsLB, "C9")
+
+	// --- max independent set / max matching: no constant factor ---
+	misLB, err := certifyOnDirectedCycle(problems.MaxIndependentSet{}, 9, 1)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("max independent set", "unbounded", "empty set", "∞", misLB, "C9")
+	mmLB, err := certifyOnDirectedCycle(problems.MaxMatching{}, 9, 1)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("max matching", "unbounded", "empty set", "∞", mmLB, "C9")
+
+	// --- min edge dominating set: bound 4 − 2/Δ' = 3 for Δ = 2 ---
+	edsWorst := 0.0
+	for _, n := range []int{9, 12, 15} {
+		g := graph.Cycle(n)
+		orient, err := digraph.EulerianOrientation(g)
+		if err != nil {
+			return nil, err
+		}
+		h, err := model.NewHost(digraph.FromPorts(g, orient).D)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := model.RunPO(h, algorithms.EDSOneOut(), model.EdgeKind)
+		if err != nil {
+			return nil, err
+		}
+		r, err := problems.Ratio(problems.MinEdgeDominatingSet{}, g, sol)
+		if err != nil {
+			return nil, err
+		}
+		edsWorst = math.Max(edsWorst, r)
+	}
+	edsLB, err := certifyOnDirectedCycle(problems.MinEdgeDominatingSet{}, 9, 1)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("min edge dominating set", "4−2/Δ' = 3", "one out-edge", edsWorst, edsLB, "C9")
+
+	t.Notes = append(t.Notes,
+		"certified PO bounds exhaust every radius-1 PO algorithm on the symmetric directed cycle; Theorems 1.3/1.4 transfer them verbatim to OI and ID",
+		"measured ratios are worst cases over the listed instance families; finite-n bounds like n/⌈n/2⌉ approach the asymptotic constants from below",
+	)
+	return t, nil
+}
+
+// certifyOnDirectedCycle runs the certified PO lower-bound engine on
+// the symmetric directed n-cycle and formats the result.
+func certifyOnDirectedCycle(p problems.Problem, n, r int) (string, error) {
+	h, err := directedCycle(n)
+	if err != nil {
+		return "", err
+	}
+	lb, err := core.CertifyPOLowerBound(h, p, r, 1<<22)
+	if err != nil {
+		return "", err
+	}
+	if math.IsInf(lb.BestRatio, 1) {
+		return "∞ (no feasible PO algorithm beats it)", nil
+	}
+	return fmt.Sprintf("%.4g (over %d algs)", lb.BestRatio, lb.Algorithms), nil
+}

@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runExp runs one experiment and does generic sanity checks.
+func runExp(t *testing.T, e Experiment) *Table {
+	t.Helper()
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", e.ID, err)
+	}
+	if tbl.ID != e.ID {
+		t.Errorf("table id %q != %q", tbl.ID, e.ID)
+	}
+	if len(tbl.Columns) == 0 {
+		t.Error("no columns")
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Errorf("row %d has %d cells for %d columns", i, len(row), len(tbl.Columns))
+		}
+	}
+	if s := tbl.String(); !strings.Contains(s, tbl.ID) {
+		t.Error("String() missing id")
+	}
+	if md := tbl.Markdown(); !strings.Contains(md, "|") {
+		t.Error("Markdown() malformed")
+	}
+	return tbl
+}
+
+func cell(t *testing.T, tbl *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Columns) {
+		t.Fatalf("cell (%d,%d) out of range", row, col)
+	}
+	return tbl.Rows[row][col]
+}
+
+func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tbl, row, col), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not a float", row, col, cell(t, tbl, row, col))
+	}
+	return v
+}
+
+func TestModels(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E1", Run: Models})
+	if len(tbl.Rows) != 4 {
+		t.Errorf("expected 4 rows, got %d", len(tbl.Rows))
+	}
+	// Radius-1 balls on C4 have 3 vertices; with ids 3,5,2,8 both
+	// nodes 0 (id 3) and 2 (id 2) are local minima, in ID and OI alike.
+	idYes, oiYes := 0, 0
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 4) == "yes" {
+			idYes++
+		}
+		if cell(t, tbl, i, 5) == "yes" {
+			oiYes++
+		}
+	}
+	if idYes != 2 || oiYes != 2 {
+		t.Errorf("local minima: ID %d, OI %d; want 2 and 2", idYes, oiYes)
+	}
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 4) != cell(t, tbl, i, 5) {
+			t.Errorf("row %d: ID and OI disagree on an order-invariant probe", i)
+		}
+	}
+}
+
+func TestSeparation(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E2", Run: Separation})
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("too few rows: %d", len(tbl.Rows))
+	}
+	// CV rounds must be tiny and essentially flat while n grows 128x.
+	first := cellFloat(t, tbl, 0, 1)
+	last := cellFloat(t, tbl, len(tbl.Rows)-1, 1)
+	if last-first > 4 {
+		t.Errorf("CV rounds grew from %v to %v — not log*", first, last)
+	}
+	if last > 20 {
+		t.Errorf("CV rounds %v unreasonably large", last)
+	}
+	// OI and PO verdicts: impossible on every row.
+	for i := range tbl.Rows {
+		for _, col := range []int{3, 4, 5} {
+			if cell(t, tbl, i, col) != "no" {
+				t.Errorf("row %d col %d: MIS should be impossible, got %q", i, col, cell(t, tbl, i, col))
+			}
+		}
+	}
+}
+
+func TestApproximability(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E3", Run: Approximability})
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("expected 6 problem rows, got %d", len(tbl.Rows))
+	}
+	// Measured ratios within the paper's bounds (column 3), for the
+	// rows where they are numeric.
+	bounds := map[string]float64{
+		"min vertex cover":        2,
+		"min edge cover":          2,
+		"min dominating set":      3,
+		"min edge dominating set": 3,
+	}
+	for i := range tbl.Rows {
+		name := cell(t, tbl, i, 0)
+		b, ok := bounds[name]
+		if !ok {
+			continue
+		}
+		if r := cellFloat(t, tbl, i, 3); r > b+1e-9 {
+			t.Errorf("%s: measured ratio %v exceeds paper bound %v", name, r, b)
+		}
+	}
+	// Unbounded problems: certified ∞.
+	for i := range tbl.Rows {
+		name := cell(t, tbl, i, 0)
+		if name == "max independent set" || name == "max matching" {
+			if !strings.Contains(cell(t, tbl, i, 4), "∞") {
+				t.Errorf("%s: certified bound should be ∞", name)
+			}
+		}
+	}
+}
+
+func TestHomogeneousGraphs(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E4", Run: HomogeneousGraphs})
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected 4 parameter rows, got %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		alpha := cellFloat(t, tbl, i, 5)
+		bound := cellFloat(t, tbl, i, 6)
+		if alpha+0.25 < bound { // sampling slack
+			t.Errorf("row %d: α=%v far below bound %v", i, alpha, bound)
+		}
+		if alpha <= 0 || alpha > 1 {
+			t.Errorf("row %d: α=%v out of range", i, alpha)
+		}
+	}
+}
+
+func TestTorusHomogeneity(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E5", Run: TorusHomogeneity})
+	// 6×6 torus r=1: measured max α = 18/36 = 0.5 >= 4/9.
+	if a := cellFloat(t, tbl, 0, 3); math.Abs(a-0.5) > 1e-9 {
+		t.Errorf("6×6 r=1 α=%v, want 0.5", a)
+	}
+	// Cells carry 4 significant digits; allow formatting slack.
+	if a := cellFloat(t, tbl, 1, 3); a < 1.0/9-1e-3 {
+		t.Errorf("6×6 r=2 α=%v below 1/9", a)
+	}
+	if a := cellFloat(t, tbl, 2, 3); a < 0.64-1e-3 {
+		t.Errorf("10×10 r=1 α=%v below 0.64", a)
+	}
+}
+
+func TestUHomogeneity(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E6", Run: UHomogeneity})
+	for i := range tbl.Rows {
+		if f := cellFloat(t, tbl, i, 3); f != 1.0 {
+			t.Errorf("row %d: τ* fraction %v, want 1.0 — Section 5.2 falsified", i, f)
+		}
+	}
+}
+
+func TestLifts(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E7", Run: Lifts})
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 4) != "yes" {
+			t.Errorf("row %d: covering verification failed", i)
+		}
+	}
+	if len(tbl.Rows) < 2 {
+		t.Error("expected at least the Fig. 3 rows")
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E8", Run: Transfer})
+	for i := range tbl.Rows {
+		tau := cellFloat(t, tbl, i, 4)
+		agree := cellFloat(t, tbl, i, 5)
+		if agree < tau {
+			t.Errorf("row %d: agreement %v below τ* fraction %v (Fact 4.2)", i, agree, tau)
+		}
+		if cell(t, tbl, i, 7) != "yes" {
+			t.Errorf("row %d: B infeasible", i)
+		}
+	}
+}
+
+func TestRamseyIDOI(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E9", Run: RamseyIDOI})
+	for i := range tbl.Rows {
+		if a := cellFloat(t, tbl, i, 6); a != 1.0 {
+			t.Errorf("row %d: ID/OI agreement %v, want 1.0 (Prop 4.4)", i, a)
+		}
+	}
+}
+
+func TestEDSLowerBound(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E10", Run: EDSLowerBound})
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("too few rows: %d", len(tbl.Rows))
+	}
+	// Δ'=2 rows: certified bound exactly 3 and PO algorithm achieves it;
+	// adversarial ids force the greedy ID algorithm to >= certified.
+	for i := 0; i < 3; i++ {
+		cert := cellFloat(t, tbl, i, 3)
+		if cert != 3 {
+			t.Errorf("row %d: certified bound %v, want 3", i, cert)
+		}
+		if po := cellFloat(t, tbl, i, 4); po > 3+1e-9 {
+			t.Errorf("row %d: PO ratio %v exceeds 3", i, po)
+		}
+		// Adversarial order-respecting ids force (n−1)/⌈n/3⌉: the greedy
+		// ID algorithm saves exactly one edge at the order's single
+		// "seam", and the ratio approaches the certified bound 3 as n
+		// grows (the paper's ε-fraction of exceptional nodes).
+		adv := cellFloat(t, tbl, i, 6)
+		if adv < cert-0.4 {
+			t.Errorf("row %d: adversarial-ids ratio %v far below certified bound %v", i, adv, cert)
+		}
+		if i > 0 {
+			prev := cellFloat(t, tbl, i-1, 6)
+			if adv < prev-1e-9 {
+				t.Errorf("row %d: adversarial ratio %v not approaching the bound (prev %v)", i, adv, prev)
+			}
+		}
+	}
+	// Lift rows (3 and 4): the ID adversary on genuine Prop. 4.5
+	// instances; the ratio grows towards 3 as m (and hence 1−ε) grows.
+	liftSmall := cellFloat(t, tbl, 3, 6)
+	liftBig := cellFloat(t, tbl, 4, 6)
+	if liftSmall < 2 || liftBig < liftSmall {
+		t.Errorf("lift adversary ratios %v -> %v should be >= 2 and non-decreasing in m", liftSmall, liftBig)
+	}
+	if liftBig > 3+1e-9 {
+		t.Errorf("lift adversary ratio %v exceeds the PO bound 3", liftBig)
+	}
+	// Δ'=4 circulant row (index 5): certified bound in (2, 3.5].
+	if b := cellFloat(t, tbl, 5, 3); b <= 2 || b > 3.5+1e-9 {
+		t.Errorf("Δ'=4 certified bound %v out of expected (2, 3.5]", b)
+	}
+	// Non-abelian Δ'=4 row (last): a girth >= 5 instance with a
+	// ">= x (girth g)" bound; x must be in (2, 3.5].
+	last := len(tbl.Rows) - 1
+	cellVal := cell(t, tbl, last, 3)
+	if !strings.HasPrefix(cellVal, ">= ") {
+		t.Fatalf("non-abelian row bound %q missing '>= ' prefix", cellVal)
+	}
+	var x float64
+	var g int
+	if _, err := fmt.Sscanf(cellVal, ">= %g (girth %d)", &x, &g); err != nil {
+		t.Fatalf("cannot parse %q: %v", cellVal, err)
+	}
+	if x <= 2 || x > 3.5+1e-9 {
+		t.Errorf("non-abelian bound %v out of (2, 3.5]", x)
+	}
+	if g < 5 {
+		t.Errorf("non-abelian instance girth %d < 5", g)
+	}
+}
+
+func TestGirthSearch(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E11", Run: GirthSearch})
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 5) != "yes" {
+			t.Errorf("row %d: girth certificate failed", i)
+		}
+		if a := cellFloat(t, tbl, i, 4); a < 1 {
+			t.Errorf("row %d: attempts %v < 1", i, a)
+		}
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E12", Run: Growth})
+	for i := range tbl.Rows {
+		ball := cellFloat(t, tbl, i, 2)
+		cube := cellFloat(t, tbl, i, 3)
+		if ball > cube {
+			t.Errorf("row %d: ball %v exceeds polynomial cube bound %v — eq. (2) falsified", i, ball, cube)
+		}
+	}
+}
+
+func TestViews(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E14", Run: Views})
+	// T*(2,2) row: 17 vertices.
+	found := false
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 0) == "T*" && cell(t, tbl, i, 1) == "2" && cell(t, tbl, i, 2) == "2" {
+			if cell(t, tbl, i, 3) != "17" {
+				t.Errorf("|T*(2,2)| = %s, want 17", cell(t, tbl, i, 3))
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("T*(2,2) row missing")
+	}
+}
+
+func TestPNSeparation(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E13", Run: PNSeparation})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(tbl.Rows))
+	}
+	if cell(t, tbl, 0, 1) != "1" {
+		t.Errorf("PN should realise a single view type, got %s", cell(t, tbl, 0, 1))
+	}
+	pn := cellFloat(t, tbl, 0, 2)
+	po := cellFloat(t, tbl, 1, 2)
+	if po >= pn {
+		t.Errorf("PO bound %v should beat PN bound %v", po, pn)
+	}
+	if pn != 3 || po != 1.5 {
+		t.Errorf("expected PN 3 and PO 1.5, got %v and %v", pn, po)
+	}
+}
+
+func TestRandomized(t *testing.T) {
+	tbl := runExp(t, Experiment{ID: "E15", Run: Randomized})
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 1) != "∞" {
+			t.Errorf("row %d: deterministic bound should be ∞", i)
+		}
+		avg := cellFloat(t, tbl, i, 2)
+		if avg <= 0 {
+			t.Errorf("row %d: randomised matching found nothing", i)
+		}
+		ratio := cellFloat(t, tbl, i, 4)
+		// E|M| >= n/(2d) = n/4 on cycles; ν = n/2: expected ratio ~ 2,
+		// allow generous sampling slack.
+		if ratio > 4 {
+			t.Errorf("row %d: expected ratio %v too large for Δ=2", i, ratio)
+		}
+	}
+}
+
+func TestAllRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Name == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(seen) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(seen))
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Every experiment uses fixed seeds; EXPERIMENTS.md is regenerable
+	// bit-for-bit. Check a representative subset twice.
+	for _, e := range All() {
+		switch e.ID {
+		case "E1", "E5", "E9", "E13", "E15":
+			a, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			b, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if a.String() != b.String() {
+				t.Errorf("%s: output differs between runs", e.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/group"
+	"repro/internal/homog"
+	"repro/internal/order"
+)
+
+// HomogeneousGraphs regenerates Theorem 3.2 as a parameter sweep: for
+// each (k, r), the level and generators found by the search, the
+// certified girth floor, and the measured homogeneity of the finite
+// graph (exact full scan when |H| is small, Monte-Carlo otherwise) —
+// all four properties (P1)-(P4) of Section 3.2 at once.
+func HomogeneousGraphs() (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "(1−ε, r)-homogeneous 2k-regular graphs of girth > 2r+1",
+		Ref:   "Thm 3.2, §5",
+		Columns: []string{
+			"k", "r", "level i", "|H| (m)", "girth floor", "α measured", "α bound ((m−2r)/m)^d", "method",
+		},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, kr := range [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}} {
+		k, r := kr[0], kr[1]
+		c, err := homog.Search(k, r, homog.SearchOptions{Seed: 42})
+		if err != nil {
+			return nil, err
+		}
+		floor, err := c.CertifiedGirthFloor()
+		if err != nil {
+			return nil, err
+		}
+		m := c.MForEpsilon(0.5)
+		if m < 2*r+2 {
+			m = 2*r + 2
+		}
+		fam, err := group.NewFamily(c.Level, m)
+		if err != nil {
+			return nil, err
+		}
+		size := fam.Order()
+		if size.IsInt64() && size.Int64() <= 5000 {
+			rep, err := c.HomogeneityExact(m, 5000)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(k, r, c.Level, fmt.Sprintf("%d (m=%d)", rep.N, m),
+				fmt.Sprintf(">= %d", floor), rep.Alpha, rep.InnerBound, "exact scan")
+		} else {
+			rep, err := c.HomogeneitySample(m, 50, rng)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(k, r, c.Level, fmt.Sprintf("%s (m=%d)", size.String(), m),
+				fmt.Sprintf(">= %d", floor), rep.Alpha, rep.InnerBound,
+				fmt.Sprintf("%d samples (lazy)", rep.Samples))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"girth floors are certified by exhausting reduced words in W_i; relations in H and U would project onto W (mod-2 homomorphism)",
+		"the paper's graphs are of size m^(2^i−1) — astronomically large for k=2; laziness (substitution table in DESIGN.md) evaluates them locally without materialisation",
+	)
+	return t, nil
+}
+
+// TorusHomogeneity regenerates Fig. 6(b): the 6×6 toroidal grid under
+// the row-major order.
+func TorusHomogeneity() (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "toroidal grid homogeneity under the lexicographic order",
+		Ref:     "Fig. 6(b)",
+		Columns: []string{"graph", "r", "paper α", "measured max α", "types"},
+	}
+	g := graph.Torus(6, 6)
+	rank := order.Identity(36)
+	h1 := order.Measure(g, rank, 1)
+	h2 := order.Measure(g, rank, 2)
+	t.AddRow("6×6 torus", 1, "4/9 ≈ 0.444", h1.Alpha, len(h1.Counts))
+	t.AddRow("6×6 torus", 2, "1/9 ≈ 0.111", h2.Alpha, len(h2.Counts))
+	big := graph.Torus(10, 10)
+	bigRank := order.Identity(100)
+	b1 := order.Measure(big, bigRank, 1)
+	t.AddRow("10×10 torus", 1, "(8/10)² = 0.64", b1.Alpha, len(b1.Counts))
+	t.Notes = append(t.Notes,
+		"measured α can exceed the paper's interior count: two corners of the 6×6 torus coincidentally share the interior type (Def. 3.1 is a lower-bound statement)",
+		"tori satisfy (P1),(P2),(P4) but have girth 4 — the paper's algebraic construction exists precisely to add (P3)",
+	)
+	return t, nil
+}
+
+// UHomogeneity regenerates Fig. 6(a): the ordered U (an infinite
+// locally tree-like graph) is (1, r)-homogeneous — every sampled
+// element has ordered neighbourhood type τ*.
+func UHomogeneity() (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "(1, r)-homogeneity of the ordered infinite graph U",
+		Ref:     "Fig. 6(a), §5.2",
+		Columns: []string{"k", "r", "samples", "fraction with type τ*"},
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, kr := range [][2]int{{1, 1}, {2, 1}, {1, 2}} {
+		c, err := homog.Search(kr[0], kr[1], homog.SearchOptions{Seed: 42})
+		if err != nil {
+			return nil, err
+		}
+		tau, err := c.TauStarBallEncoding()
+		if err != nil {
+			return nil, err
+		}
+		u := group.U(c.Level)
+		samples := 25
+		match := 0
+		for i := 0; i < samples; i++ {
+			e := u.RandSmall(rng, 30)
+			typ, err := c.TypeAt(0, e)
+			if err != nil {
+				return nil, err
+			}
+			if typ == tau {
+				match++
+			}
+		}
+		t.AddRow(kr[0], kr[1], samples, float64(match)/float64(samples))
+	}
+	t.Notes = append(t.Notes,
+		"left-invariance of the positive-cone order makes every element's ordered neighbourhood isomorphic to τ* — fractions below 1.0 would falsify Section 5.2",
+	)
+	return t, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/digraph"
+	"repro/internal/homog"
+	"repro/internal/lift"
+)
+
+// Lifts regenerates Theorem 3.3 and Fig. 3/7: homogeneous lifts of a
+// base graph (covering map verified, girth inherited, τ*-typed node
+// fraction measured) and the cyclic lifts of Fig. 3 / Prop. 4.5.
+func Lifts() (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "lifts: homogeneous products H(m) × G and cyclic l-lifts",
+		Ref:   "Thm 3.3, Fig. 3, Fig. 7, Prop. 4.5",
+		Columns: []string{
+			"lift", "base", "lift n", "fibre", "covering", "girth", "τ* fraction", "bound",
+		},
+	}
+	c, err := homog.Search(1, 1, homog.SearchOptions{Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	if c.Level <= 2 {
+		for _, m := range []int{4, 6, 8} {
+			baseHost, err := directedCycle(9)
+			if err != nil {
+				return nil, err
+			}
+			lr, err := core.BuildHomogeneousLift(c, baseHost.D, m, 1<<17)
+			if err != nil {
+				return nil, err
+			}
+			covErr := digraph.VerifyCovering(lr.Host.D, baseHost.D, lr.Phi)
+			u, err := lr.Host.D.Underlying()
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(
+				fmt.Sprintf("H(%d) × C9", m), "C9", lr.Host.G.N(),
+				lr.Host.G.N()/9, yn(covErr == nil), u.Girth(), lr.TauFrac, c.InnerFraction(m),
+			)
+		}
+	}
+
+	// Fig. 3: the cyclic 2-lift (disjoint copies) and the connected
+	// variant of Prop. 4.5.
+	baseHost, err := directedCycle(4)
+	if err != nil {
+		return nil, err
+	}
+	twoLift, phi2, err := lift.Cyclic(baseHost.D, 2, nil)
+	if err != nil {
+		return nil, err
+	}
+	fib, err := lift.VerifyLift(twoLift, baseHost.D, phi2)
+	if err != nil {
+		return nil, err
+	}
+	u2, err := twoLift.Underlying()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("2-lift (Fig. 3)", "C4", twoLift.N(), fib, "yes", u2.Girth(), "-", "-")
+
+	conn, phiC, err := lift.ConnectedCyclic(baseHost.D, 3, 0, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	fibC, err := lift.VerifyLift(conn, baseHost.D, phiC)
+	if err != nil {
+		return nil, err
+	}
+	uC, err := conn.Underlying()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("connected 3-lift (Prop 4.5)", "C4", conn.N(), fibC, "yes", uC.Girth(), "-", "-")
+
+	t.Notes = append(t.Notes,
+		"τ* fractions exceed the analytic interior bound and approach 1 as m grows — the measured 1−ε of Theorem 3.3",
+		"girth of the homogeneous lift exceeds 2r+1 because the projection onto H is a graph homomorphism (cycles project to cycles)",
+	)
+	return t, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/view"
+)
+
+// Models regenerates Fig. 1: the same 4-cycle under the three
+// information regimes. The probe question is "am I the unique local
+// minimum of my radius-1 neighbourhood?" — answerable in ID and OI,
+// and provably constant across nodes in PO (all views coincide).
+func Models() (*Table, error) {
+	g := graph.Cycle(4)
+	ids := []int{3, 5, 2, 8} // the identifiers drawn in Fig. 1
+	rank, err := order.FromIDs(ids)
+	if err != nil {
+		return nil, err
+	}
+	h := model.HostFromGraph(g)
+
+	idAlg := model.FuncID{R: 1, Fn: func(b *model.IDBall) model.Output {
+		return model.Output{Member: b.Root == 0}
+	}}
+	oiAlg := model.FuncOI{R: 1, Fn: func(b *order.Ball) model.Output {
+		return model.Output{Member: b.Root == 0}
+	}}
+
+	solID, err := model.RunID(h, ids, idAlg, model.VertexKind)
+	if err != nil {
+		return nil, err
+	}
+	solOI, err := model.RunOI(h, rank, oiAlg, model.VertexKind)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "E1",
+		Title:   "three models of distributed computing on C4",
+		Ref:     "Fig. 1",
+		Columns: []string{"node", "ID label", "OI rank", "PO view type", "ID: local min", "OI: local min", "PO possible?"},
+	}
+	types := map[string]int{}
+	for v := 0; v < g.N(); v++ {
+		enc := view.Build[int](h.D, v, 1).Encode()
+		if _, ok := types[enc]; !ok {
+			types[enc] = len(types)
+		}
+		t.AddRow(v, ids[v], rank[v], fmt.Sprintf("t%d", types[enc]),
+			yn(solID.Vertices[v]), yn(solOI.Vertices[v]), "no (symmetric)")
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("the PO host realises %d distinct view type(s); with the smaller-endpoint orientation the symmetry is broken only where the orientation breaks it", len(types)),
+		"ID and OI agree here because the probe is order-invariant; E9 exhibits an ID algorithm that is not")
+	return t, nil
+}
+
+// directedCycle builds the consistently oriented n-cycle host.
+func directedCycle(n int) (*model.Host, error) {
+	b := digraph.NewBuilder(n, 1)
+	for i := 0; i < n; i++ {
+		b.MustAddArc(i, (i+1)%n, 0)
+	}
+	return model.NewHost(b.Build())
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

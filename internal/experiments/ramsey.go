@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/order"
+)
+
+// RamseyIDOI regenerates Section 4.2: the Ramsey argument forcing an
+// ID algorithm to behave order-invariantly. The parity-abusing
+// dominating-set algorithm genuinely depends on numeric identifier
+// values; a monochromatic identifier pool J is found by search, and on
+// J-drawn order-respecting assignments the algorithm's run coincides
+// node-for-node with its induced OI algorithm (Proposition 4.4).
+func RamseyIDOI() (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "Ramsey witnesses: forcing ID algorithms to be order-invariant",
+		Ref:   "§4.2, Prop. 4.4",
+		Columns: []string{
+			"instance", "ball types", "t", "universe", "|J|", "witness J", "ID=OI agreement",
+		},
+	}
+	for _, n := range []int{6, 8, 10} {
+		g := graph.Cycle(n)
+		h := model.HostFromGraph(g)
+		rank := order.Identity(n)
+		cat := core.BallCatalogue(h, rank, 1)
+		m := 3 + n // need at least max-ball-size; take slack for the demo
+		w, err := core.IDToOI(algorithms.IDParityDS(), cat, 60, m)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := core.OrderRespectingIDs(rank, w.J)
+		if err != nil {
+			return nil, err
+		}
+		solID, err := model.RunID(h, ids, algorithms.IDParityDS(), model.VertexKind)
+		if err != nil {
+			return nil, err
+		}
+		solOI, err := model.RunOI(h, rank, w.InducedOI(1), model.VertexKind)
+		if err != nil {
+			return nil, err
+		}
+		agree := 0
+		for v := 0; v < n; v++ {
+			if solID.Vertices[v] == solOI.Vertices[v] {
+				agree++
+			}
+		}
+		t.AddRow(fmt.Sprintf("C%d", n), len(cat), w.T, 60, len(w.J),
+			fmt.Sprint(w.J), float64(agree)/float64(n))
+	}
+	t.Notes = append(t.Notes,
+		"with arbitrary identifiers the parity algorithm's output differs between, e.g., pools of even and odd numbers; on every t-subset of J it is constant",
+		"agreement 1.0 is Proposition 4.4 realised: identifiers drawn order-respectingly from J make A behave exactly like the induced OI algorithm B",
+	)
+	return t, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/problems"
+	"repro/internal/solve"
+)
+
+// Randomized regenerates the Section 6.5 discussion: randomness
+// strictly increases the power of local algorithms. On symmetric
+// directed cycles every deterministic PO/OI/ID algorithm outputs the
+// empty matching (certified ∞), while one round of random mutual
+// proposals finds a constant fraction of a maximum matching in
+// expectation.
+func Randomized() (*Table, error) {
+	t := &Table{
+		ID:    "E15",
+		Title: "determinism vs randomness: maximum matching on cycles",
+		Ref:   "§6.5, §1.4",
+		Columns: []string{
+			"n", "deterministic PO bound", "E|M| measured (200 trials)", "ν(G)", "expected ratio",
+		},
+	}
+	rng := rand.New(rand.NewSource(65))
+	for _, n := range []int{12, 24, 48} {
+		h, err := directedCycle(n)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := core.CertifyPOLowerBound(h, problems.MaxMatching{}, 1, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		det := "∞"
+		if !math.IsInf(lb.BestRatio, 1) {
+			det = fmt.Sprintf("%.3g", lb.BestRatio)
+		}
+		avg := algorithms.RandomizedMatchingTrials(h, 200, rng)
+		nu := solve.MaxMatchingSize(h.G)
+		t.AddRow(n, det, avg, nu, float64(nu)/avg)
+	}
+	t.Notes = append(t.Notes,
+		"in the presence of randomness ID, OI and PO coincide trivially (random bits simulate identifiers w.h.p.); the interesting boundary is deterministic vs randomised",
+		"expected ratio stays bounded (≈ Δ = 2 ⋅ something small) while the deterministic bound is infinite — Section 6.5's separation, measured",
+	)
+	return t, nil
+}

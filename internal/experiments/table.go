@@ -1,0 +1,144 @@
+// Package experiments regenerates every figure and theorem-as-table of
+// the paper as an empirical experiment (the index lives in DESIGN.md):
+//
+//	E1  Fig. 1       the three models on one concrete graph
+//	E2  Fig. 2       MIS on cycles: ID O(log* n) vs OI/PO impossibility
+//	E3  §1.4         local approximability table with certified PO bounds
+//	E4  Thm 3.2      homogeneous-graph construction sweep
+//	E5  Fig. 6(b)    torus homogeneity values
+//	E6  Fig. 6(a)    full homogeneity of the ordered U
+//	E7  Thm 3.3      homogeneous lifts + Fig. 3 cyclic lifts
+//	E8  Thm 4.1      OI→PO simulation with measured agreement
+//	E9  §4.2         Ramsey ID→OI witnesses
+//	E10 Thm 1.6      edge dominating set lower-bound transfer
+//	E11 Thm 5.1      girth search statistics
+//	E12 §5           polynomial vs exponential ball growth
+//	E13 §6.1         PO vs PN: orientations matter
+//	E14 Fig. 4/5     view trees and |T*|
+//	E15 §6.5         determinism vs randomness (matching)
+//
+// Each experiment returns a Table that cmd/experiments prints and that
+// EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result in paper-style tabular form.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E10").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Ref is the paper reference (figure/theorem/section).
+	Ref string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the data rows.
+	Rows [][]string
+	// Notes are free-form remarks (substitutions, caveats).
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s [%s]\n", t.ID, t.Title, t.Ref)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n*Paper reference: %s*\n\n", t.ID, t.Title, t.Ref)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat(" --- |", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*Note: %s*\n", n)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// Experiment is a named experiment runner.
+type Experiment struct {
+	ID   string
+	Run  func() (*Table, error)
+	Name string
+}
+
+// All returns the full experiment suite in order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Name: "three models", Run: Models},
+		{ID: "E2", Name: "MIS separation on cycles", Run: Separation},
+		{ID: "E3", Name: "approximability table", Run: Approximability},
+		{ID: "E4", Name: "homogeneous graphs", Run: HomogeneousGraphs},
+		{ID: "E5", Name: "torus homogeneity", Run: TorusHomogeneity},
+		{ID: "E6", Name: "ordered U homogeneity", Run: UHomogeneity},
+		{ID: "E7", Name: "homogeneous lifts", Run: Lifts},
+		{ID: "E8", Name: "OI to PO transfer", Run: Transfer},
+		{ID: "E9", Name: "Ramsey ID to OI", Run: RamseyIDOI},
+		{ID: "E10", Name: "edge dominating set bound", Run: EDSLowerBound},
+		{ID: "E11", Name: "girth search", Run: GirthSearch},
+		{ID: "E12", Name: "ball growth", Run: Growth},
+		{ID: "E13", Name: "PO vs PN separation", Run: PNSeparation},
+		{ID: "E14", Name: "views and T*", Run: Views},
+		{ID: "E15", Name: "determinism vs randomness", Run: Randomized},
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/homog"
+	"repro/internal/model"
+	"repro/internal/problems"
+)
+
+// Transfer regenerates Theorem 4.1 (and Fact 4.2) end to end: an OI
+// algorithm A is transformed into the PO algorithm
+// B(W) = A((T*, <*, λ) ↾ W); on homogeneous lifts the two agree on at
+// least the τ*-typed fraction of nodes, and B achieves a comparable
+// approximation ratio on the base graph with no order at all.
+func Transfer() (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "OI → PO simulation on homogeneous lifts",
+		Ref:   "Thm 4.1, Fact 4.2",
+		Columns: []string{
+			"problem", "A (OI)", "m", "lift n", "1−ε (τ* frac)", "agreement", "B ratio on base", "B feasible",
+		},
+	}
+	c, err := homog.Search(1, 1, homog.SearchOptions{Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	if c.Level > 2 {
+		t.Notes = append(t.Notes, "construction level too large to materialise lifts; see E4 for lazy evaluation")
+		return t, nil
+	}
+	type caseT struct {
+		name string
+		alg  model.OI
+		prob problems.Problem
+	}
+	cases := []caseT{
+		{"non-minimum joins", algorithms.OILocalMinJoinsVC(), problems.MinVertexCover{}},
+		{"smallest-neighbour edge", algorithms.OISmallestNeighborEDS(), problems.MinEdgeDominatingSet{}},
+	}
+	for _, cs := range cases {
+		for _, m := range []int{4, 8} {
+			baseHost, err := directedCycle(9)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := core.TransferOIToPO(c, baseHost.D, cs.alg, cs.prob, m, 1<<17)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(cs.prob.Name(), cs.name, m, rep.LiftN,
+				rep.TauFrac, rep.AgreementFrac, rep.RatioB, yn(rep.BFeasibleOnBase))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"agreement ≥ 1−ε on every row is the empirical Fact 4.2; growing m drives both towards 1",
+		"B's ratio on the base is what Theorem 4.1 promises: the OI ratio carries over to anonymous networks",
+		fmt.Sprintf("construction: level %d, k=%d, r=%d, certified girth > %d", c.Level, c.K, c.R, 2*c.R+1),
+	)
+	return t, nil
+}

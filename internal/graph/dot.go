@@ -1,0 +1,25 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format. The optional label function
+// may be nil, in which case vertex indices are used.
+func (g *Graph) DOT(name string, label func(v int) string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", name)
+	for v := 0; v < g.n; v++ {
+		if label != nil {
+			fmt.Fprintf(&sb, "  %d [label=%q];\n", v, label(v))
+		} else {
+			fmt.Fprintf(&sb, "  %d;\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  %d -- %d;\n", e.U, e.V)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cycle returns the n-cycle, n >= 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: Cycle(%d): need n >= 3", n))
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Path returns the path on n vertices (n-1 edges).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.MustAddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.MustAddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	bu := NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bu.MustAddEdge(i, a+j)
+		}
+	}
+	return bu.Build()
+}
+
+// Star returns the star K_{1,k} with centre 0.
+func Star(k int) *Graph {
+	b := NewBuilder(k + 1)
+	for i := 1; i <= k; i++ {
+		b.MustAddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// Grid returns the rows x cols grid graph. Vertex (i, j) is i*cols+j.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				b.MustAddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < rows {
+				b.MustAddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the cartesian product of cycles with the given side
+// lengths: the k-dimensional toroidal grid of Section 3.2. Every side
+// must be at least 3 so the result is simple. Vertex coordinates are
+// mixed-radix encoded with the last dimension fastest.
+func Torus(sides ...int) *Graph {
+	n := 1
+	for _, s := range sides {
+		if s < 3 {
+			panic(fmt.Sprintf("graph: Torus side %d < 3", s))
+		}
+		n *= s
+	}
+	b := NewBuilder(n)
+	coord := make([]int, len(sides))
+	for v := 0; v < n; v++ {
+		// Decode v into coordinates.
+		x := v
+		for d := len(sides) - 1; d >= 0; d-- {
+			coord[d] = x % sides[d]
+			x /= sides[d]
+		}
+		// +1 step in every dimension.
+		for d := range sides {
+			old := coord[d]
+			coord[d] = (old + 1) % sides[d]
+			u := 0
+			for e := 0; e < len(sides); e++ {
+				u = u*sides[e] + coord[e]
+			}
+			coord[d] = old
+			if !b.HasEdge(v, u) {
+				b.MustAddEdge(v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TorusCoord returns the vertex index of the given coordinates in
+// Torus(sides...).
+func TorusCoord(sides []int, coord ...int) int {
+	if len(coord) != len(sides) {
+		panic("graph: TorusCoord dimension mismatch")
+	}
+	v := 0
+	for d := range sides {
+		c := coord[d] % sides[d]
+		if c < 0 {
+			c += sides[d]
+		}
+		v = v*sides[d] + c
+	}
+	return v
+}
+
+// Hypercube returns the k-dimensional hypercube graph on 2^k vertices.
+func Hypercube(k int) *Graph {
+	n := 1 << k
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 0; d < k; d++ {
+			u := v ^ (1 << d)
+			if u > v {
+				b.MustAddEdge(v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Petersen returns the Petersen graph (3-regular, girth 5, 10 vertices).
+func Petersen() *Graph {
+	b := NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		b.MustAddEdge(i, (i+1)%5)     // outer 5-cycle
+		b.MustAddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		b.MustAddEdge(i, 5+i)         // spokes
+	}
+	return b.Build()
+}
+
+// Circulant returns the circulant graph C_n(S): vertices Z_n, with v
+// adjacent to v±s for each s in offsets. Offsets must satisfy
+// 0 < s <= n/2; an offset equal to n/2 contributes a single edge.
+func Circulant(n int, offsets ...int) *Graph {
+	b := NewBuilder(n)
+	for _, s := range offsets {
+		if s <= 0 || 2*s > n {
+			panic(fmt.Sprintf("graph: Circulant offset %d out of range for n=%d", s, n))
+		}
+		for v := 0; v < n; v++ {
+			u := (v + s) % n
+			if !b.HasEdge(v, u) {
+				b.MustAddEdge(v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBinaryTree returns the complete binary tree with the given
+// number of levels (level 1 is a single root).
+func CompleteBinaryTree(levels int) *Graph {
+	n := 1<<levels - 1
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(v, (v-1)/2)
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular graph on n vertices generated
+// by the pairing model with restarts (n*d must be even, d < n). The
+// result is simple; generation retries until a simple matching of
+// half-edge stubs is found.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if n*d%2 != 0 {
+		panic(fmt.Sprintf("graph: RandomRegular(%d,%d): n*d must be even", n, d))
+	}
+	if d >= n {
+		panic(fmt.Sprintf("graph: RandomRegular(%d,%d): need d < n", n, d))
+	}
+	stubs := make([]int, 0, n*d)
+	for attempt := 0; ; attempt++ {
+		if attempt > 10000 {
+			panic("graph: RandomRegular: too many restarts")
+		}
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		b := NewBuilder(n)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || b.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			b.MustAddEdge(u, v)
+		}
+		if ok {
+			return b.Build()
+		}
+	}
+}
+
+// RandomGraph returns a G(n, p) Erdős–Rényi graph.
+func RandomGraph(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Disjoint returns the disjoint union of the given graphs, with vertex
+// blocks in argument order.
+func Disjoint(gs ...*Graph) *Graph {
+	n := 0
+	for _, g := range gs {
+		n += g.N()
+	}
+	b := NewBuilder(n)
+	off := 0
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			b.MustAddEdge(off+e.U, off+e.V)
+		}
+		off += g.N()
+	}
+	return b.Build()
+}

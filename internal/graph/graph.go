@@ -1,0 +1,210 @@
+// Package graph provides undirected simple graphs of bounded degree,
+// generators for the graph families used throughout the paper
+// (cycles, tori, regular graphs, circulants, ...), and structural
+// queries (girth, distances, components, regularity).
+//
+// Vertices are integers 0..n-1. Graphs are immutable once built;
+// use Builder to construct them.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph on vertices 0..n-1.
+// The zero value is the empty graph on zero vertices.
+type Graph struct {
+	n   int
+	m   int
+	adj [][]int // sorted neighbour lists
+}
+
+// Builder accumulates edges for a Graph.
+type Builder struct {
+	n     int
+	edges map[[2]int]struct{}
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, edges: make(map[[2]int]struct{})}
+}
+
+// AddEdge adds the undirected edge {u, v}. Self-loops and duplicate
+// edges are rejected with an error.
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int{u, v}
+	if _, dup := b.edges[key]; dup {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	b.edges[key] = struct{}{}
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for generators
+// whose inputs are known valid.
+func (b *Builder) MustAddEdge(u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether {u, v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := b.edges[[2]int{u, v}]
+	return ok
+}
+
+// Build finalises the graph.
+func (b *Builder) Build() *Graph {
+	adj := make([][]int, b.n)
+	for e := range b.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for _, l := range adj {
+		sort.Ints(l)
+	}
+	return &Graph{n: b.n, m: len(b.edges), adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbour list of v. The returned slice
+// must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	l := g.adj[u]
+	i := sort.SearchInts(l, v)
+	return i < len(l) && l[i] == v
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct{ U, V int }
+
+// NewEdge returns the normalised edge {u, v} with U < V.
+func NewEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Edges returns all edges in lexicographic order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				es = append(es, Edge{U: u, V: v})
+			}
+		}
+	}
+	return es
+}
+
+// MaxDegree returns the maximum degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// MinDegree returns the minimum degree, or 0 for the empty graph.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	d := len(g.adj[0])
+	for v := 1; v < g.n; v++ {
+		if len(g.adj[v]) < d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// IsRegular reports whether all vertices have degree d.
+func (g *Graph) IsRegular(d int) bool {
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// NeighborIndex returns i such that Neighbors(u)[i] == v, or -1.
+func (g *Graph) NeighborIndex(u, v int) int {
+	l := g.adj[u]
+	i := sort.SearchInts(l, v)
+	if i < len(l) && l[i] == v {
+		return i
+	}
+	return -1
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices and
+// a mapping old-vertex -> new-vertex (missing vertices map to -1).
+func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
+	idx := make([]int, g.n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, v := range vs {
+		idx[v] = i
+	}
+	b := NewBuilder(len(vs))
+	for i, v := range vs {
+		for _, w := range g.adj[v] {
+			j := idx[w]
+			if j > i {
+				b.MustAddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), idx
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]int, g.n)
+	for v := range adj {
+		adj[v] = append([]int(nil), g.adj[v]...)
+	}
+	return &Graph{n: g.n, m: g.m, adj: adj}
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d Δ=%d}", g.n, g.m, g.MaxDegree())
+}

@@ -1,0 +1,377 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := b.AddEdge(-1, 1); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := b.AddEdge(1, 0); err == nil {
+		t.Error("duplicate (reversed) edge accepted")
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := Cycle(5)
+	if g.N() != 5 || g.M() != 5 {
+		t.Fatalf("C5: got n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsRegular(2) {
+		t.Error("C5 should be 2-regular")
+	}
+	if !g.HasEdge(0, 4) || g.HasEdge(0, 2) {
+		t.Error("C5 adjacency wrong")
+	}
+	if g.NeighborIndex(0, 1) != 0 || g.NeighborIndex(0, 4) != 1 {
+		t.Error("neighbor index wrong")
+	}
+	if g.NeighborIndex(0, 2) != -1 {
+		t.Error("expected -1 for non-neighbour")
+	}
+	if got := len(g.Edges()); got != 5 {
+		t.Errorf("Edges() returned %d edges", got)
+	}
+}
+
+func TestNewEdgeNormalises(t *testing.T) {
+	if NewEdge(3, 1) != (Edge{U: 1, V: 3}) {
+		t.Error("NewEdge does not normalise")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	tests := []struct {
+		name    string
+		g       *Graph
+		n, m    int
+		regular int // -1 if not regular
+	}{
+		{"C3", Cycle(3), 3, 3, 2},
+		{"C10", Cycle(10), 10, 10, 2},
+		{"P1", Path(1), 1, 0, 0},
+		{"P5", Path(5), 5, 4, -1},
+		{"K4", Complete(4), 4, 6, 3},
+		{"K23", CompleteBipartite(2, 3), 5, 6, -1},
+		{"K33", CompleteBipartite(3, 3), 6, 9, 3},
+		{"Star4", Star(4), 5, 4, -1},
+		{"Grid23", Grid(2, 3), 6, 7, -1},
+		{"Torus33", Torus(3, 3), 9, 18, 4},
+		{"Torus66", Torus(6, 6), 36, 72, 4},
+		{"Q3", Hypercube(3), 8, 12, 3},
+		{"Petersen", Petersen(), 10, 15, 3},
+		{"C13(1,5)", Circulant(13, 1, 5), 13, 26, 4},
+		{"Tree3", CompleteBinaryTree(3), 7, 6, -1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.g.N() != tc.n || tc.g.M() != tc.m {
+				t.Fatalf("got n=%d m=%d, want n=%d m=%d", tc.g.N(), tc.g.M(), tc.n, tc.m)
+			}
+			if tc.regular >= 0 && !tc.g.IsRegular(tc.regular) {
+				t.Errorf("expected %d-regular", tc.regular)
+			}
+			if !tc.g.Connected() {
+				t.Error("generator output should be connected")
+			}
+		})
+	}
+}
+
+func TestGirth(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"P5 acyclic", Path(5), -1},
+		{"Tree acyclic", CompleteBinaryTree(4), -1},
+		{"C3", Cycle(3), 3},
+		{"C4", Cycle(4), 4},
+		{"C17", Cycle(17), 17},
+		{"K4", Complete(4), 3},
+		{"K33", CompleteBipartite(3, 3), 4},
+		{"Q4", Hypercube(4), 4},
+		{"Petersen", Petersen(), 5},
+		{"Torus55", Torus(5, 5), 4},
+		{"Torus333", Torus(3, 3, 3), 3},
+		// Circulants on two generators always contain the commutator
+		// 4-cycle v, v+1, v+6, v+5.
+		{"C13(1,5)", Circulant(13, 1, 5), 4},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.Girth(); got != tc.want {
+				t.Errorf("girth = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBFSAndDist(t *testing.T) {
+	g := Cycle(8)
+	d, parent := g.BFS(0)
+	if d[4] != 4 || d[1] != 1 || d[7] != 1 {
+		t.Errorf("C8 BFS distances wrong: %v", d)
+	}
+	if parent[0] != -1 {
+		t.Error("root parent should be -1")
+	}
+	if g.Dist(0, 4) != 4 {
+		t.Error("Dist wrong")
+	}
+	two := Disjoint(Cycle(3), Cycle(3))
+	if two.Dist(0, 5) != -1 {
+		t.Error("distance across components should be -1")
+	}
+}
+
+func TestBall(t *testing.T) {
+	g := Cycle(10)
+	b := g.Ball(0, 2)
+	if len(b) != 5 {
+		t.Fatalf("|B(0,2)| in C10 = %d, want 5", len(b))
+	}
+	if b[0] != 0 {
+		t.Error("ball must start at the centre")
+	}
+	seen := map[int]bool{}
+	for _, v := range b {
+		seen[v] = true
+	}
+	for _, v := range []int{0, 1, 2, 8, 9} {
+		if !seen[v] {
+			t.Errorf("ball missing %d", v)
+		}
+	}
+	if got := len(Complete(6).Ball(2, 1)); got != 6 {
+		t.Errorf("K6 radius-1 ball size %d, want 6", got)
+	}
+}
+
+func TestComponentsAndConnected(t *testing.T) {
+	g := Disjoint(Cycle(3), Path(2), Complete(4))
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	if g.Connected() {
+		t.Error("disjoint union should not be connected")
+	}
+	sizes := []int{len(comps[0]), len(comps[1]), len(comps[2])}
+	want := []int{3, 2, 4}
+	for i := range sizes {
+		if sizes[i] != want[i] {
+			t.Errorf("component %d size %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Cycle(8).Diameter(); d != 4 {
+		t.Errorf("C8 diameter %d, want 4", d)
+	}
+	if d := Path(5).Diameter(); d != 4 {
+		t.Errorf("P5 diameter %d, want 4", d)
+	}
+	if d := Disjoint(Cycle(3), Cycle(3)).Diameter(); d != -1 {
+		t.Errorf("disconnected diameter %d, want -1", d)
+	}
+	if d := Petersen().Diameter(); d != 2 {
+		t.Errorf("Petersen diameter %d, want 2", d)
+	}
+}
+
+func TestIsBipartite(t *testing.T) {
+	if ok, _ := Cycle(6).IsBipartite(); !ok {
+		t.Error("C6 is bipartite")
+	}
+	if ok, _ := Cycle(5).IsBipartite(); ok {
+		t.Error("C5 is not bipartite")
+	}
+	ok, col := CompleteBipartite(3, 4).IsBipartite()
+	if !ok {
+		t.Fatal("K34 is bipartite")
+	}
+	g := CompleteBipartite(3, 4)
+	for _, e := range g.Edges() {
+		if col[e.U] == col[e.V] {
+			t.Fatal("invalid bipartition witness")
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(5)
+	sub, idx := g.InducedSubgraph([]int{0, 2, 4})
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("induced K3: n=%d m=%d", sub.N(), sub.M())
+	}
+	if idx[0] != 0 || idx[2] != 1 || idx[4] != 2 || idx[1] != -1 {
+		t.Errorf("index map wrong: %v", idx)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, d int }{{10, 3}, {20, 4}, {16, 5}, {30, 2}} {
+		g := RandomRegular(tc.n, tc.d, rng)
+		if !g.IsRegular(tc.d) {
+			t.Errorf("RandomRegular(%d,%d) not %d-regular", tc.n, tc.d, tc.d)
+		}
+		if g.N() != tc.n {
+			t.Errorf("wrong order")
+		}
+	}
+}
+
+func TestRandomGraphEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := RandomGraph(50, 0.0, rng)
+	if g.M() != 0 {
+		t.Error("p=0 should give no edges")
+	}
+	g = RandomGraph(20, 1.0, rng)
+	if g.M() != 190 {
+		t.Errorf("p=1 should give K20, got m=%d", g.M())
+	}
+}
+
+func TestTorusCoord(t *testing.T) {
+	sides := []int{6, 6}
+	if TorusCoord(sides, 2, 3) != 15 {
+		t.Errorf("TorusCoord wrong: %d", TorusCoord(sides, 2, 3))
+	}
+	if TorusCoord(sides, -1, 7) != TorusCoord(sides, 5, 1) {
+		t.Error("TorusCoord should wrap negatives")
+	}
+	g := Torus(sides...)
+	u := TorusCoord(sides, 1, 1)
+	v := TorusCoord(sides, 1, 2)
+	if !g.HasEdge(u, v) {
+		t.Error("torus adjacency mismatch with TorusCoord")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Cycle(4)
+	c := g.Clone()
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatal("clone differs")
+	}
+	c.adj[0][0] = 99
+	if g.adj[0][0] == 99 {
+		t.Error("clone shares adjacency storage")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	s := Cycle(3).DOT("c3", nil)
+	if len(s) == 0 {
+		t.Fatal("empty DOT output")
+	}
+	for _, want := range []string{"graph \"c3\"", "0 -- 1", "1 -- 2", "0 -- 2"} {
+		if !contains(s, want) {
+			t.Errorf("DOT missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: handshake lemma — the sum of degrees is twice the edge count.
+func TestQuickHandshake(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGraph(1+rng.Intn(30), rng.Float64(), rng)
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BFS distances satisfy the triangle inequality along edges.
+func TestQuickBFSTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGraph(2+rng.Intn(25), 0.2+0.5*rng.Float64(), rng)
+		d, _ := g.BFS(0)
+		for _, e := range g.Edges() {
+			du, dv := d[e.U], d[e.V]
+			if du == -1 != (dv == -1) {
+				return false // an edge cannot cross reachability
+			}
+			if du != -1 && abs(du-dv) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: girth of C_n is n.
+func TestQuickCycleGirth(t *testing.T) {
+	f := func(k uint8) bool {
+		n := 3 + int(k)%40
+		return Cycle(n).Girth() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ball sizes are monotone in the radius and bounded by n.
+func TestQuickBallMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGraph(1+rng.Intn(20), rng.Float64(), rng)
+		v := rng.Intn(g.N())
+		prev := 0
+		for r := 0; r <= 5; r++ {
+			size := len(g.Ball(v, r))
+			if size < prev || size > g.N() {
+				return false
+			}
+			prev = size
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,188 @@
+package graph
+
+// BFS returns the distance from root to every vertex (-1 if unreachable)
+// and the BFS parent of every vertex (-1 for the root and unreachables).
+func (g *Graph) BFS(root int) (dist, parent []int) {
+	dist = make([]int, g.n)
+	parent = make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Dist returns the distance between u and v, or -1 if disconnected.
+func (g *Graph) Dist(u, v int) int {
+	d, _ := g.BFS(u)
+	return d[v]
+}
+
+// Ball returns the vertices at distance at most r from v, in BFS order.
+func (g *Graph) Ball(v, r int) []int {
+	dist := make(map[int]int, 8)
+	dist[v] = 0
+	out := []int{v}
+	queue := []int{v}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == r {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if _, seen := dist[w]; !seen {
+				dist[w] = dist[u] + 1
+				out = append(out, w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	return out
+}
+
+// Connected reports whether g is connected. The empty graph and the
+// one-vertex graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	d, _ := g.BFS(0)
+	for _, x := range d {
+		if x == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the vertex sets of the connected components, each in
+// BFS order, ordered by smallest contained vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Diameter returns the maximum eccentricity, or -1 if g is disconnected
+// or empty.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		d, _ := g.BFS(v)
+		for _, x := range d {
+			if x == -1 {
+				return -1
+			}
+			if x > diam {
+				diam = x
+			}
+		}
+	}
+	return diam
+}
+
+// Girth returns the length of a shortest cycle, or -1 if g is acyclic.
+//
+// It runs a BFS from every vertex; when a non-tree edge closes a cycle
+// through the root's BFS tree, the cycle length dist[u]+dist[w]+1 is an
+// upper bound, and the minimum over all roots is exact for unweighted
+// undirected graphs.
+func (g *Graph) Girth() int {
+	best := -1
+	dist := make([]int, g.n)
+	parent := make([]int, g.n)
+	for root := 0; root < g.n; root++ {
+		for i := range dist {
+			dist[i] = -1
+			parent[i] = -1
+		}
+		dist[root] = 0
+		queue := []int{root}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if best != -1 && 2*dist[u] >= best {
+				continue
+			}
+			for _, w := range g.adj[u] {
+				if dist[w] == -1 {
+					dist[w] = dist[u] + 1
+					parent[w] = u
+					queue = append(queue, w)
+				} else if w != parent[u] && parent[w] != u {
+					c := dist[u] + dist[w] + 1
+					if best == -1 || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// IsBipartite reports whether g is 2-colourable and returns a witness
+// colouring when it is.
+func (g *Graph) IsBipartite() (bool, []int) {
+	color := make([]int, g.n)
+	for i := range color {
+		color[i] = -1
+	}
+	for s := 0; s < g.n; s++ {
+		if color[s] != -1 {
+			continue
+		}
+		color[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if color[v] == -1 {
+					color[v] = 1 - color[u]
+					queue = append(queue, v)
+				} else if color[v] == color[u] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, color
+}

@@ -1,0 +1,169 @@
+package group
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/digraph"
+)
+
+// Cayley is the Cayley graph C(G, S) of a family member with respect to
+// a generator multiset S = Gens, exposed as an implicit L-digraph with
+// alphabet L = {0, …, |S|−1}: each element g has the out-arc
+// g → g·s_ℓ labelled ℓ. It implements digraph.Implicit[string]; nodes
+// are encoded elements.
+//
+// S need not generate the group — then the graph is disconnected, as
+// the paper allows (Section 5.1).
+type Cayley struct {
+	fam  Family
+	gens []Elem
+	invs []Elem
+}
+
+var _ digraph.Implicit[string] = (*Cayley)(nil)
+
+// NewCayley validates S (no identity, pairwise distinct) and returns
+// the Cayley graph.
+func NewCayley(f Family, gens []Elem) (*Cayley, error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("group: empty generator set")
+	}
+	for i, g := range gens {
+		if len(g) != f.Dim() {
+			return nil, fmt.Errorf("group: generator %d has dim %d, want %d", i, len(g), f.Dim())
+		}
+		if f.IsIdentity(g) {
+			return nil, fmt.Errorf("group: generator %d is the identity (self-loop)", i)
+		}
+		for j := 0; j < i; j++ {
+			if f.Normalize(g).Equal(f.Normalize(gens[j])) {
+				return nil, fmt.Errorf("group: generators %d and %d coincide", j, i)
+			}
+		}
+	}
+	c := &Cayley{fam: f}
+	for _, g := range gens {
+		ng := f.Normalize(g)
+		c.gens = append(c.gens, ng)
+		c.invs = append(c.invs, f.Inv(ng))
+	}
+	return c, nil
+}
+
+// Family returns the group family.
+func (c *Cayley) Family() Family { return c.fam }
+
+// Gens returns the generator list. Do not modify.
+func (c *Cayley) Gens() []Elem { return c.gens }
+
+// Alphabet returns |S|.
+func (c *Cayley) Alphabet() int { return len(c.gens) }
+
+// Node encodes an element as an implicit-digraph vertex.
+func (c *Cayley) Node(e Elem) string { return EncodeElem(c.fam.Normalize(e)) }
+
+// Elem decodes a vertex back into a group element.
+func (c *Cayley) Elem(v string) Elem {
+	e, err := DecodeElem(v, c.fam.Dim())
+	if err != nil {
+		panic(fmt.Sprintf("group: bad cayley node %q: %v", v, err))
+	}
+	return e
+}
+
+// Out returns the arcs g → g·s_ℓ.
+func (c *Cayley) Out(v string) []digraph.ArcTo[string] {
+	e := c.Elem(v)
+	out := make([]digraph.ArcTo[string], len(c.gens))
+	for l, s := range c.gens {
+		out[l] = digraph.ArcTo[string]{To: EncodeElem(c.fam.Mul(e, s)), Label: l}
+	}
+	return out
+}
+
+// In returns the arcs g·s_ℓ^{-1} → g (ArcTo.To is the source).
+func (c *Cayley) In(v string) []digraph.ArcTo[string] {
+	e := c.Elem(v)
+	in := make([]digraph.ArcTo[string], len(c.invs))
+	for l, s := range c.invs {
+		in[l] = digraph.ArcTo[string]{To: EncodeElem(c.fam.Mul(e, s)), Label: l}
+	}
+	return in
+}
+
+// EncodeElem renders a tuple as a comma-separated string.
+func EncodeElem(e Elem) string {
+	var sb strings.Builder
+	for i, x := range e {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(x))
+	}
+	return sb.String()
+}
+
+// DecodeElem parses EncodeElem output.
+func DecodeElem(s string, dim int) (Elem, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != dim {
+		return nil, fmt.Errorf("group: %q has %d coordinates, want %d", s, len(parts), dim)
+	}
+	e := make(Elem, dim)
+	for i, p := range parts {
+		x, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("group: bad coordinate %q: %w", p, err)
+		}
+		e[i] = x
+	}
+	return e, nil
+}
+
+// GirthUpTo returns the length of the shortest nontrivial reduced word
+// over S ∪ S^{-1} that evaluates to the identity, considering words of
+// length at most maxLen; it returns -1 if there is none. By
+// vertex-transitivity this equals the girth of the underlying
+// undirected multigraph of C(G, S) when the girth is at most maxLen.
+//
+// A reduced word never follows letter s_ℓ^{±1} by s_ℓ^{∓1}; any other
+// repetition (including s_ℓ s_ℓ when s_ℓ has order 2, and s_ℓ s_j when
+// s_j = s_ℓ^{-1} as group elements) legitimately closes a cycle.
+func (f Family) GirthUpTo(gens []Elem, maxLen int) int {
+	type letter struct {
+		gen int
+		inv bool
+	}
+	step := make([]Elem, 0, 2*len(gens))
+	letters := make([]letter, 0, 2*len(gens))
+	for i, g := range gens {
+		step = append(step, f.Normalize(g))
+		letters = append(letters, letter{gen: i})
+		step = append(step, f.Inv(f.Normalize(g)))
+		letters = append(letters, letter{gen: i, inv: true})
+	}
+	best := -1
+	var dfs func(cur Elem, last letter, hasLast bool, depth int)
+	dfs = func(cur Elem, last letter, hasLast bool, depth int) {
+		if depth > 0 && f.IsIdentity(cur) {
+			if best == -1 || depth < best {
+				best = depth
+			}
+			return
+		}
+		if depth >= maxLen || (best != -1 && depth+1 >= best) {
+			return
+		}
+		for i, s := range step {
+			l := letters[i]
+			if hasLast && l.gen == last.gen && l.inv != last.inv {
+				continue // backtracking
+			}
+			dfs(f.Mul(cur, s), l, true, depth+1)
+		}
+	}
+	dfs(f.Identity(), letter{}, false, 0)
+	return best
+}

@@ -1,0 +1,85 @@
+package lift
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+)
+
+// ShiftFunc assigns each arc (u, v, label) of the base graph a shift in
+// Z_l; the l-lift connects copy i of u to copy (i+shift) mod l of v.
+type ShiftFunc func(u, v, label int) int
+
+// Cyclic builds the cyclic l-lift of a base digraph: vertex (v, i) is
+// encoded as v + i*g.N(), and the arc (u, v, ℓ) with shift s becomes
+// the arcs (u, i) -> (v, (i+s) mod l) for all i. The zero shift yields
+// l disjoint copies of g (Fig. 3 uses l = 2). The returned FibreMap is
+// the covering map onto g.
+func Cyclic(g *digraph.Digraph, l int, shift ShiftFunc) (*digraph.Digraph, digraph.FibreMap, error) {
+	if l < 1 {
+		return nil, nil, fmt.Errorf("lift: l = %d < 1", l)
+	}
+	if shift == nil {
+		shift = func(int, int, int) int { return 0 }
+	}
+	n := g.N()
+	b := digraph.NewBuilder(n*l, g.Alphabet())
+	for u := 0; u < n; u++ {
+		for _, a := range g.Out(u) {
+			s := shift(u, a.To, a.Label)
+			s %= l
+			if s < 0 {
+				s += l
+			}
+			for i := 0; i < l; i++ {
+				if err := b.AddArc(u+i*n, a.To+((i+s)%l)*n, a.Label); err != nil {
+					return nil, nil, fmt.Errorf("lift: cyclic lift: %w", err)
+				}
+			}
+		}
+	}
+	phi := make(digraph.FibreMap, n*l)
+	for v := range phi {
+		phi[v] = v % n
+	}
+	return b.Build(), phi, nil
+}
+
+// ConnectedCyclic builds the l-lift of Proposition 4.5: l disjoint
+// copies of g re-joined by applying the cyclic permutation i -> i+1 to
+// the fibre matching of the single arc (u, v, label). If g is
+// connected and the chosen arc lies on a cycle of g, the result is a
+// connected l-lift.
+func ConnectedCyclic(g *digraph.Digraph, l int, u, v, label int) (*digraph.Digraph, digraph.FibreMap, error) {
+	if _, ok := g.OutArc(u, label); !ok {
+		return nil, nil, fmt.Errorf("lift: no out-arc of %d with label %d", u, label)
+	}
+	if a, _ := g.OutArc(u, label); a.To != v {
+		return nil, nil, fmt.Errorf("lift: arc (%d, label %d) leads to %d, not %d", u, label, a.To, v)
+	}
+	return Cyclic(g, l, func(au, av, al int) int {
+		if au == u && av == v && al == label {
+			return 1
+		}
+		return 0
+	})
+}
+
+// VerifyLift checks that (h, phi) is a lift of g and reports the
+// common fibre size; connected lifts always have uniform fibres.
+func VerifyLift(h, g *digraph.Digraph, phi digraph.FibreMap) (int, error) {
+	if err := digraph.VerifyCovering(h, g, phi); err != nil {
+		return 0, err
+	}
+	if g.N() == 0 {
+		return 0, nil
+	}
+	fib := digraph.Fibres(g.N(), phi)
+	size := len(fib[0])
+	for v, f := range fib {
+		if len(f) != size {
+			return 0, fmt.Errorf("lift: fibre of %d has size %d, others %d", v, len(f), size)
+		}
+	}
+	return size, nil
+}

@@ -1,0 +1,142 @@
+// Package lift implements graph lifts (covering spaces) of
+// L-digraphs: the label-matching product C = H × G of Theorem 3.3
+// that transfers the homogeneous order of H onto a lift of an
+// arbitrary input graph G, and the cyclic l-lifts used by Fig. 3 and
+// Proposition 4.5 (including the cyclic-permutation trick that makes a
+// disjoint-union lift connected).
+package lift
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+)
+
+// Pair is a vertex of a product lift: an H-coordinate and a
+// G-coordinate.
+type Pair[A, B comparable] struct {
+	H A
+	G B
+}
+
+// Product is the label-matching product of Theorem 3.3: vertices are
+// pairs (h, g), and (h, g) has an out-arc to (h', g') labelled ℓ
+// exactly when h -ℓ-> h' in H and g -ℓ-> g' in G. When every node of H
+// has all |L| out-labels and all |L| in-labels (H is a 2|L|-regular
+// L-digraph, as the homogeneous Cayley graphs are), the projection
+// onto G is a covering map, while the projection onto H is a graph
+// homomorphism — so the product inherits G's local structure and H's
+// girth and order.
+type Product[A, B comparable] struct {
+	h digraph.Implicit[A]
+	g digraph.Implicit[B]
+}
+
+var _ digraph.Implicit[Pair[string, int]] = (*Product[string, int])(nil)
+
+// NewProduct validates that the factors share an alphabet.
+func NewProduct[A, B comparable](h digraph.Implicit[A], g digraph.Implicit[B]) (*Product[A, B], error) {
+	if h.Alphabet() != g.Alphabet() {
+		return nil, fmt.Errorf("lift: alphabet mismatch: H has %d, G has %d", h.Alphabet(), g.Alphabet())
+	}
+	return &Product[A, B]{h: h, g: g}, nil
+}
+
+// Alphabet returns |L|.
+func (p *Product[A, B]) Alphabet() int { return p.g.Alphabet() }
+
+// Out returns the out-arcs of (h, g): one per out-arc of g, matched
+// with h's equi-labelled out-arc.
+func (p *Product[A, B]) Out(v Pair[A, B]) []digraph.ArcTo[Pair[A, B]] {
+	hOut := p.h.Out(v.H)
+	gOut := p.g.Out(v.G)
+	out := make([]digraph.ArcTo[Pair[A, B]], 0, len(gOut))
+	for _, ga := range gOut {
+		for _, ha := range hOut {
+			if ha.Label == ga.Label {
+				out = append(out, digraph.ArcTo[Pair[A, B]]{
+					To:    Pair[A, B]{H: ha.To, G: ga.To},
+					Label: ga.Label,
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// In returns the in-arcs of (h, g), matched on labels.
+func (p *Product[A, B]) In(v Pair[A, B]) []digraph.ArcTo[Pair[A, B]] {
+	hIn := p.h.In(v.H)
+	gIn := p.g.In(v.G)
+	in := make([]digraph.ArcTo[Pair[A, B]], 0, len(gIn))
+	for _, ga := range gIn {
+		for _, ha := range hIn {
+			if ha.Label == ga.Label {
+				in = append(in, digraph.ArcTo[Pair[A, B]]{
+					To:    Pair[A, B]{H: ha.To, G: ga.To},
+					Label: ga.Label,
+				})
+				break
+			}
+		}
+	}
+	return in
+}
+
+// PhiG is the projection onto G (a covering map when H is full).
+func (p *Product[A, B]) PhiG(v Pair[A, B]) B { return v.G }
+
+// PhiH is the projection onto H (always a graph homomorphism).
+func (p *Product[A, B]) PhiH(v Pair[A, B]) A { return v.H }
+
+// Less builds the linear order <_C of Theorem 3.3 on product vertices:
+// primarily by the H-coordinate under lessH (the partial order <_p
+// pulled back through φ_H), with ties — which only occur inside
+// φ_H-fibres, never within a radius-r ball when H has girth > 2r+1 —
+// broken by lessG to make the order total.
+func (p *Product[A, B]) Less(lessH func(a, b A) bool, lessG func(a, b B) bool) func(u, v Pair[A, B]) bool {
+	return func(u, v Pair[A, B]) bool {
+		if lessH(u.H, v.H) {
+			return true
+		}
+		if lessH(v.H, u.H) {
+			return false
+		}
+		return lessG(u.G, v.G)
+	}
+}
+
+// MaterializeFull builds the entire product over the given vertex
+// enumerations as a concrete Digraph, returning the digraph, the pair
+// naming each vertex, and the covering map onto G (as indices into gs).
+func MaterializeFull[A, B comparable](p *Product[A, B], hs []A, gs []B) (*digraph.Digraph, []Pair[A, B], digraph.FibreMap) {
+	gIndex := make(map[B]int, len(gs))
+	for i, g := range gs {
+		gIndex[g] = i
+	}
+	pairs := make([]Pair[A, B], 0, len(hs)*len(gs))
+	index := make(map[Pair[A, B]]int, len(hs)*len(gs))
+	for _, h := range hs {
+		for _, g := range gs {
+			pr := Pair[A, B]{H: h, G: g}
+			index[pr] = len(pairs)
+			pairs = append(pairs, pr)
+		}
+	}
+	b := digraph.NewBuilder(len(pairs), p.Alphabet())
+	phi := make(digraph.FibreMap, len(pairs))
+	for i, pr := range pairs {
+		phi[i] = gIndex[pr.G]
+		for _, a := range p.Out(pr) {
+			j, ok := index[a.To]
+			if !ok {
+				// Out-arc leaves the enumerated vertex set; the caller
+				// passed an incomplete enumeration.
+				panic(fmt.Sprintf("lift: product arc leaves enumeration at %v", a.To))
+			}
+			b.MustAddArc(i, j, a.Label)
+		}
+	}
+	return b.Build(), pairs, phi
+}

@@ -1,0 +1,280 @@
+package lift
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/digraph"
+	"repro/internal/view"
+)
+
+// directedCycle returns the n-cycle directed around, single label.
+func directedCycle(n int) *digraph.Digraph {
+	b := digraph.NewBuilder(n, 1)
+	for i := 0; i < n; i++ {
+		b.MustAddArc(i, (i+1)%n, 0)
+	}
+	return b.Build()
+}
+
+// fullTwoLabel returns the Cayley graph of Z_n with generators {1, 2}:
+// every node has both labels out and in ("full" in the sense needed by
+// Theorem 3.3's factor H).
+func fullTwoLabel(n int) *digraph.Digraph {
+	b := digraph.NewBuilder(n, 2)
+	for i := 0; i < n; i++ {
+		b.MustAddArc(i, (i+1)%n, 0)
+		b.MustAddArc(i, (i+2)%n, 1)
+	}
+	return b.Build()
+}
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCyclicLiftDisjointCopies(t *testing.T) {
+	g := directedCycle(3)
+	h, phi, err := Cyclic(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 6 || h.Arcs() != 6 {
+		t.Fatalf("2-lift of C3: %v", h)
+	}
+	size, err := VerifyLift(h, g, phi)
+	if err != nil {
+		t.Fatalf("not a lift: %v", err)
+	}
+	if size != 2 {
+		t.Errorf("fibre size %d, want 2", size)
+	}
+	u, err := h.Underlying()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Connected() {
+		t.Error("zero-shift lift should be disconnected")
+	}
+	if len(u.Components()) != 2 {
+		t.Error("want two copies")
+	}
+}
+
+func TestConnectedCyclicLift(t *testing.T) {
+	g := directedCycle(3)
+	h, phi, err := ConnectedCyclic(g, 4, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyLift(h, g, phi); err != nil {
+		t.Fatalf("not a lift: %v", err)
+	}
+	u, err := h.Underlying()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Connected() {
+		t.Error("Prop 4.5 lift should be connected")
+	}
+	// The connected lift of C3 by l=4 is C12.
+	if u.Girth() != 12 {
+		t.Errorf("girth %d, want 12", u.Girth())
+	}
+}
+
+func TestConnectedCyclicRejectsMissingArc(t *testing.T) {
+	g := directedCycle(3)
+	if _, _, err := ConnectedCyclic(g, 2, 0, 2, 0); err == nil {
+		t.Error("wrong head accepted")
+	}
+	if _, _, err := ConnectedCyclic(g, 2, 0, 1, 5); err == nil {
+		t.Error("missing label accepted")
+	}
+}
+
+func TestCyclicRejectsBadL(t *testing.T) {
+	if _, _, err := Cyclic(directedCycle(3), 0, nil); err == nil {
+		t.Error("l=0 accepted")
+	}
+}
+
+func TestVerifyLiftDetectsNonUniformFibres(t *testing.T) {
+	// A map that is a covering but with non-uniform fibres cannot occur
+	// for connected bases; simulate by lying about the fibres.
+	g := directedCycle(3)
+	h, _, err := Cyclic(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := digraph.FibreMap{0, 1, 2, 0, 1, 2}
+	if _, err := VerifyLift(h, g, bad); err != nil {
+		// This particular map is actually a valid covering (both copies
+		// project identically); it must be accepted.
+		t.Fatalf("valid covering rejected: %v", err)
+	}
+	// Rotating the second copy is still a covering (an automorphism of
+	// the base composed with the projection).
+	rotated := digraph.FibreMap{0, 1, 2, 1, 2, 0}
+	if _, err := VerifyLift(h, g, rotated); err != nil {
+		t.Errorf("rotated covering rejected: %v", err)
+	}
+	// Swapping two vertices of the second copy breaks the homomorphism
+	// property: the copy's arc 3 -> 4 would map to 0 -> 2, not an arc.
+	worse := digraph.FibreMap{0, 1, 2, 0, 2, 1}
+	if _, err := VerifyLift(h, g, worse); err == nil {
+		t.Error("non-homomorphism accepted")
+	}
+}
+
+func TestProductOfCycles(t *testing.T) {
+	// C5 × C3 (single label) is the cyclic group product: a single
+	// directed 15-cycle, covering both factors.
+	p, err := NewProduct[int, int](directedCycle(5), directedCycle(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, pairs, phi := MaterializeFull(p, ints(5), ints(3))
+	if d.N() != 15 || d.Arcs() != 15 {
+		t.Fatalf("product: %v", d)
+	}
+	if err := digraph.VerifyCovering(d, directedCycle(3), phi); err != nil {
+		t.Errorf("projection onto G is not a covering: %v", err)
+	}
+	u, err := d.Underlying()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Connected() || u.Girth() != 15 {
+		t.Errorf("C5 × C3 should be C15; girth=%d connected=%v", u.Girth(), u.Connected())
+	}
+	if len(pairs) != 15 {
+		t.Error("pair bookkeeping wrong")
+	}
+}
+
+func TestProductAlphabetMismatch(t *testing.T) {
+	if _, err := NewProduct[int, int](fullTwoLabel(5), directedCycle(3)); err == nil {
+		t.Error("alphabet mismatch accepted")
+	}
+}
+
+func TestProductCoversPartialG(t *testing.T) {
+	// G uses only a subset of labels at each node (a path); H is full.
+	// The projection onto G must still be a covering map.
+	b := digraph.NewBuilder(3, 2)
+	b.MustAddArc(0, 1, 0)
+	b.MustAddArc(1, 2, 1)
+	g := b.Build()
+	h := fullTwoLabel(7)
+	p, err := NewProduct[int, int](h, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, phi := MaterializeFull(p, ints(7), ints(3))
+	if d.N() != 21 {
+		t.Fatalf("product size %d", d.N())
+	}
+	if err := digraph.VerifyCovering(d, g, phi); err != nil {
+		t.Errorf("not a covering: %v", err)
+	}
+	// Degrees match G's through the fibres.
+	for v := 0; v < d.N(); v++ {
+		if d.Degree(v) != g.Degree(phi[v]) {
+			t.Fatalf("degree not preserved at %d", v)
+		}
+	}
+}
+
+func TestProductImplicitArcsConsistent(t *testing.T) {
+	p, err := NewProduct[int, int](fullTwoLabel(9), fullTwoLabel(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Pair[int, int]{H: 3, G: 1}
+	for _, a := range p.Out(v) {
+		found := false
+		for _, back := range p.In(a.To) {
+			if back.To == v && back.Label == a.Label {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("out-arc %v has no matching in-arc", a)
+		}
+	}
+	if got := len(p.Out(v)); got != 2 {
+		t.Errorf("out-degree %d, want 2", got)
+	}
+}
+
+func TestProductLessOrder(t *testing.T) {
+	p, err := NewProduct[int, int](directedCycle(4), directedCycle(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lessInt := func(a, b int) bool { return a < b }
+	less := p.Less(lessInt, lessInt)
+	a := Pair[int, int]{H: 1, G: 2}
+	b := Pair[int, int]{H: 2, G: 0}
+	c := Pair[int, int]{H: 1, G: 0}
+	if !less(a, b) || less(b, a) {
+		t.Error("H-coordinate must dominate")
+	}
+	if !less(c, a) || less(a, c) {
+		t.Error("G-coordinate must break ties")
+	}
+	if less(a, a) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestCyclicLiftGirthGrows(t *testing.T) {
+	// Lifting unrolls cycles: the connected l-lift of C_n along the
+	// cycle is C_{ln}, so girth grows by the factor l. (Remark 1.5: to
+	// get large instances, lift.)
+	for _, l := range []int{2, 3, 5} {
+		h, _, err := ConnectedCyclic(directedCycle(4), l, 0, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := h.Underlying()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Girth() != 4*l {
+			t.Errorf("l=%d: girth %d, want %d", l, u.Girth(), 4*l)
+		}
+	}
+}
+
+// Property: views are invariant under the product lift — the view of
+// (h, g) in H × G equals the view of g in G. This is the fundamental
+// invariance (PO algorithms cannot distinguish a graph from its lifts)
+// evaluated lazily, without materialising the product.
+func TestQuickProductViewInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nH := 4 + rng.Intn(6)
+		nG := 3 + rng.Intn(5)
+		h := fullTwoLabel(nH)
+		g := fullTwoLabel(nG)
+		p, err := NewProduct[int, int](h, g)
+		if err != nil {
+			return false
+		}
+		r := 1 + rng.Intn(2)
+		v := Pair[int, int]{H: rng.Intn(nH), G: rng.Intn(nG)}
+		liftView := view.Build[Pair[int, int]](p, v, r)
+		baseView := view.Build[int](g, v.G, r)
+		return view.Equal(liftView, baseView)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

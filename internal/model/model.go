@@ -1,0 +1,182 @@
+// Package model implements the three models of distributed computing
+// of Section 2 of the paper — ID (unique identifiers), OI
+// (order-invariant), and PO (port numbering and orientation) — as
+// executable algorithm interfaces, together with runners that execute
+// an algorithm on every node of a host graph, and a synchronous
+// round-based message-passing simulator whose equivalence with the
+// ball/view formulation is established by tests.
+//
+// All three models run over the same host: an undirected graph with a
+// port numbering and orientation (an L-digraph). The models differ in
+// the information an algorithm may use:
+//
+//   - a PO algorithm sees the truncated view τ(T(G, v));
+//   - an OI algorithm sees the isomorphism type of the ordered ball
+//     τ(G, <, v);
+//   - an ID algorithm sees the ball with numeric identifiers.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/view"
+)
+
+// Kind distinguishes vertex-subset problems from edge-subset problems.
+type Kind int
+
+const (
+	// VertexKind solutions are sets of vertices (Ω = {0,1}).
+	VertexKind Kind = iota + 1
+	// EdgeKind solutions are sets of edges (Ω = {0,1}^Δ, one bit per
+	// incident edge).
+	EdgeKind
+)
+
+// Output is the local output of an algorithm at one node.
+type Output struct {
+	// Member is the vertex-problem membership bit.
+	Member bool
+	// Letters selects incident arcs by letter; used by PO algorithms
+	// for edge problems.
+	Letters []view.Letter
+	// Neighbors selects incident edges by the canonical-ball index of
+	// the opposite endpoint; used by OI and ID algorithms for edge
+	// problems.
+	Neighbors []int
+}
+
+// PO is a deterministic local algorithm in the port-numbering-and-
+// orientation model: a function of the truncated view.
+type PO interface {
+	// Radius is the constant running time r.
+	Radius() int
+	// EvalPO maps the radius-r view at a node to its local output.
+	EvalPO(t *view.Tree) Output
+}
+
+// OI is an order-invariant local algorithm: a function of the
+// isomorphism type of the ordered radius-r ball. Order-invariance is
+// guaranteed by construction, because the canonical ball exposes only
+// relative order.
+type OI interface {
+	Radius() int
+	// EvalOI maps the canonical ordered ball at a node to its output.
+	EvalOI(b *order.Ball) Output
+}
+
+// IDBall is the radius-r ball around a node together with the numeric
+// identifiers of its vertices. Vertices are in increasing-identifier
+// order (so an ID algorithm that ignores the numeric values of IDs is
+// exactly an OI algorithm).
+type IDBall struct {
+	// G is the ball subgraph; vertex i has identifier IDs[i], and
+	// IDs is strictly increasing.
+	G *graph.Graph
+	// Root is the centre's index.
+	Root int
+	// IDs are the numeric identifiers.
+	IDs []int
+}
+
+// ID is a local algorithm in the LOCAL model: a function of the ball
+// with unique identifiers.
+type ID interface {
+	Radius() int
+	// EvalID maps the identified radius-r ball at a node to its output.
+	EvalID(b *IDBall) Output
+}
+
+// Host is a graph instance shared by the three models: an undirected
+// graph with a port numbering and orientation.
+type Host struct {
+	// D is the L-digraph carrying the port numbering and orientation.
+	D *digraph.Digraph
+	// G is the underlying undirected simple graph.
+	G *graph.Graph
+}
+
+// NewHost wraps a digraph and computes its underlying graph.
+func NewHost(d *digraph.Digraph) (*Host, error) {
+	g, err := d.Underlying()
+	if err != nil {
+		return nil, fmt.Errorf("model: host: %w", err)
+	}
+	return &Host{D: d, G: g}, nil
+}
+
+// HostFromGraph equips g with the canonical port numbering and the
+// smaller-endpoint orientation.
+func HostFromGraph(g *graph.Graph) *Host {
+	p := digraph.FromPorts(g, nil)
+	return &Host{D: p.D, G: g}
+}
+
+// Solution is a subset of vertices or edges of the host graph.
+type Solution struct {
+	Kind     Kind
+	Vertices []bool
+	Edges    map[graph.Edge]bool
+}
+
+// NewSolution returns an empty solution of the given kind for a host
+// with n vertices.
+func NewSolution(kind Kind, n int) *Solution {
+	s := &Solution{Kind: kind}
+	if kind == VertexKind {
+		s.Vertices = make([]bool, n)
+	} else {
+		s.Edges = make(map[graph.Edge]bool)
+	}
+	return s
+}
+
+// Size returns the number of selected vertices or edges.
+func (s *Solution) Size() int {
+	if s.Kind == VertexKind {
+		n := 0
+		for _, b := range s.Vertices {
+			if b {
+				n++
+			}
+		}
+		return n
+	}
+	return len(s.Edges)
+}
+
+// VertexSet returns the selected vertices in increasing order.
+func (s *Solution) VertexSet() []int {
+	var out []int
+	for v, b := range s.Vertices {
+		if b {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EdgeSet returns the selected edges in lexicographic order.
+func (s *Solution) EdgeSet() []graph.Edge {
+	out := make([]graph.Edge, 0, len(s.Edges))
+	for e := range s.Edges {
+		out = append(out, e)
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(es []graph.Edge) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0; j-- {
+			a, b := es[j-1], es[j]
+			if a.U < b.U || (a.U == b.U && a.V <= b.V) {
+				break
+			}
+			es[j-1], es[j] = b, a
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/view"
+)
+
+// RunPO executes a PO algorithm on every node of the host and collects
+// the solution. For edge problems, a node's letter selections are
+// resolved through its incident arcs, and the solution is the union
+// over all nodes (the paper's Ω = {0,1}^Δ convention).
+func RunPO(h *Host, alg PO, kind Kind) (*Solution, error) {
+	sol := NewSolution(kind, h.G.N())
+	for v := 0; v < h.G.N(); v++ {
+		t := view.Build[int](h.D, v, alg.Radius())
+		out := alg.EvalPO(t)
+		if kind == VertexKind {
+			sol.Vertices[v] = out.Member
+			continue
+		}
+		for _, l := range out.Letters {
+			to, ok := resolveLetter(h, v, l)
+			if !ok {
+				return nil, fmt.Errorf("model: node %d selected absent letter %v", v, l)
+			}
+			sol.Edges[graph.NewEdge(v, to)] = true
+		}
+	}
+	return sol, nil
+}
+
+// RunOI executes an OI algorithm on every node of the ordered host
+// (h.G, rank).
+func RunOI(h *Host, rank order.Rank, alg OI, kind Kind) (*Solution, error) {
+	if err := rank.Validate(h.G.N()); err != nil {
+		return nil, fmt.Errorf("model: RunOI: %w", err)
+	}
+	sol := NewSolution(kind, h.G.N())
+	for v := 0; v < h.G.N(); v++ {
+		ball, verts := order.CanonicalBallVerts(h.G, rank, v, alg.Radius())
+		out := alg.EvalOI(ball)
+		if err := applyLocal(sol, v, ball.G, ball.Root, verts, out); err != nil {
+			return nil, err
+		}
+	}
+	return sol, nil
+}
+
+// RunID executes an ID algorithm on every node; ids assigns each vertex
+// its unique identifier.
+func RunID(h *Host, ids []int, alg ID, kind Kind) (*Solution, error) {
+	if len(ids) != h.G.N() {
+		return nil, fmt.Errorf("model: RunID: %d ids for %d nodes", len(ids), h.G.N())
+	}
+	rank, err := order.FromIDs(ids)
+	if err != nil {
+		return nil, fmt.Errorf("model: RunID: %w", err)
+	}
+	sol := NewSolution(kind, h.G.N())
+	for v := 0; v < h.G.N(); v++ {
+		ball, verts := order.CanonicalBallVerts(h.G, rank, v, alg.Radius())
+		ballIDs := make([]int, len(verts))
+		for i, u := range verts {
+			ballIDs[i] = ids[u]
+		}
+		out := alg.EvalID(&IDBall{G: ball.G, Root: ball.Root, IDs: ballIDs})
+		if err := applyLocal(sol, v, ball.G, ball.Root, verts, out); err != nil {
+			return nil, err
+		}
+	}
+	return sol, nil
+}
+
+// resolveLetter finds the opposite endpoint of the arc at v addressed
+// by the letter l.
+func resolveLetter(h *Host, v int, l view.Letter) (int, bool) {
+	if l.In {
+		if arc, found := h.D.InArc(v, l.Label); found {
+			return arc.To, true
+		}
+		return 0, false
+	}
+	if arc, found := h.D.OutArc(v, l.Label); found {
+		return arc.To, true
+	}
+	return 0, false
+}
+
+// applyLocal merges one node's OI/ID output into the solution.
+func applyLocal(sol *Solution, v int, ballG *graph.Graph, root int, verts []int, out Output) error {
+	if sol.Kind == VertexKind {
+		sol.Vertices[v] = out.Member
+		return nil
+	}
+	for _, idx := range out.Neighbors {
+		if idx < 0 || idx >= len(verts) {
+			return fmt.Errorf("model: node %d selected ball index %d out of range", v, idx)
+		}
+		if !ballG.HasEdge(root, idx) {
+			return fmt.Errorf("model: node %d selected non-neighbour ball index %d", v, idx)
+		}
+		sol.Edges[graph.NewEdge(v, verts[idx])] = true
+	}
+	return nil
+}
+
+// LocalOutputs runs an algorithm and returns the per-node outputs
+// normalised to sets of global edges (for edge problems) or membership
+// bits; used to measure the node-by-node agreement of two algorithms
+// (Fact 4.2).
+type LocalOutputs struct {
+	Kind    Kind
+	Member  []bool
+	EdgeSel []map[graph.Edge]bool
+}
+
+// POOutputs collects normalised per-node outputs of a PO algorithm.
+func POOutputs(h *Host, alg PO, kind Kind) (*LocalOutputs, error) {
+	lo := newLocalOutputs(kind, h.G.N())
+	for v := 0; v < h.G.N(); v++ {
+		t := view.Build[int](h.D, v, alg.Radius())
+		out := alg.EvalPO(t)
+		if kind == VertexKind {
+			lo.Member[v] = out.Member
+			continue
+		}
+		sel := make(map[graph.Edge]bool)
+		for _, l := range out.Letters {
+			to, ok := resolveLetter(h, v, l)
+			if !ok {
+				return nil, fmt.Errorf("model: node %d selected absent letter %v", v, l)
+			}
+			sel[graph.NewEdge(v, to)] = true
+		}
+		lo.EdgeSel[v] = sel
+	}
+	return lo, nil
+}
+
+// OIOutputs collects normalised per-node outputs of an OI algorithm.
+func OIOutputs(h *Host, rank order.Rank, alg OI, kind Kind) (*LocalOutputs, error) {
+	lo := newLocalOutputs(kind, h.G.N())
+	for v := 0; v < h.G.N(); v++ {
+		ball, verts := order.CanonicalBallVerts(h.G, rank, v, alg.Radius())
+		out := alg.EvalOI(ball)
+		if kind == VertexKind {
+			lo.Member[v] = out.Member
+			continue
+		}
+		sel := make(map[graph.Edge]bool)
+		for _, idx := range out.Neighbors {
+			if idx < 0 || idx >= len(verts) || !ball.G.HasEdge(ball.Root, idx) {
+				return nil, fmt.Errorf("model: node %d: bad neighbour selection %d", v, idx)
+			}
+			sel[graph.NewEdge(v, verts[idx])] = true
+		}
+		lo.EdgeSel[v] = sel
+	}
+	return lo, nil
+}
+
+func newLocalOutputs(kind Kind, n int) *LocalOutputs {
+	lo := &LocalOutputs{Kind: kind}
+	if kind == VertexKind {
+		lo.Member = make([]bool, n)
+	} else {
+		lo.EdgeSel = make([]map[graph.Edge]bool, n)
+	}
+	return lo
+}
+
+// Agreement returns the fraction of nodes on which the two output
+// collections coincide.
+func Agreement(a, b *LocalOutputs) (float64, error) {
+	if a.Kind != b.Kind {
+		return 0, fmt.Errorf("model: kind mismatch")
+	}
+	var n, same int
+	if a.Kind == VertexKind {
+		if len(a.Member) != len(b.Member) {
+			return 0, fmt.Errorf("model: size mismatch")
+		}
+		n = len(a.Member)
+		for v := 0; v < n; v++ {
+			if a.Member[v] == b.Member[v] {
+				same++
+			}
+		}
+	} else {
+		if len(a.EdgeSel) != len(b.EdgeSel) {
+			return 0, fmt.Errorf("model: size mismatch")
+		}
+		n = len(a.EdgeSel)
+		for v := 0; v < n; v++ {
+			if equalEdgeSets(a.EdgeSel[v], b.EdgeSel[v]) {
+				same++
+			}
+		}
+	}
+	if n == 0 {
+		return 1, nil
+	}
+	return float64(same) / float64(n), nil
+}
+
+func equalEdgeSets(a, b map[graph.Edge]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuncPO adapts a function to the PO interface.
+type FuncPO struct {
+	R  int
+	Fn func(t *view.Tree) Output
+}
+
+// Radius implements PO.
+func (f FuncPO) Radius() int { return f.R }
+
+// EvalPO implements PO.
+func (f FuncPO) EvalPO(t *view.Tree) Output { return f.Fn(t) }
+
+// FuncOI adapts a function to the OI interface.
+type FuncOI struct {
+	R  int
+	Fn func(b *order.Ball) Output
+}
+
+// Radius implements OI.
+func (f FuncOI) Radius() int { return f.R }
+
+// EvalOI implements OI.
+func (f FuncOI) EvalOI(b *order.Ball) Output { return f.Fn(b) }
+
+// FuncID adapts a function to the ID interface.
+type FuncID struct {
+	R  int
+	Fn func(b *IDBall) Output
+}
+
+// Radius implements ID.
+func (f FuncID) Radius() int { return f.R }
+
+// EvalID implements ID.
+func (f FuncID) EvalID(b *IDBall) Output { return f.Fn(b) }
+
+var (
+	_ PO = FuncPO{}
+	_ OI = FuncOI{}
+	_ ID = FuncID{}
+)
+
+// RootNeighbors returns the ball indices adjacent to the root in
+// increasing order — the canonical way an OI/ID algorithm addresses
+// the root's incident edges.
+func RootNeighbors(ballG *graph.Graph, root int) []int {
+	ns := append([]int(nil), ballG.Neighbors(root)...)
+	sort.Ints(ns)
+	return ns
+}

@@ -1,0 +1,222 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// Msg is a message travelling along one incident arc, addressed by the
+// letter naming the arc at the sending/receiving node.
+type Msg struct {
+	// L names the arc: at the sender it is the arc the message leaves
+	// on; in an inbox it is the arc the message arrived on.
+	L view.Letter
+	// Data is the payload.
+	Data any
+}
+
+// NodeInfo is the initial knowledge of a node.
+type NodeInfo struct {
+	// ID is the node's unique identifier, or -1 in anonymous models.
+	ID int
+	// Letters names the node's incident arcs: one letter per out-arc
+	// (In=false) and per in-arc (In=true).
+	Letters []view.Letter
+}
+
+// RoundAlgo is a synchronous message-passing algorithm: the classical
+// operational formulation of the LOCAL/PO models. Each round every
+// node updates its state on the messages received, emits messages for
+// the next round, and may halt. A halted node keeps its state and
+// sends nothing further.
+type RoundAlgo struct {
+	// Init returns the initial state.
+	Init func(info NodeInfo) any
+	// Step consumes the inbox and returns the new state, the outbox,
+	// and whether the node halts.
+	Step func(state any, round int, inbox []Msg) (any, []Msg, bool)
+	// Out extracts the final output from a state.
+	Out func(state any) Output
+}
+
+// RunRounds executes a round algorithm on the host. In the ID model
+// pass per-node identifiers; pass nil for anonymous (PO) execution.
+// It returns the per-node outputs and the number of rounds executed,
+// failing if some node has not halted after maxRounds.
+func RunRounds(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]Output, int, error) {
+	states, rounds, err := RunRoundsStates(h, ids, algo, maxRounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	outs := make([]Output, len(states))
+	for v, st := range states {
+		outs[v] = algo.Out(st)
+	}
+	return outs, rounds, nil
+}
+
+// RunRoundsStates is RunRounds exposing the final per-node states
+// instead of outputs.
+func RunRoundsStates(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]any, int, error) {
+	n := h.G.N()
+	if ids != nil && len(ids) != n {
+		return nil, 0, fmt.Errorf("model: RunRounds: %d ids for %d nodes", len(ids), n)
+	}
+	states := make([]any, n)
+	halted := make([]bool, n)
+	for v := 0; v < n; v++ {
+		info := NodeInfo{ID: -1, Letters: lettersOf(h, v)}
+		if ids != nil {
+			info.ID = ids[v]
+		}
+		states[v] = algo.Init(info)
+	}
+	inboxes := make([][]Msg, n)
+	outboxes := make([][]Msg, n)
+	round := 0
+	for ; round < maxRounds; round++ {
+		allHalted := true
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			allHalted = false
+			st, out, done := algo.Step(states[v], round, inboxes[v])
+			states[v] = st
+			outboxes[v] = out
+			halted[v] = done
+		}
+		if allHalted {
+			break
+		}
+		for v := range inboxes {
+			inboxes[v] = nil
+		}
+		for v := 0; v < n; v++ {
+			for _, m := range outboxes[v] {
+				to, ok := resolveLetter(h, v, m.L)
+				if !ok {
+					return nil, 0, fmt.Errorf("model: node %d sent on absent letter %v", v, m.L)
+				}
+				// The receiver names the same arc by the inverse letter.
+				inboxes[to] = append(inboxes[to], Msg{L: m.L.Inv(), Data: m.Data})
+			}
+			outboxes[v] = nil
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !halted[v] {
+			return nil, 0, fmt.Errorf("model: node %d did not halt within %d rounds", v, maxRounds)
+		}
+	}
+	return states, round, nil
+}
+
+// lettersOf enumerates the letters naming v's incident arcs.
+func lettersOf(h *Host, v int) []view.Letter {
+	var ls []view.Letter
+	for _, a := range h.D.Out(v) {
+		ls = append(ls, view.Letter{Label: a.Label})
+	}
+	for _, a := range h.D.In(v) {
+		ls = append(ls, view.Letter{Label: a.Label, In: true})
+	}
+	return ls
+}
+
+// GatherState is the state of the GatherViews full-information
+// algorithm; after t rounds Tree is the node's depth-t view.
+type GatherState struct {
+	letters []view.Letter
+	// Tree is the view gathered so far.
+	Tree *view.Tree
+}
+
+// GatherViews is the canonical full-information algorithm: after r
+// rounds each node's state holds exactly its radius-r view tree. It
+// witnesses the equivalence of the round-based formulation with the
+// ball/view formulation of Section 2.2 (equation (1)): any r-round
+// message-passing algorithm can be simulated by gathering the view and
+// post-processing it locally.
+func GatherViews(r int) RoundAlgo {
+	return RoundAlgo{
+		Init: func(info NodeInfo) any {
+			return &GatherState{letters: info.Letters, Tree: &view.Tree{}}
+		},
+		Step: func(state any, round int, inbox []Msg) (any, []Msg, bool) {
+			s := state.(*GatherState)
+			if round > 0 {
+				// Assemble the depth-(round) view from the neighbours'
+				// depth-(round-1) views. A message that arrived on the
+				// arc we name L was sent by a neighbour that names the
+				// same arc L.Inv(); the neighbour's walk back across
+				// this arc starts with letter L.Inv() at the
+				// neighbour, so that child is pruned (non-backtracking).
+				children := make(map[view.Letter]*view.Tree, len(inbox))
+				for _, m := range inbox {
+					nb := m.Data.(*view.Tree)
+					pruned := &view.Tree{Children: make(map[view.Letter]*view.Tree, len(nb.Children))}
+					for l, c := range nb.Children {
+						if l == m.L.Inv() {
+							continue
+						}
+						pruned.Children[l] = c
+					}
+					children[m.L] = pruned
+				}
+				s.Tree = &view.Tree{Children: children}
+			}
+			if round == r {
+				return s, nil, true
+			}
+			out := make([]Msg, 0, len(s.letters))
+			for _, l := range s.letters {
+				out = append(out, Msg{L: l, Data: s.Tree})
+			}
+			return s, out, false
+		},
+		Out: func(state any) Output { return Output{} },
+	}
+}
+
+// GatheredTrees runs GatherViews for r rounds and returns each node's
+// gathered view tree.
+func GatheredTrees(h *Host, r int) ([]*view.Tree, error) {
+	states, _, err := RunRoundsStates(h, nil, GatherViews(r), r+1)
+	if err != nil {
+		return nil, err
+	}
+	trees := make([]*view.Tree, len(states))
+	for v, st := range states {
+		trees[v] = st.(*GatherState).Tree
+	}
+	return trees, nil
+}
+
+// SimulatePO runs any PO algorithm operationally: gather the radius-r
+// view by message passing, then apply the algorithm's view function.
+// By equation (1) this is semantically identical to RunPO.
+func SimulatePO(h *Host, alg PO, kind Kind) (*Solution, error) {
+	trees, err := GatheredTrees(h, alg.Radius())
+	if err != nil {
+		return nil, err
+	}
+	sol := NewSolution(kind, h.G.N())
+	for v, t := range trees {
+		out := alg.EvalPO(t)
+		if kind == VertexKind {
+			sol.Vertices[v] = out.Member
+			continue
+		}
+		for _, l := range out.Letters {
+			to, ok := resolveLetter(h, v, l)
+			if !ok {
+				return nil, fmt.Errorf("model: node %d selected absent letter %v", v, l)
+			}
+			sol.Edges[graph.NewEdge(v, to)] = true
+		}
+	}
+	return sol, nil
+}

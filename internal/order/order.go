@@ -1,0 +1,166 @@
+// Package order implements ordered graphs (G, <) and the canonical
+// isomorphism types of ordered radius-r neighbourhoods τ(G, <, v) used
+// by the OI model, together with the homogeneity measure of
+// Definition 3.1 of the paper.
+//
+// Because an isomorphism of linearly ordered structures must preserve
+// the order, it is unique when it exists; sorting a ball's vertices by
+// the order therefore yields a canonical form directly, with no
+// graph-isomorphism search.
+package order
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+)
+
+// Ball is the canonical form of an ordered radius-r neighbourhood
+// τ(G, <, v): the ball's subgraph with vertices relabelled 0..k-1 in
+// increasing order.
+type Ball struct {
+	// G is the ball subgraph; vertex i is the (i+1)-st smallest ball
+	// vertex in the host order.
+	G *graph.Graph
+	// Root is the relabelled index of the centre vertex.
+	Root int
+}
+
+// Encode returns a canonical string: two ordered neighbourhoods are
+// isomorphic iff their encodings are equal.
+func (b *Ball) Encode() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n%d r%d:", b.G.N(), b.Root)
+	for _, e := range b.G.Edges() {
+		fmt.Fprintf(&sb, "%d-%d;", e.U, e.V)
+	}
+	return sb.String()
+}
+
+// Rank is a linear order on the vertices of a graph: Rank[v] is the
+// position of v, and all positions are distinct.
+type Rank []int
+
+// Validate checks that the rank array is a permutation of 0..n-1.
+func (r Rank) Validate(n int) error {
+	if len(r) != n {
+		return fmt.Errorf("order: rank has length %d, want %d", len(r), n)
+	}
+	seen := make([]bool, n)
+	for v, p := range r {
+		if p < 0 || p >= n {
+			return fmt.Errorf("order: rank[%d]=%d out of range", v, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("order: duplicate rank %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// Identity returns the order in which vertex indices are the ranks.
+func Identity(n int) Rank {
+	r := make(Rank, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// FromIDs returns the order induced by numeric identifiers: the vertex
+// with the smallest identifier has rank 0, and so on. Identifiers must
+// be distinct.
+func FromIDs(ids []int) (Rank, error) {
+	n := len(ids)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ids[idx[a]] < ids[idx[b]] })
+	r := make(Rank, n)
+	for pos, v := range idx {
+		if pos > 0 && ids[idx[pos-1]] == ids[v] {
+			return nil, fmt.Errorf("order: duplicate identifier %d", ids[v])
+		}
+		r[v] = pos
+	}
+	return r, nil
+}
+
+// CanonicalBall returns the canonical ordered neighbourhood τ(g, <, v)
+// of radius r.
+func CanonicalBall(g *graph.Graph, rank Rank, v, r int) *Ball {
+	b, _ := CanonicalBallVerts(g, rank, v, r)
+	return b
+}
+
+// CanonicalBallVerts additionally returns the original vertex named by
+// each canonical ball index (verts[i] is the host vertex of ball
+// vertex i).
+func CanonicalBallVerts(g *graph.Graph, rank Rank, v, r int) (*Ball, []int) {
+	vs := g.Ball(v, r)
+	sort.Slice(vs, func(i, j int) bool { return rank[vs[i]] < rank[vs[j]] })
+	sub, idx := g.InducedSubgraph(vs)
+	return &Ball{G: sub, Root: idx[v]}, vs
+}
+
+// Homogeneity is the result of measuring an ordered graph against
+// Definition 3.1.
+type Homogeneity struct {
+	// Alpha is the largest fraction of vertices sharing one ordered
+	// r-neighbourhood type; the graph is (Alpha, r)-homogeneous.
+	Alpha float64
+	// Type is the encoding of the majority type.
+	Type string
+	// Count is the number of vertices of the majority type.
+	Count int
+	// N is the total number of vertices.
+	N int
+	// Counts maps each occurring type to its frequency.
+	Counts map[string]int
+}
+
+// Measure computes the homogeneity of (g, rank) at radius r by scanning
+// every vertex.
+func Measure(g *graph.Graph, rank Rank, r int) Homogeneity {
+	counts := make(map[string]int)
+	for v := 0; v < g.N(); v++ {
+		counts[CanonicalBall(g, rank, v, r).Encode()]++
+	}
+	h := Homogeneity{N: g.N(), Counts: counts}
+	for typ, c := range counts {
+		if c > h.Count || (c == h.Count && typ < h.Type) {
+			h.Count = c
+			h.Type = typ
+		}
+	}
+	if g.N() > 0 {
+		h.Alpha = float64(h.Count) / float64(g.N())
+	}
+	return h
+}
+
+// CanonicalBallImplicit extracts the radius-r ball around v in an
+// implicit digraph, forgets labels and directions, and canonicalises
+// under the given vertex order. It fails if the ball's underlying
+// structure has parallel edges (which cannot occur when the girth
+// exceeds 2, as in all of the paper's constructions).
+func CanonicalBallImplicit[V comparable](g digraph.Implicit[V], less func(a, b V) bool, v V, r int) (*Ball, error) {
+	ball := digraph.Ball(g, v, r)
+	und, err := ball.D.Underlying()
+	if err != nil {
+		return nil, fmt.Errorf("order: ball at radius %d: %w", r, err)
+	}
+	// Sort ball indices by the host order of their original vertices.
+	perm := make([]int, und.N())
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return less(ball.Nodes[perm[a]], ball.Nodes[perm[b]]) })
+	sub, idx := und.InducedSubgraph(perm)
+	return &Ball{G: sub, Root: idx[ball.Root]}, nil
+}

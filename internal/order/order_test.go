@@ -1,0 +1,253 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+func TestRankValidate(t *testing.T) {
+	if err := Identity(5).Validate(5); err != nil {
+		t.Errorf("identity rank invalid: %v", err)
+	}
+	if err := (Rank{0, 0, 1}).Validate(3); err == nil {
+		t.Error("duplicate rank accepted")
+	}
+	if err := (Rank{0, 5, 1}).Validate(3); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if err := (Rank{0, 1}).Validate(3); err == nil {
+		t.Error("short rank accepted")
+	}
+}
+
+func TestFromIDs(t *testing.T) {
+	r, err := FromIDs([]int{50, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rank{2, 0, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("FromIDs = %v, want %v", r, want)
+		}
+	}
+	if _, err := FromIDs([]int{5, 5}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestCanonicalBallCycleSeam(t *testing.T) {
+	// On (C_n, identity order) interior nodes share one type; the 2r
+	// nodes whose ball crosses the "seam" between n-1 and 0 differ.
+	g := graph.Cycle(10)
+	rank := Identity(10)
+	interior := CanonicalBall(g, rank, 5, 1).Encode()
+	if got := CanonicalBall(g, rank, 4, 1).Encode(); got != interior {
+		t.Error("two interior nodes should share a type")
+	}
+	if got := CanonicalBall(g, rank, 0, 1).Encode(); got == interior {
+		t.Error("seam node should have a different type")
+	}
+	if got := CanonicalBall(g, rank, 9, 1).Encode(); got == interior {
+		t.Error("seam node should have a different type")
+	}
+}
+
+func TestMeasureCycle(t *testing.T) {
+	// α = (n-2r)/n on the ordered cycle.
+	for _, tc := range []struct{ n, r int }{{10, 1}, {10, 2}, {24, 3}} {
+		g := graph.Cycle(tc.n)
+		h := Measure(g, Identity(tc.n), tc.r)
+		want := tc.n - 2*tc.r
+		if h.Count != want {
+			t.Errorf("n=%d r=%d: majority count %d, want %d", tc.n, tc.r, h.Count, want)
+		}
+		if h.N != tc.n {
+			t.Error("N wrong")
+		}
+	}
+}
+
+func TestMeasureTorusFig6b(t *testing.T) {
+	// Fig. 6(b): the 6x6 toroidal grid with the row-major
+	// (lexicographic coordinate-wise) order is (4/9, 1)-homogeneous
+	// and (1/9, 2)-homogeneous.
+	g := graph.Torus(6, 6)
+	rank := Identity(36)
+	h1 := Measure(g, rank, 1)
+	// The paper counts the 16 doubly-interior nodes; two corners
+	// coincidentally share the same type (the type of a radius-1 star
+	// is determined by the root's rank position, and corners (1,6) and
+	// (6,1) also place the root at position 2), so the true maximum is
+	// 18. Definition 3.1 is a "there exists U" lower bound, so both
+	// 16/36 and 18/36 witness (4/9, 1)-homogeneity.
+	if h1.Count != 18 {
+		t.Errorf("radius 1: majority count %d, want 18 (≥ 16, the paper's bound)", h1.Count)
+	}
+	if h1.Count < 16 {
+		t.Errorf("radius 1: paper's (4/9,1) bound violated: %d < 16", h1.Count)
+	}
+	h2 := Measure(g, rank, 2)
+	if h2.Count < 4 {
+		t.Errorf("radius 2: paper's (1/9,2) bound violated: %d < 4", h2.Count)
+	}
+	// At radius 2 the interior types are genuinely rare.
+	if h2.Alpha > 0.5 {
+		t.Errorf("radius 2: α=%v unexpectedly large", h2.Alpha)
+	}
+}
+
+func TestMeasureCompleteGraph(t *testing.T) {
+	// On K_n every ordered radius-1 ball is the whole graph and the
+	// types are distinguished only by the root's rank: α = 1/n.
+	h := Measure(graph.Complete(5), Identity(5), 1)
+	if h.Count != 1 || len(h.Counts) != 5 {
+		t.Errorf("K5: count=%d types=%d, want 1 and 5", h.Count, len(h.Counts))
+	}
+}
+
+func TestCanonicalBallImplicitMatchesGraph(t *testing.T) {
+	// The implicit-digraph canonicalisation agrees with the plain-graph
+	// one on port-numbered graphs.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomRegular(14, 3, rng)
+	p := digraph.FromPorts(g, nil)
+	rank := Identity(g.N())
+	less := func(a, b int) bool { return rank[a] < rank[b] }
+	for v := 0; v < g.N(); v++ {
+		got, err := CanonicalBallImplicit[int](p.D, less, v, 2)
+		if err != nil {
+			t.Fatalf("implicit ball at %d: %v", v, err)
+		}
+		want := CanonicalBall(g, rank, v, 2)
+		if got.Encode() != want.Encode() {
+			t.Fatalf("node %d: implicit %q vs graph %q", v, got.Encode(), want.Encode())
+		}
+	}
+}
+
+// pathOrderedTree builds τ* for alphabet 1, radius r: a path, ordered
+// along the path (backward walks first).
+func pathOrderedTree(r int) *OrderedTree {
+	tr := view.Complete(1, r)
+	rank := make(map[string]int)
+	// Walk keys: backward walks 0',0'0',... then λ, then forward.
+	next := 0
+	for i := r; i >= 1; i-- {
+		w := make([]view.Letter, i)
+		for j := range w {
+			w[j] = view.Letter{Label: 0, In: true}
+		}
+		rank[view.Key(w)] = next
+		next++
+	}
+	rank[""] = next
+	next++
+	for i := 1; i <= r; i++ {
+		w := make([]view.Letter, i)
+		for j := range w {
+			w[j] = view.Letter{Label: 0}
+		}
+		rank[view.Key(w)] = next
+		next++
+	}
+	return &OrderedTree{Tree: tr, RankOf: rank}
+}
+
+func TestOrderedTreeValidate(t *testing.T) {
+	ot := pathOrderedTree(2)
+	if err := ot.Validate(); err != nil {
+		t.Errorf("valid ordered tree rejected: %v", err)
+	}
+	bad := &OrderedTree{Tree: ot.Tree, RankOf: map[string]int{"": 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("missing ranks accepted")
+	}
+	dup := &OrderedTree{Tree: view.Complete(1, 1), RankOf: map[string]int{"": 0, "0": 0, "0'": 1}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate ranks accepted")
+	}
+}
+
+func TestBallOfSubtreeMatchesCycleInterior(t *testing.T) {
+	// The heart of Theorem 4.1: interpreting the cycle's view as an
+	// ordered subtree of τ* gives exactly the ordered ball an
+	// OI-algorithm would see at an interior node of the ordered cycle.
+	r := 2
+	ot := pathOrderedTree(r)
+	// Directed cycle, radius-2 view at any node.
+	b := digraph.NewBuilder(12, 1)
+	for i := 0; i < 12; i++ {
+		b.MustAddArc(i, (i+1)%12, 0)
+	}
+	v := view.Build[int](b.Build(), 0, r)
+	got, err := ot.BallOfSubtree(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Cycle(12)
+	want := CanonicalBall(g, Identity(12), 6, r)
+	if got.Encode() != want.Encode() {
+		t.Errorf("subtree ball %q, want interior cycle ball %q", got.Encode(), want.Encode())
+	}
+}
+
+func TestBallOfSubtreeRejectsForeign(t *testing.T) {
+	ot := pathOrderedTree(1)
+	foreign := view.Complete(2, 1) // larger alphabet, not a subtree
+	if _, err := ot.BallOfSubtree(foreign); err == nil {
+		t.Error("foreign subtree accepted")
+	}
+}
+
+// Property: Measure(α) is in (0, 1] and counts sum to n.
+func TestQuickMeasureSane(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGraph(2+rng.Intn(15), rng.Float64(), rng)
+		perm := rng.Perm(g.N())
+		h := Measure(g, Rank(perm), 1+rng.Intn(2))
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == g.N() && h.Alpha > 0 && h.Alpha <= 1 && h.Count >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: canonical encodings are invariant under relabelling vertices
+// while preserving the order (the defining property of the OI model).
+func TestQuickOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(10)
+		g := graph.RandomGraph(n, 0.3, rng)
+		perm := rng.Perm(n) // perm[v] = new name of v
+		// Build the relabelled graph.
+		b := graph.NewBuilder(n)
+		for _, e := range g.Edges() {
+			b.MustAddEdge(perm[e.U], perm[e.V])
+		}
+		h := b.Build()
+		// Order: rank[v] on g; induced rank on h preserves relative order.
+		rank := Rank(rng.Perm(n))
+		hrank := make(Rank, n)
+		for v := 0; v < n; v++ {
+			hrank[perm[v]] = rank[v]
+		}
+		v := rng.Intn(n)
+		r := 1 + rng.Intn(2)
+		return CanonicalBall(g, rank, v, r).Encode() == CanonicalBall(h, hrank, perm[v], r).Encode()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// OrderedTree is an ordered complete view tree: the homogeneity type
+// τ* = (T*, <*, λ) of Theorem 3.2. RankOf assigns each walk (by key) a
+// position in the linear order <*.
+type OrderedTree struct {
+	Tree   *view.Tree
+	RankOf map[string]int
+}
+
+// Validate checks that every vertex of the tree has a rank and that
+// ranks are distinct.
+func (ot *OrderedTree) Validate() error {
+	seen := make(map[int]string)
+	n := 0
+	var err error
+	ot.Tree.Visit(func(walk []view.Letter, _ *view.Tree) {
+		if err != nil {
+			return
+		}
+		k := view.Key(walk)
+		r, ok := ot.RankOf[k]
+		if !ok {
+			err = fmt.Errorf("order: walk %q has no rank", k)
+			return
+		}
+		if prev, dup := seen[r]; dup {
+			err = fmt.Errorf("order: walks %q and %q share rank %d", prev, k, r)
+			return
+		}
+		seen[r] = k
+		n++
+	})
+	return err
+}
+
+// BallOfSubtree interprets a subtree W of T* as the ordered graph
+// (T*, <*, λ) ↾ W and returns its canonical ordered ball rooted at λ.
+// This is precisely the structure handed to an OI-algorithm by the
+// PO-algorithm B of Theorem 4.1: B(W) := A((T*, <*, λ) ↾ W).
+func (ot *OrderedTree) BallOfSubtree(sub *view.Tree) (*Ball, error) {
+	b, _, err := ot.BallOfSubtreeWalks(sub)
+	return b, err
+}
+
+// BallOfSubtreeWalks additionally returns the walk naming each
+// canonical ball vertex (walks[i] is the walk of the vertex with rank
+// position i); a PO-algorithm built from an OI-algorithm uses this to
+// translate selected ball neighbours back into letters.
+func (ot *OrderedTree) BallOfSubtreeWalks(sub *view.Tree) (*Ball, [][]view.Letter, error) {
+	if !sub.IsSubtreeOf(ot.Tree) {
+		return nil, nil, fmt.Errorf("order: view is not a subtree of the ordered tree")
+	}
+	walks := sub.Walks()
+	// Sort vertex indices by the τ* rank of their walks.
+	perm := make([]int, len(walks))
+	for i := range perm {
+		perm[i] = i
+	}
+	ranks := make([]int, len(walks))
+	for i, w := range walks {
+		r, ok := ot.RankOf[view.Key(w)]
+		if !ok {
+			return nil, nil, fmt.Errorf("order: walk %q has no rank in τ*", view.Key(w))
+		}
+		ranks[i] = r
+	}
+	sort.Slice(perm, func(a, b int) bool { return ranks[perm[a]] < ranks[perm[b]] })
+	pos := make([]int, len(walks)) // original index -> sorted position
+	for p, i := range perm {
+		pos[i] = p
+	}
+	// Tree edges: walk w to its parent w[:len-1].
+	index := make(map[string]int, len(walks))
+	for i, w := range walks {
+		index[view.Key(w)] = i
+	}
+	b := graph.NewBuilder(len(walks))
+	for i, w := range walks {
+		if len(w) == 0 {
+			continue
+		}
+		parent := index[view.Key(w[:len(w)-1])]
+		b.MustAddEdge(pos[parent], pos[i])
+	}
+	sorted := make([][]view.Letter, len(walks))
+	for p, i := range perm {
+		sorted[p] = walks[i]
+	}
+	return &Ball{G: b.Build(), Root: pos[0]}, sorted, nil
+}

@@ -1,0 +1,494 @@
+// Package problems defines the six simple PO-checkable graph
+// optimisation problems of Example 1.1 of the paper — minimum vertex
+// cover, minimum edge cover, maximum matching, maximum independent
+// set, minimum dominating set, and minimum edge dominating set — each
+// with a global feasibility test, a local (PO-checkable) verifier, and
+// an exact optimum solver.
+//
+// A problem is PO-checkable when a constant-radius anonymous local
+// algorithm can verify feasibility: every node inspects its radius-R
+// ball together with the solution restricted to the ball, and the
+// solution is feasible iff every node accepts. The local verifiers
+// here receive only that restricted information, so PO-checkability
+// holds by construction; tests confirm that the conjunction of local
+// verdicts coincides with global feasibility.
+package problems
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// Goal is the optimisation direction.
+type Goal int
+
+const (
+	// Minimize means smaller feasible solutions are better.
+	Minimize Goal = iota + 1
+	// Maximize means larger feasible solutions are better.
+	Maximize
+)
+
+// LocalView is the information a verifying node sees: its radius-R
+// ball, its own position, and the solution restricted to the ball.
+type LocalView struct {
+	// Ball is the ball subgraph (vertices relabelled 0..k-1).
+	Ball *graph.Graph
+	// Root is the verifying node's index in the ball.
+	Root int
+	// Dist[i] is the distance from the root to ball vertex i.
+	Dist []int
+	// Member[i] reports whether ball vertex i is in the solution
+	// (vertex problems).
+	Member []bool
+	// EdgeIn reports whether a ball edge is in the solution (edge
+	// problems); keys use ball indices.
+	EdgeIn map[graph.Edge]bool
+}
+
+// Problem is one of the paper's simple graph optimisation problems.
+type Problem interface {
+	// Name is a short identifier, e.g. "min-vertex-cover".
+	Name() string
+	// Kind says whether solutions are vertex or edge subsets.
+	Kind() model.Kind
+	// Goal is the optimisation direction.
+	Goal() Goal
+	// VerifierRadius is the locality radius of the PO-checkable
+	// verifier.
+	VerifierRadius() int
+	// AcceptLocal is the local verifier: the per-node feasibility
+	// verdict from the node's restricted view.
+	AcceptLocal(lv *LocalView) bool
+	// Feasible checks a solution globally (nil = feasible).
+	Feasible(g *graph.Graph, sol *model.Solution) error
+	// Optimum returns the exact optimum value.
+	Optimum(g *graph.Graph) (int, error)
+}
+
+// All returns the six problems of Example 1.1.
+func All() []Problem {
+	return []Problem{
+		MinVertexCover{}, MinEdgeCover{}, MaxMatching{},
+		MaxIndependentSet{}, MinDominatingSet{}, MinEdgeDominatingSet{},
+	}
+}
+
+// ByName returns the problem with the given name.
+func ByName(name string) (Problem, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("problems: unknown problem %q", name)
+}
+
+// VerifyLocally runs the PO-checkable verifier of p at every node and
+// reports whether all nodes accept — the paper's definition of a
+// feasible solution of a PO-checkable problem.
+func VerifyLocally(p Problem, g *graph.Graph, sol *model.Solution) bool {
+	for v := 0; v < g.N(); v++ {
+		if !p.AcceptLocal(BuildLocalView(p, g, sol, v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildLocalView extracts the restricted information for a verifying
+// node.
+func BuildLocalView(p Problem, g *graph.Graph, sol *model.Solution, v int) *LocalView {
+	r := p.VerifierRadius()
+	verts := g.Ball(v, r)
+	sub, idx := g.InducedSubgraph(verts)
+	lv := &LocalView{Ball: sub, Dist: make([]int, len(verts))}
+	lv.Root = idx[v]
+	distFromRoot, _ := sub.BFS(lv.Root)
+	copy(lv.Dist, distFromRoot)
+	if sol.Kind == model.VertexKind {
+		lv.Member = make([]bool, len(verts))
+		for i, u := range verts {
+			lv.Member[i] = sol.Vertices[u]
+		}
+	} else {
+		lv.EdgeIn = make(map[graph.Edge]bool)
+		for _, e := range sub.Edges() {
+			hostEdge := graph.NewEdge(verts[e.U], verts[e.V])
+			if sol.Edges[hostEdge] {
+				lv.EdgeIn[e] = true
+			}
+		}
+	}
+	return lv
+}
+
+// Ratio returns the approximation ratio of sol for problem p on g,
+// normalised to be >= 1 (|sol|/opt when minimising, opt/|sol| when
+// maximising). An infeasible solution yields an error; an empty
+// solution of a maximisation problem with a nonzero optimum yields
+// +Inf.
+func Ratio(p Problem, g *graph.Graph, sol *model.Solution) (float64, error) {
+	if err := p.Feasible(g, sol); err != nil {
+		return 0, fmt.Errorf("problems: infeasible solution: %w", err)
+	}
+	opt, err := p.Optimum(g)
+	if err != nil {
+		return 0, err
+	}
+	size := sol.Size()
+	switch p.Goal() {
+	case Minimize:
+		if opt == 0 {
+			if size == 0 {
+				return 1, nil
+			}
+			return math.Inf(1), nil
+		}
+		return float64(size) / float64(opt), nil
+	default:
+		if size == 0 {
+			if opt == 0 {
+				return 1, nil
+			}
+			return math.Inf(1), nil
+		}
+		return float64(opt) / float64(size), nil
+	}
+}
+
+// rootEdges lists the ball edges incident to the root.
+func rootEdges(lv *LocalView) []graph.Edge {
+	var out []graph.Edge
+	for _, u := range lv.Ball.Neighbors(lv.Root) {
+		out = append(out, graph.NewEdge(lv.Root, u))
+	}
+	return out
+}
+
+// hasIncidentSelected reports whether ball vertex u has an incident
+// selected edge.
+func hasIncidentSelected(lv *LocalView, u int) bool {
+	for _, w := range lv.Ball.Neighbors(u) {
+		if lv.EdgeIn[graph.NewEdge(u, w)] {
+			return true
+		}
+	}
+	return false
+}
+
+// MinVertexCover: a set of vertices touching every edge; minimise.
+type MinVertexCover struct{}
+
+// Name implements Problem.
+func (MinVertexCover) Name() string { return "min-vertex-cover" }
+
+// Kind implements Problem.
+func (MinVertexCover) Kind() model.Kind { return model.VertexKind }
+
+// Goal implements Problem.
+func (MinVertexCover) Goal() Goal { return Minimize }
+
+// VerifierRadius implements Problem.
+func (MinVertexCover) VerifierRadius() int { return 1 }
+
+// AcceptLocal implements Problem: every edge at the root is covered.
+func (MinVertexCover) AcceptLocal(lv *LocalView) bool {
+	for _, u := range lv.Ball.Neighbors(lv.Root) {
+		if !lv.Member[lv.Root] && !lv.Member[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// Feasible implements Problem.
+func (p MinVertexCover) Feasible(g *graph.Graph, sol *model.Solution) error {
+	if sol.Kind != model.VertexKind {
+		return fmt.Errorf("vertex cover needs a vertex solution")
+	}
+	for _, e := range g.Edges() {
+		if !sol.Vertices[e.U] && !sol.Vertices[e.V] {
+			return fmt.Errorf("edge %v uncovered", e)
+		}
+	}
+	return nil
+}
+
+// Optimum implements Problem.
+func (MinVertexCover) Optimum(g *graph.Graph) (int, error) {
+	return solve.MinVertexCoverSize(g), nil
+}
+
+// MinEdgeCover: a set of edges touching every vertex; minimise.
+type MinEdgeCover struct{}
+
+// Name implements Problem.
+func (MinEdgeCover) Name() string { return "min-edge-cover" }
+
+// Kind implements Problem.
+func (MinEdgeCover) Kind() model.Kind { return model.EdgeKind }
+
+// Goal implements Problem.
+func (MinEdgeCover) Goal() Goal { return Minimize }
+
+// VerifierRadius implements Problem.
+func (MinEdgeCover) VerifierRadius() int { return 1 }
+
+// AcceptLocal implements Problem: the root is covered.
+func (MinEdgeCover) AcceptLocal(lv *LocalView) bool {
+	return hasIncidentSelected(lv, lv.Root)
+}
+
+// Feasible implements Problem.
+func (p MinEdgeCover) Feasible(g *graph.Graph, sol *model.Solution) error {
+	if sol.Kind != model.EdgeKind {
+		return fmt.Errorf("edge cover needs an edge solution")
+	}
+	if err := edgesExist(g, sol); err != nil {
+		return err
+	}
+	covered := make([]bool, g.N())
+	for e := range sol.Edges {
+		covered[e.U], covered[e.V] = true, true
+	}
+	for v := 0; v < g.N(); v++ {
+		if !covered[v] {
+			return fmt.Errorf("vertex %d uncovered", v)
+		}
+	}
+	return nil
+}
+
+// Optimum implements Problem.
+func (MinEdgeCover) Optimum(g *graph.Graph) (int, error) {
+	return solve.MinEdgeCoverSize(g)
+}
+
+// MaxMatching: a set of pairwise disjoint edges; maximise.
+type MaxMatching struct{}
+
+// Name implements Problem.
+func (MaxMatching) Name() string { return "max-matching" }
+
+// Kind implements Problem.
+func (MaxMatching) Kind() model.Kind { return model.EdgeKind }
+
+// Goal implements Problem.
+func (MaxMatching) Goal() Goal { return Maximize }
+
+// VerifierRadius implements Problem.
+func (MaxMatching) VerifierRadius() int { return 1 }
+
+// AcceptLocal implements Problem: at most one selected edge at the root.
+func (MaxMatching) AcceptLocal(lv *LocalView) bool {
+	cnt := 0
+	for _, e := range rootEdges(lv) {
+		if lv.EdgeIn[e] {
+			cnt++
+		}
+	}
+	return cnt <= 1
+}
+
+// Feasible implements Problem.
+func (p MaxMatching) Feasible(g *graph.Graph, sol *model.Solution) error {
+	if sol.Kind != model.EdgeKind {
+		return fmt.Errorf("matching needs an edge solution")
+	}
+	if err := edgesExist(g, sol); err != nil {
+		return err
+	}
+	deg := make([]int, g.N())
+	for e := range sol.Edges {
+		deg[e.U]++
+		deg[e.V]++
+		if deg[e.U] > 1 || deg[e.V] > 1 {
+			return fmt.Errorf("two selected edges share a vertex of %v", e)
+		}
+	}
+	return nil
+}
+
+// Optimum implements Problem.
+func (MaxMatching) Optimum(g *graph.Graph) (int, error) {
+	return solve.MaxMatchingSize(g), nil
+}
+
+// MaxIndependentSet: a set of pairwise non-adjacent vertices; maximise.
+type MaxIndependentSet struct{}
+
+// Name implements Problem.
+func (MaxIndependentSet) Name() string { return "max-independent-set" }
+
+// Kind implements Problem.
+func (MaxIndependentSet) Kind() model.Kind { return model.VertexKind }
+
+// Goal implements Problem.
+func (MaxIndependentSet) Goal() Goal { return Maximize }
+
+// VerifierRadius implements Problem.
+func (MaxIndependentSet) VerifierRadius() int { return 1 }
+
+// AcceptLocal implements Problem: a member root has no member neighbour.
+func (MaxIndependentSet) AcceptLocal(lv *LocalView) bool {
+	if !lv.Member[lv.Root] {
+		return true
+	}
+	for _, u := range lv.Ball.Neighbors(lv.Root) {
+		if lv.Member[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// Feasible implements Problem.
+func (p MaxIndependentSet) Feasible(g *graph.Graph, sol *model.Solution) error {
+	if sol.Kind != model.VertexKind {
+		return fmt.Errorf("independent set needs a vertex solution")
+	}
+	for _, e := range g.Edges() {
+		if sol.Vertices[e.U] && sol.Vertices[e.V] {
+			return fmt.Errorf("edge %v inside the set", e)
+		}
+	}
+	return nil
+}
+
+// Optimum implements Problem.
+func (MaxIndependentSet) Optimum(g *graph.Graph) (int, error) {
+	return solve.MaxIndependentSetSize(g), nil
+}
+
+// MinDominatingSet: a set of vertices whose closed neighbourhoods cover
+// all vertices; minimise.
+type MinDominatingSet struct{}
+
+// Name implements Problem.
+func (MinDominatingSet) Name() string { return "min-dominating-set" }
+
+// Kind implements Problem.
+func (MinDominatingSet) Kind() model.Kind { return model.VertexKind }
+
+// Goal implements Problem.
+func (MinDominatingSet) Goal() Goal { return Minimize }
+
+// VerifierRadius implements Problem.
+func (MinDominatingSet) VerifierRadius() int { return 1 }
+
+// AcceptLocal implements Problem: the root is dominated.
+func (MinDominatingSet) AcceptLocal(lv *LocalView) bool {
+	if lv.Member[lv.Root] {
+		return true
+	}
+	for _, u := range lv.Ball.Neighbors(lv.Root) {
+		if lv.Member[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// Feasible implements Problem.
+func (p MinDominatingSet) Feasible(g *graph.Graph, sol *model.Solution) error {
+	if sol.Kind != model.VertexKind {
+		return fmt.Errorf("dominating set needs a vertex solution")
+	}
+	for v := 0; v < g.N(); v++ {
+		if sol.Vertices[v] {
+			continue
+		}
+		ok := false
+		for _, u := range g.Neighbors(v) {
+			if sol.Vertices[u] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("vertex %d undominated", v)
+		}
+	}
+	return nil
+}
+
+// Optimum implements Problem.
+func (MinDominatingSet) Optimum(g *graph.Graph) (int, error) {
+	return solve.MinDominatingSetSize(g), nil
+}
+
+// MinEdgeDominatingSet: a set D of edges such that every edge shares an
+// endpoint with an edge of D; minimise.
+type MinEdgeDominatingSet struct{}
+
+// Name implements Problem.
+func (MinEdgeDominatingSet) Name() string { return "min-edge-dominating-set" }
+
+// Kind implements Problem.
+func (MinEdgeDominatingSet) Kind() model.Kind { return model.EdgeKind }
+
+// Goal implements Problem.
+func (MinEdgeDominatingSet) Goal() Goal { return Minimize }
+
+// VerifierRadius implements Problem.
+func (MinEdgeDominatingSet) VerifierRadius() int { return 2 }
+
+// AcceptLocal implements Problem: every edge at the root is dominated
+// by a selected edge visible in the radius-2 ball.
+func (MinEdgeDominatingSet) AcceptLocal(lv *LocalView) bool {
+	for _, u := range lv.Ball.Neighbors(lv.Root) {
+		if !hasIncidentSelected(lv, lv.Root) && !hasIncidentSelected(lv, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// Feasible implements Problem.
+func (p MinEdgeDominatingSet) Feasible(g *graph.Graph, sol *model.Solution) error {
+	if sol.Kind != model.EdgeKind {
+		return fmt.Errorf("edge dominating set needs an edge solution")
+	}
+	if err := edgesExist(g, sol); err != nil {
+		return err
+	}
+	touched := make([]bool, g.N())
+	for e := range sol.Edges {
+		touched[e.U], touched[e.V] = true, true
+	}
+	for _, e := range g.Edges() {
+		if !touched[e.U] && !touched[e.V] {
+			return fmt.Errorf("edge %v undominated", e)
+		}
+	}
+	return nil
+}
+
+// Optimum implements Problem.
+func (MinEdgeDominatingSet) Optimum(g *graph.Graph) (int, error) {
+	return solve.MinEdgeDominatingSetSize(g), nil
+}
+
+// edgesExist verifies that every selected edge is a host edge.
+func edgesExist(g *graph.Graph, sol *model.Solution) error {
+	for e := range sol.Edges {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("selected %v is not an edge", e)
+		}
+	}
+	return nil
+}
+
+var (
+	_ Problem = MinVertexCover{}
+	_ Problem = MinEdgeCover{}
+	_ Problem = MaxMatching{}
+	_ Problem = MaxIndependentSet{}
+	_ Problem = MinDominatingSet{}
+	_ Problem = MinEdgeDominatingSet{}
+)

@@ -1,0 +1,222 @@
+package problems
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func vertexSol(n int, members ...int) *model.Solution {
+	s := model.NewSolution(model.VertexKind, n)
+	for _, v := range members {
+		s.Vertices[v] = true
+	}
+	return s
+}
+
+func edgeSol(n int, edges ...[2]int) *model.Solution {
+	s := model.NewSolution(model.EdgeKind, n)
+	for _, e := range edges {
+		s.Edges[graph.NewEdge(e[0], e[1])] = true
+	}
+	return s
+}
+
+func TestAllAndByName(t *testing.T) {
+	ps := All()
+	if len(ps) != 6 {
+		t.Fatalf("expected 6 problems, got %d", len(ps))
+	}
+	for _, p := range ps {
+		got, err := ByName(p.Name())
+		if err != nil || got.Name() != p.Name() {
+			t.Errorf("ByName(%q) failed: %v", p.Name(), err)
+		}
+	}
+	if _, err := ByName("nonsense"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestVertexCoverFeasibility(t *testing.T) {
+	g := graph.Cycle(4)
+	if err := (MinVertexCover{}).Feasible(g, vertexSol(4, 0, 2)); err != nil {
+		t.Errorf("valid cover rejected: %v", err)
+	}
+	if err := (MinVertexCover{}).Feasible(g, vertexSol(4, 0)); err == nil {
+		t.Error("non-cover accepted")
+	}
+	if err := (MinVertexCover{}).Feasible(g, edgeSol(4)); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestEdgeCoverFeasibility(t *testing.T) {
+	g := graph.Cycle(4)
+	if err := (MinEdgeCover{}).Feasible(g, edgeSol(4, [2]int{0, 1}, [2]int{2, 3})); err != nil {
+		t.Errorf("valid edge cover rejected: %v", err)
+	}
+	if err := (MinEdgeCover{}).Feasible(g, edgeSol(4, [2]int{0, 1})); err == nil {
+		t.Error("partial cover accepted")
+	}
+	if err := (MinEdgeCover{}).Feasible(g, edgeSol(4, [2]int{0, 2})); err == nil {
+		t.Error("non-edge accepted")
+	}
+}
+
+func TestMatchingFeasibility(t *testing.T) {
+	g := graph.Cycle(5)
+	if err := (MaxMatching{}).Feasible(g, edgeSol(5, [2]int{0, 1}, [2]int{2, 3})); err != nil {
+		t.Errorf("valid matching rejected: %v", err)
+	}
+	if err := (MaxMatching{}).Feasible(g, edgeSol(5, [2]int{0, 1}, [2]int{1, 2})); err == nil {
+		t.Error("overlapping edges accepted")
+	}
+	if err := (MaxMatching{}).Feasible(g, edgeSol(5)); err != nil {
+		t.Error("the empty matching is feasible")
+	}
+}
+
+func TestIndependentSetFeasibility(t *testing.T) {
+	g := graph.Cycle(5)
+	if err := (MaxIndependentSet{}).Feasible(g, vertexSol(5, 0, 2)); err != nil {
+		t.Errorf("valid IS rejected: %v", err)
+	}
+	if err := (MaxIndependentSet{}).Feasible(g, vertexSol(5, 0, 1)); err == nil {
+		t.Error("adjacent members accepted")
+	}
+}
+
+func TestDominatingSetFeasibility(t *testing.T) {
+	g := graph.Cycle(6)
+	if err := (MinDominatingSet{}).Feasible(g, vertexSol(6, 0, 3)); err != nil {
+		t.Errorf("valid DS rejected: %v", err)
+	}
+	if err := (MinDominatingSet{}).Feasible(g, vertexSol(6, 0)); err == nil {
+		t.Error("non-dominating set accepted")
+	}
+}
+
+func TestEDSFeasibility(t *testing.T) {
+	g := graph.Cycle(6)
+	if err := (MinEdgeDominatingSet{}).Feasible(g, edgeSol(6, [2]int{0, 1}, [2]int{3, 4})); err != nil {
+		t.Errorf("valid EDS rejected: %v", err)
+	}
+	if err := (MinEdgeDominatingSet{}).Feasible(g, edgeSol(6, [2]int{0, 1})); err == nil {
+		t.Error("non-dominating edge set accepted")
+	}
+}
+
+// Property: for every problem, the conjunction of local verifier
+// verdicts equals global feasibility — i.e., the problems really are
+// PO-checkable (LCL) as Example 1.1 claims.
+func TestQuickLocalVerifierMatchesGlobal(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				n := 4 + rng.Intn(8)
+				g := graph.RandomGraph(n, 0.25+0.4*rng.Float64(), rng)
+				sol := model.NewSolution(p.Kind(), n)
+				if p.Kind() == model.VertexKind {
+					for v := 0; v < n; v++ {
+						sol.Vertices[v] = rng.Intn(2) == 0
+					}
+				} else {
+					for _, e := range g.Edges() {
+						if rng.Intn(2) == 0 {
+							sol.Edges[e] = true
+						}
+					}
+				}
+				global := p.Feasible(g, sol) == nil
+				local := VerifyLocally(p, g, sol)
+				return global == local
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestRatioMinimisation(t *testing.T) {
+	g := graph.Cycle(4) // τ = 2
+	r, err := Ratio(MinVertexCover{}, g, vertexSol(4, 0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1.5 {
+		t.Errorf("ratio %v, want 1.5", r)
+	}
+	if _, err := Ratio(MinVertexCover{}, g, vertexSol(4)); err == nil {
+		t.Error("infeasible solution should error")
+	}
+}
+
+func TestRatioMaximisation(t *testing.T) {
+	g := graph.Cycle(6) // ν = 3
+	r, err := Ratio(MaxMatching{}, g, edgeSol(6, [2]int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 3 {
+		t.Errorf("ratio %v, want 3", r)
+	}
+	r, err = Ratio(MaxMatching{}, g, edgeSol(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r, 1) {
+		t.Errorf("empty maximisation solution should give +Inf, got %v", r)
+	}
+}
+
+func TestOptimumValues(t *testing.T) {
+	g := graph.Cycle(9)
+	cases := []struct {
+		p    Problem
+		want int
+	}{
+		{MinVertexCover{}, 5},
+		{MinEdgeCover{}, 5},
+		{MaxMatching{}, 4},
+		{MaxIndependentSet{}, 4},
+		{MinDominatingSet{}, 3},
+		{MinEdgeDominatingSet{}, 3},
+	}
+	for _, tc := range cases {
+		got, err := tc.p.Optimum(g)
+		if err != nil {
+			t.Errorf("%s: %v", tc.p.Name(), err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s on C9: %d, want %d", tc.p.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestBuildLocalViewRestricts(t *testing.T) {
+	// The local view of a radius-1 verifier at v must contain only
+	// B(v,1) — locality is enforced structurally.
+	g := graph.Cycle(8)
+	sol := vertexSol(8, 0, 4)
+	lv := BuildLocalView(MinVertexCover{}, g, sol, 0)
+	if lv.Ball.N() != 3 {
+		t.Errorf("radius-1 ball on cycle has 3 vertices, got %d", lv.Ball.N())
+	}
+	if !lv.Member[lv.Root] {
+		t.Error("root membership lost")
+	}
+	for i, d := range lv.Dist {
+		if d < 0 || d > 1 {
+			t.Errorf("vertex %d at distance %d inside radius-1 view", i, d)
+		}
+	}
+}

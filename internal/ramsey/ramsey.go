@@ -1,0 +1,124 @@
+// Package ramsey provides an explicit search for monochromatic subsets:
+// the finite, constructive counterpart of Ramsey's theorem used in
+// Section 4.2 of the paper. There, identifiers are t-subsets of N
+// coloured by the output behaviour of an ID-algorithm A on the tree
+// T*; a monochromatic m-subset J yields identifier assignments on
+// which A is order-invariant.
+//
+// Ramsey's theorem guarantees a monochromatic subset exists once the
+// universe is astronomically large; this package *finds* one in the
+// small universes arising from small locality radii, which is all the
+// experiments need.
+package ramsey
+
+import "sort"
+
+// FindMonochromatic searches {0, …, universe−1} for an m-subset J all
+// of whose t-subsets receive the same colour under color. The subset
+// is returned in increasing order together with the common colour.
+// color must be deterministic; its argument is always sorted
+// increasing and must not be retained.
+func FindMonochromatic(universe, t, m int, color func(subset []int) string) ([]int, string, bool) {
+	if t <= 0 || m < t || universe < m {
+		return nil, "", false
+	}
+	j := make([]int, 0, m)
+	var chosen string
+	haveColor := false
+
+	// subsetsWithLast enumerates the t-subsets of j that include j's
+	// last element, checking each against the chosen colour.
+	consistent := func() bool {
+		last := j[len(j)-1]
+		rest := j[:len(j)-1]
+		if len(rest) < t-1 {
+			return true
+		}
+		idx := make([]int, t-1)
+		for i := range idx {
+			idx[i] = i
+		}
+		buf := make([]int, t)
+		for {
+			for i, x := range idx {
+				buf[i] = rest[x]
+			}
+			buf[t-1] = last
+			sort.Ints(buf)
+			c := color(buf)
+			if !haveColor {
+				chosen = c
+				haveColor = true
+			} else if c != chosen {
+				return false
+			}
+			// Next (t-1)-combination of rest.
+			i := t - 2
+			for i >= 0 && idx[i] == len(rest)-(t-1)+i {
+				i--
+			}
+			if i < 0 {
+				return true
+			}
+			idx[i]++
+			for k := i + 1; k < t-1; k++ {
+				idx[k] = idx[k-1] + 1
+			}
+		}
+	}
+
+	var rec func(next int) bool
+	rec = func(next int) bool {
+		if len(j) == m {
+			return true
+		}
+		for cand := next; cand <= universe-(m-len(j)); cand++ {
+			j = append(j, cand)
+			colorWasSet := haveColor
+			savedColor := chosen
+			if consistent() && rec(cand+1) {
+				return true
+			}
+			j = j[:len(j)-1]
+			if !colorWasSet {
+				haveColor = false
+				chosen = savedColor
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, "", false
+	}
+	out := append([]int(nil), j...)
+	return out, chosen, true
+}
+
+// Subsets enumerates the k-subsets of {0, …, n−1} in lexicographic
+// order, calling fn with each (the slice is reused; do not retain).
+// Enumeration stops early if fn returns false.
+func Subsets(n, k int, fn func(subset []int) bool) {
+	if k < 0 || k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !fn(idx) {
+			return
+		}
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package ramsey
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubsetsEnumeration(t *testing.T) {
+	var got [][]int
+	Subsets(4, 2, func(s []int) bool {
+		got = append(got, append([]int(nil), s...))
+		return true
+	})
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d subsets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("subset %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	count := 0
+	Subsets(10, 3, func([]int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop failed: %d calls", count)
+	}
+}
+
+func TestSubsetsDegenerate(t *testing.T) {
+	count := 0
+	Subsets(3, 0, func(s []int) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("one empty subset expected, got %d", count)
+	}
+	Subsets(2, 3, func([]int) bool { t.Error("no subsets expected"); return true })
+}
+
+func TestFindMonochromaticConstant(t *testing.T) {
+	j, c, ok := FindMonochromatic(10, 2, 4, func([]int) string { return "x" })
+	if !ok || c != "x" || len(j) != 4 {
+		t.Fatalf("constant colouring should trivially succeed: %v %q %v", j, c, ok)
+	}
+	for i := 1; i < len(j); i++ {
+		if j[i-1] >= j[i] {
+			t.Error("result not sorted")
+		}
+	}
+}
+
+func TestFindMonochromaticRamseyR33(t *testing.T) {
+	// R(3,3) = 6: any 2-colouring of the edges of K6 has a
+	// monochromatic triangle. Try an adversarial colouring.
+	color := func(s []int) string {
+		// Colour pair {a,b} by parity of a+b.
+		if (s[0]+s[1])%2 == 0 {
+			return "red"
+		}
+		return "blue"
+	}
+	j, c, ok := FindMonochromatic(6, 2, 3, color)
+	if !ok {
+		t.Fatal("R(3,3)=6 violated?!")
+	}
+	// Verify the witness.
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if color([]int{j[a], j[b]}) != c {
+				t.Fatalf("witness %v not monochromatic", j)
+			}
+		}
+	}
+}
+
+func TestFindMonochromaticImpossible(t *testing.T) {
+	// With 3 points and all pair-colours distinct, no monochromatic
+	// 3-set exists.
+	color := func(s []int) string { return fmt.Sprintf("%d-%d", s[0], s[1]) }
+	if _, _, ok := FindMonochromatic(3, 2, 3, color); ok {
+		t.Error("impossible instance succeeded")
+	}
+}
+
+func TestFindMonochromaticDegenerate(t *testing.T) {
+	c := func([]int) string { return "z" }
+	if _, _, ok := FindMonochromatic(5, 0, 3, c); ok {
+		t.Error("t=0 accepted")
+	}
+	if _, _, ok := FindMonochromatic(5, 3, 2, c); ok {
+		t.Error("m<t accepted")
+	}
+	if _, _, ok := FindMonochromatic(2, 2, 3, c); ok {
+		t.Error("universe<m accepted")
+	}
+	j, _, ok := FindMonochromatic(4, 2, 2, c)
+	if !ok || len(j) != 2 {
+		t.Error("m == t should pick any t-subset")
+	}
+}
+
+// Property: the returned witness really is monochromatic, across random
+// colourings.
+func TestQuickWitnessValid(t *testing.T) {
+	f := func(seed int64) bool {
+		colors := []string{"a", "b"}
+		color := func(s []int) string {
+			h := seed
+			for _, x := range s {
+				h = h*31 + int64(x)
+			}
+			if h < 0 {
+				h = -h
+			}
+			return colors[h%2]
+		}
+		j, c, ok := FindMonochromatic(9, 2, 3, color)
+		if !ok {
+			// R(3,3)=6 <= 9 guarantees existence for 2 colours.
+			return false
+		}
+		valid := true
+		Subsets(len(j), 2, func(s []int) bool {
+			pair := []int{j[s[0]], j[s[1]]}
+			sort.Ints(pair)
+			if color(pair) != c {
+				valid = false
+				return false
+			}
+			return true
+		})
+		return valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: 3-uniform colourings (t=3) also yield valid witnesses when
+// they succeed.
+func TestQuickTripleColourings(t *testing.T) {
+	f := func(seed int64) bool {
+		color := func(s []int) string {
+			h := seed
+			for _, x := range s {
+				h = h*37 + int64(x)
+			}
+			if h%3 == 0 {
+				return "p"
+			}
+			return "q"
+		}
+		j, c, ok := FindMonochromatic(11, 3, 4, color)
+		if !ok {
+			return true // existence not guaranteed in a small universe
+		}
+		valid := true
+		Subsets(len(j), 3, func(s []int) bool {
+			trip := []int{j[s[0]], j[s[1]], j[s[2]]}
+			if color(trip) != c {
+				valid = false
+				return false
+			}
+			return true
+		})
+		return valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

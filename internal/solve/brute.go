@@ -1,0 +1,140 @@
+package solve
+
+import (
+	"repro/internal/graph"
+)
+
+// Brute-force reference solvers for tiny instances; used to cross-check
+// the branch-and-bound solvers in tests and usable by callers that want
+// certainty on very small graphs.
+
+// BruteMaxMatching returns ν(g) by trying all edge subsets (m <= ~20).
+func BruteMaxMatching(g *graph.Graph) int {
+	edges := g.Edges()
+	best := 0
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		if popcount(mask) <= best {
+			continue
+		}
+		if isMatching(g, edges, mask) {
+			best = popcount(mask)
+		}
+	}
+	return best
+}
+
+// BruteMinVertexCover returns τ(g) by trying all vertex subsets.
+func BruteMinVertexCover(g *graph.Graph) int {
+	best := g.N()
+	for mask := 0; mask < 1<<g.N(); mask++ {
+		if popcount(mask) >= best {
+			continue
+		}
+		if coversAll(g, mask) {
+			best = popcount(mask)
+		}
+	}
+	return best
+}
+
+// BruteMinDominatingSet returns γ(g) by trying all vertex subsets.
+func BruteMinDominatingSet(g *graph.Graph) int {
+	best := g.N()
+	for mask := 0; mask < 1<<g.N(); mask++ {
+		if popcount(mask) >= best {
+			continue
+		}
+		if dominatesAll(g, mask) {
+			best = popcount(mask)
+		}
+	}
+	return best
+}
+
+// BruteMinEdgeDominatingSet returns γ'(g) by trying all edge subsets.
+func BruteMinEdgeDominatingSet(g *graph.Graph) int {
+	edges := g.Edges()
+	best := len(edges)
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		if popcount(mask) >= best {
+			continue
+		}
+		if edgeDominatesAll(edges, mask) {
+			best = popcount(mask)
+		}
+	}
+	return best
+}
+
+func isMatching(g *graph.Graph, edges []graph.Edge, mask int) bool {
+	used := make([]bool, g.N())
+	for i, e := range edges {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		if used[e.U] || used[e.V] {
+			return false
+		}
+		used[e.U], used[e.V] = true, true
+	}
+	return true
+}
+
+func coversAll(g *graph.Graph, mask int) bool {
+	for _, e := range g.Edges() {
+		if mask&(1<<e.U) == 0 && mask&(1<<e.V) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func dominatesAll(g *graph.Graph, mask int) bool {
+	for v := 0; v < g.N(); v++ {
+		if mask&(1<<v) != 0 {
+			continue
+		}
+		ok := false
+		for _, u := range g.Neighbors(v) {
+			if mask&(1<<u) != 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func edgeDominatesAll(edges []graph.Edge, mask int) bool {
+	for i, e := range edges {
+		if mask&(1<<i) != 0 {
+			continue
+		}
+		ok := false
+		for j, f := range edges {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			if e.U == f.U || e.U == f.V || e.V == f.U || e.V == f.V {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,390 @@
+// Package solve provides exact optimisation solvers for the six simple
+// PO-checkable problems of Example 1.1 of the paper: maximum matching,
+// minimum vertex cover, maximum independent set, minimum dominating
+// set, minimum edge cover, and minimum edge dominating set. They are
+// branch-and-bound searches intended for the small worst-case
+// instances used in lower-bound experiments (tens of vertices), and
+// are cross-checked against brute force in tests.
+package solve
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// MaxMatching returns a maximum matching of g.
+func MaxMatching(g *graph.Graph) []graph.Edge {
+	n := g.N()
+	matched := make([]bool, n)
+	var best []graph.Edge
+	cur := make([]graph.Edge, 0, n/2)
+
+	free := n // number of unmatched vertices
+
+	var rec func(v int)
+	rec = func(v int) {
+		// Skip matched vertices.
+		for v < n && matched[v] {
+			v++
+		}
+		if len(cur)+free/2 <= len(best) {
+			return // bound: even perfect pairing of free vertices loses
+		}
+		if v == n {
+			if len(cur) > len(best) {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		// Branch 1: match v to a free neighbour.
+		for _, u := range g.Neighbors(v) {
+			if matched[u] {
+				continue
+			}
+			matched[v], matched[u] = true, true
+			free -= 2
+			cur = append(cur, graph.NewEdge(v, u))
+			rec(v + 1)
+			cur = cur[:len(cur)-1]
+			free += 2
+			matched[v], matched[u] = false, false
+		}
+		// Branch 2: leave v unmatched.
+		matched[v] = true
+		free--
+		rec(v + 1)
+		free++
+		matched[v] = false
+	}
+	rec(0)
+	return best
+}
+
+// MaxMatchingSize returns ν(g).
+func MaxMatchingSize(g *graph.Graph) int { return len(MaxMatching(g)) }
+
+// MinVertexCover returns a minimum vertex cover of g.
+func MinVertexCover(g *graph.Graph) []int {
+	removed := make([]bool, g.N())
+	best := allVertices(g.N()) // the trivial cover
+	cur := make([]int, 0, g.N())
+
+	// lower bound: a greedy matching among non-removed vertices.
+	lower := func() int {
+		used := make([]bool, g.N())
+		m := 0
+		for _, e := range g.Edges() {
+			if removed[e.U] || removed[e.V] || used[e.U] || used[e.V] {
+				continue
+			}
+			used[e.U], used[e.V] = true, true
+			m++
+		}
+		return m
+	}
+
+	var rec func()
+	rec = func() {
+		if len(cur)+lower() >= len(best) {
+			return
+		}
+		// Find an uncovered edge.
+		var eu, ev = -1, -1
+		for _, e := range g.Edges() {
+			if !removed[e.U] && !removed[e.V] {
+				eu, ev = e.U, e.V
+				break
+			}
+		}
+		if eu == -1 {
+			if len(cur) < len(best) {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		for _, v := range []int{eu, ev} {
+			removed[v] = true
+			cur = append(cur, v)
+			rec()
+			cur = cur[:len(cur)-1]
+			removed[v] = false
+		}
+	}
+	rec()
+	return best
+}
+
+// MinVertexCoverSize returns τ(g).
+func MinVertexCoverSize(g *graph.Graph) int { return len(MinVertexCover(g)) }
+
+// MaxIndependentSet returns a maximum independent set (the complement
+// of a minimum vertex cover).
+func MaxIndependentSet(g *graph.Graph) []int {
+	inCover := make([]bool, g.N())
+	for _, v := range MinVertexCover(g) {
+		inCover[v] = true
+	}
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		if !inCover[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MaxIndependentSetSize returns α(g).
+func MaxIndependentSetSize(g *graph.Graph) int { return g.N() - MinVertexCoverSize(g) }
+
+// MinDominatingSet returns a minimum dominating set of g.
+func MinDominatingSet(g *graph.Graph) []int {
+	n := g.N()
+	domCount := make([]int, n) // how many chosen vertices dominate v
+	best := allVertices(n)
+	cur := make([]int, 0, n)
+	maxCover := g.MaxDegree() + 1
+
+	undominated := n
+
+	choose := func(c int, delta int) {
+		for _, u := range append([]int{c}, g.Neighbors(c)...) {
+			if delta > 0 {
+				if domCount[u] == 0 {
+					undominated--
+				}
+				domCount[u]++
+			} else {
+				domCount[u]--
+				if domCount[u] == 0 {
+					undominated++
+				}
+			}
+		}
+	}
+
+	var rec func()
+	rec = func() {
+		lb := (undominated + maxCover - 1) / maxCover
+		if len(cur)+lb >= len(best) {
+			return
+		}
+		if undominated == 0 {
+			if len(cur) < len(best) {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		// Pick the smallest undominated vertex; someone in N[v] must be chosen.
+		v := -1
+		for u := 0; u < n; u++ {
+			if domCount[u] == 0 {
+				v = u
+				break
+			}
+		}
+		cands := append([]int{v}, g.Neighbors(v)...)
+		for _, c := range cands {
+			choose(c, +1)
+			cur = append(cur, c)
+			rec()
+			cur = cur[:len(cur)-1]
+			choose(c, -1)
+		}
+	}
+	rec()
+	return best
+}
+
+// MinDominatingSetSize returns γ(g).
+func MinDominatingSetSize(g *graph.Graph) int { return len(MinDominatingSet(g)) }
+
+// MinEdgeCover returns a minimum edge cover via Gallai's identity: take
+// a maximum matching and greedily cover the remaining vertices with one
+// edge each (size n − ν). It fails if g has an isolated vertex.
+func MinEdgeCover(g *graph.Graph) ([]graph.Edge, error) {
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			return nil, fmt.Errorf("solve: vertex %d is isolated; no edge cover exists", v)
+		}
+	}
+	m := MaxMatching(g)
+	covered := make([]bool, g.N())
+	for _, e := range m {
+		covered[e.U], covered[e.V] = true, true
+	}
+	out := append([]graph.Edge(nil), m...)
+	for v := 0; v < g.N(); v++ {
+		if !covered[v] {
+			u := g.Neighbors(v)[0]
+			out = append(out, graph.NewEdge(v, u))
+			covered[v] = true
+		}
+	}
+	return out, nil
+}
+
+// MinEdgeCoverSize returns ρ(g) = n − ν(g).
+func MinEdgeCoverSize(g *graph.Graph) (int, error) {
+	ec, err := MinEdgeCover(g)
+	if err != nil {
+		return 0, err
+	}
+	return len(ec), nil
+}
+
+// MinEdgeDominatingSet returns a minimum edge dominating set: a set D
+// of edges such that every edge shares an endpoint with some edge of D.
+func MinEdgeDominatingSet(g *graph.Graph) []graph.Edge {
+	edges := g.Edges()
+	m := len(edges)
+	if m == 0 {
+		return nil
+	}
+	// adjacency between edges: e dominates f iff they share an endpoint
+	// (or are equal).
+	incident := make([][]int, g.N()) // vertex -> incident edge indices
+	for i, e := range edges {
+		incident[e.U] = append(incident[e.U], i)
+		incident[e.V] = append(incident[e.V], i)
+	}
+	dominators := make([][]int, m) // edge -> indices of edges dominating it
+	for i, e := range edges {
+		seen := map[int]bool{}
+		for _, v := range []int{e.U, e.V} {
+			for _, j := range incident[v] {
+				if !seen[j] {
+					seen[j] = true
+					dominators[i] = append(dominators[i], j)
+				}
+			}
+		}
+	}
+	maxDom := 0
+	for _, d := range dominators {
+		if len(d) > maxDom {
+			maxDom = len(d)
+		}
+	}
+
+	domCount := make([]int, m)
+	undominated := m
+	best := make([]int, m)
+	for i := range best {
+		best[i] = i
+	}
+	cur := make([]int, 0, m)
+
+	apply := func(j, delta int) {
+		for _, i := range dominators[j] {
+			if delta > 0 {
+				if domCount[i] == 0 {
+					undominated--
+				}
+				domCount[i]++
+			} else {
+				domCount[i]--
+				if domCount[i] == 0 {
+					undominated++
+				}
+			}
+		}
+	}
+
+	var rec func()
+	rec = func() {
+		lb := (undominated + maxDom - 1) / maxDom
+		if len(cur)+lb >= len(best) {
+			return
+		}
+		if undominated == 0 {
+			if len(cur) < len(best) {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		// Some undominated edge; one of its dominators must be chosen.
+		f := -1
+		for i := 0; i < m; i++ {
+			if domCount[i] == 0 {
+				f = i
+				break
+			}
+		}
+		for _, j := range dominators[f] {
+			apply(j, +1)
+			cur = append(cur, j)
+			rec()
+			cur = cur[:len(cur)-1]
+			apply(j, -1)
+		}
+	}
+	rec()
+	out := make([]graph.Edge, len(best))
+	for i, j := range best {
+		out[i] = edges[j]
+	}
+	return out
+}
+
+// MinEdgeDominatingSetSize returns γ'(g).
+func MinEdgeDominatingSetSize(g *graph.Graph) int { return len(MinEdgeDominatingSet(g)) }
+
+func allVertices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// GreedyEdgeDominatingSet returns a feasible edge dominating set by
+// repeatedly selecting the edge that dominates the most currently
+// undominated edges. Its size upper-bounds γ'(g), which lower-bounds
+// the certified PO ratio n/γ' on view-homogeneous instances too large
+// for the exact solver.
+func GreedyEdgeDominatingSet(g *graph.Graph) []graph.Edge {
+	edges := g.Edges()
+	dominated := make([]bool, len(edges))
+	incident := make([][]int, g.N())
+	for i, e := range edges {
+		incident[e.U] = append(incident[e.U], i)
+		incident[e.V] = append(incident[e.V], i)
+	}
+	coverage := func(i int) int {
+		c := 0
+		seen := map[int]bool{}
+		for _, v := range []int{edges[i].U, edges[i].V} {
+			for _, j := range incident[v] {
+				if !dominated[j] && !seen[j] {
+					seen[j] = true
+					c++
+				}
+			}
+		}
+		return c
+	}
+	var out []graph.Edge
+	remaining := len(edges)
+	for remaining > 0 {
+		best, bestCov := -1, 0
+		for i := range edges {
+			if cov := coverage(i); cov > bestCov {
+				best, bestCov = i, cov
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, edges[best])
+		for _, v := range []int{edges[best].U, edges[best].V} {
+			for _, j := range incident[v] {
+				if !dominated[j] {
+					dominated[j] = true
+					remaining--
+				}
+			}
+		}
+	}
+	return out
+}

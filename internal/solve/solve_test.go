@@ -1,0 +1,318 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestMaxMatchingKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"C4", graph.Cycle(4), 2},
+		{"C5", graph.Cycle(5), 2},
+		{"C6", graph.Cycle(6), 3},
+		{"C9", graph.Cycle(9), 4},
+		{"K4", graph.Complete(4), 2},
+		{"K5", graph.Complete(5), 2},
+		{"Petersen", graph.Petersen(), 5},
+		{"Star5", graph.Star(5), 1},
+		{"P6", graph.Path(6), 3},
+		{"K33", graph.CompleteBipartite(3, 3), 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := MaxMatching(tc.g)
+			if len(m) != tc.want {
+				t.Errorf("ν = %d, want %d", len(m), tc.want)
+			}
+			used := make(map[int]bool)
+			for _, e := range m {
+				if used[e.U] || used[e.V] {
+					t.Fatal("witness is not a matching")
+				}
+				used[e.U], used[e.V] = true, true
+				if !tc.g.HasEdge(e.U, e.V) {
+					t.Fatal("witness uses a non-edge")
+				}
+			}
+		})
+	}
+}
+
+func TestMinVertexCoverKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"C4", graph.Cycle(4), 2},
+		{"C5", graph.Cycle(5), 3},
+		{"C7", graph.Cycle(7), 4},
+		{"K5", graph.Complete(5), 4},
+		{"Star6", graph.Star(6), 1},
+		{"Petersen", graph.Petersen(), 6},
+		{"K34", graph.CompleteBipartite(3, 4), 3},
+		{"P5", graph.Path(5), 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MinVertexCover(tc.g)
+			if len(c) != tc.want {
+				t.Errorf("τ = %d, want %d", len(c), tc.want)
+			}
+			in := make(map[int]bool)
+			for _, v := range c {
+				in[v] = true
+			}
+			for _, e := range tc.g.Edges() {
+				if !in[e.U] && !in[e.V] {
+					t.Fatal("witness is not a cover")
+				}
+			}
+		})
+	}
+}
+
+func TestMaxIndependentSetKnown(t *testing.T) {
+	if got := MaxIndependentSetSize(graph.Cycle(9)); got != 4 {
+		t.Errorf("α(C9) = %d, want 4", got)
+	}
+	if got := MaxIndependentSetSize(graph.Petersen()); got != 4 {
+		t.Errorf("α(Petersen) = %d, want 4", got)
+	}
+	is := MaxIndependentSet(graph.Cycle(6))
+	g := graph.Cycle(6)
+	for i, u := range is {
+		for _, v := range is[i+1:] {
+			if g.HasEdge(u, v) {
+				t.Fatal("witness not independent")
+			}
+		}
+	}
+}
+
+func TestMinDominatingSetKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"C4", graph.Cycle(4), 2},
+		{"C6", graph.Cycle(6), 2},
+		{"C7", graph.Cycle(7), 3},
+		{"C9", graph.Cycle(9), 3},
+		{"K5", graph.Complete(5), 1},
+		{"Star6", graph.Star(6), 1},
+		{"Petersen", graph.Petersen(), 3},
+		{"P6", graph.Path(6), 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := MinDominatingSet(tc.g)
+			if len(d) != tc.want {
+				t.Errorf("γ = %d, want %d", len(d), tc.want)
+			}
+			in := make(map[int]bool)
+			for _, v := range d {
+				in[v] = true
+			}
+			for v := 0; v < tc.g.N(); v++ {
+				if in[v] {
+					continue
+				}
+				ok := false
+				for _, u := range tc.g.Neighbors(v) {
+					if in[u] {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("vertex %d undominated", v)
+				}
+			}
+		})
+	}
+}
+
+func TestMinEdgeCoverKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"C4", graph.Cycle(4), 2},
+		{"C5", graph.Cycle(5), 3},
+		{"C6", graph.Cycle(6), 3},
+		{"K4", graph.Complete(4), 2},
+		{"Star5", graph.Star(5), 5},
+		{"Petersen", graph.Petersen(), 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			ec, err := MinEdgeCover(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ec) != tc.want {
+				t.Errorf("ρ = %d, want %d", len(ec), tc.want)
+			}
+			covered := make([]bool, tc.g.N())
+			for _, e := range ec {
+				covered[e.U], covered[e.V] = true, true
+			}
+			for v := 0; v < tc.g.N(); v++ {
+				if !covered[v] {
+					t.Fatalf("vertex %d uncovered", v)
+				}
+			}
+		})
+	}
+	g := graph.Disjoint(graph.Path(1), graph.Cycle(3))
+	if _, err := MinEdgeCover(g); err == nil {
+		t.Error("isolated vertex accepted")
+	}
+}
+
+func TestMinEdgeDominatingSetKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"C3", graph.Cycle(3), 1},
+		{"C6", graph.Cycle(6), 2},
+		{"C9", graph.Cycle(9), 3},
+		{"C7", graph.Cycle(7), 3},
+		{"K4", graph.Complete(4), 2},
+		{"Star5", graph.Star(5), 1},
+		{"P4", graph.Path(4), 1},
+		{"Petersen", graph.Petersen(), 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := MinEdgeDominatingSet(tc.g)
+			if len(d) != tc.want {
+				t.Errorf("γ' = %d, want %d", len(d), tc.want)
+			}
+			// Feasibility: every edge shares an endpoint with D.
+			for _, e := range tc.g.Edges() {
+				ok := false
+				for _, f := range d {
+					if e.U == f.U || e.U == f.V || e.V == f.U || e.V == f.V {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("edge %v undominated", e)
+				}
+			}
+		})
+	}
+}
+
+func TestEDSOnCycleIsCeilNOver3(t *testing.T) {
+	// γ'(C_n) = ⌈n/3⌉ — the key fact behind the factor-3 lower bound
+	// for Δ = 2 (Theorem 1.6 with Δ' = 2: α0 = 4 − 2/2 = 3).
+	for n := 3; n <= 15; n++ {
+		want := (n + 2) / 3
+		if got := MinEdgeDominatingSetSize(graph.Cycle(n)); got != want {
+			t.Errorf("γ'(C%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestQuickSolversMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6) // tiny: brute force over subsets
+		g := graph.RandomGraph(n, 0.25+0.5*rng.Float64(), rng)
+		if g.M() > 16 {
+			return true // keep brute force cheap
+		}
+		if MaxMatchingSize(g) != BruteMaxMatching(g) {
+			return false
+		}
+		if MinVertexCoverSize(g) != BruteMinVertexCover(g) {
+			return false
+		}
+		if MinDominatingSetSize(g) != BruteMinDominatingSet(g) {
+			return false
+		}
+		return MinEdgeDominatingSetSize(g) == BruteMinEdgeDominatingSet(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGallaiIdentity(t *testing.T) {
+	// ρ(g) + ν(g) = n for graphs with no isolated vertices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomRegular(8+2*rng.Intn(4), 3, rng)
+		s, err := MinEdgeCoverSize(g)
+		if err != nil {
+			return false
+		}
+		return s+MaxMatchingSize(g) == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEDSAtMostMaximalMatching(t *testing.T) {
+	// A maximum matching is edge dominating, so γ' <= ν; also every
+	// edge dominating set has size >= m/(2Δ-1).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(7)
+		g := graph.RandomGraph(n, 0.4, rng)
+		if g.M() == 0 {
+			return MinEdgeDominatingSetSize(g) == 0
+		}
+		gamma := MinEdgeDominatingSetSize(g)
+		nu := MaxMatchingSize(g)
+		if gamma > nu {
+			return false
+		}
+		lb := (g.M() + 2*g.MaxDegree() - 2) / (2*g.MaxDegree() - 1)
+		return gamma >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyEDSFeasibleAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, g := range []*graph.Graph{
+		graph.Cycle(12),
+		graph.Petersen(),
+		graph.RandomRegular(16, 4, rng),
+		graph.Circulant(13, 1, 5),
+	} {
+		d := GreedyEdgeDominatingSet(g)
+		// Feasibility.
+		touched := make([]bool, g.N())
+		for _, e := range d {
+			touched[e.U], touched[e.V] = true, true
+		}
+		for _, e := range g.Edges() {
+			if !touched[e.U] && !touched[e.V] {
+				t.Fatalf("%v: edge %v undominated by greedy", g, e)
+			}
+		}
+		// Upper-bounds the optimum.
+		if opt := MinEdgeDominatingSetSize(g); len(d) < opt {
+			t.Fatalf("%v: greedy %d below optimum %d?!", g, len(d), opt)
+		}
+	}
+}

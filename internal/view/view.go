@@ -1,0 +1,286 @@
+// Package view implements the view trees of Section 2.5 of the paper:
+// the information available to a PO-algorithm at a node v of an
+// L-digraph G is the radius-r truncation of the view T(G, v), the
+// rooted tree whose vertices are the non-backtracking walks on G
+// starting at v.
+//
+// Walks are words over the letters L ∪ L^{-1}; a Letter with In=false
+// is ℓ (an arc traversed forwards) and with In=true is ℓ^{-1} (an arc
+// traversed backwards). Proper labellings make views deterministic:
+// a node has at most one neighbour per letter, so view trees have a
+// trivial canonical form.
+package view
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+)
+
+// Letter is an element of L ∪ L^{-1}.
+type Letter struct {
+	Label int
+	// In marks the formal inverse ℓ^{-1}: the arc is traversed from
+	// head to tail.
+	In bool
+}
+
+// Inv returns the formal inverse of the letter.
+func (l Letter) Inv() Letter { return Letter{Label: l.Label, In: !l.In} }
+
+// Less orders letters by label, with ℓ before ℓ^{-1}.
+func (l Letter) Less(m Letter) bool {
+	if l.Label != m.Label {
+		return l.Label < m.Label
+	}
+	return !l.In && m.In
+}
+
+// String renders the letter as e.g. "3" or "3'".
+func (l Letter) String() string {
+	s := strconv.Itoa(l.Label)
+	if l.In {
+		s += "'"
+	}
+	return s
+}
+
+// Key encodes a walk (a word over L ∪ L^{-1}) as a string usable as a
+// map key. The empty walk (the root λ) encodes as "".
+func Key(walk []Letter) string {
+	var sb strings.Builder
+	for i, l := range walk {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.String())
+	}
+	return sb.String()
+}
+
+// Tree is a (truncated) view tree. Children are keyed by the letter
+// extending the walk; a nil map or empty map is a leaf.
+type Tree struct {
+	Children map[Letter]*Tree
+}
+
+// Build returns the radius-r truncation of the view T(g, root):
+// τ(T(G, v)) in the paper's notation.
+func Build[V comparable](g digraph.Implicit[V], root V, r int) *Tree {
+	t, _ := BuildWithEndpoints(g, root, r)
+	return t
+}
+
+// BuildWithEndpoints additionally returns the covering map ϕ restricted
+// to the walk vertices: a map from walk key to the endpoint of the walk
+// in g.
+func BuildWithEndpoints[V comparable](g digraph.Implicit[V], root V, r int) (*Tree, map[string]V) {
+	endpoints := make(map[string]V)
+	var build func(at V, arrived Letter, hasArrived bool, depth int, walk []Letter) *Tree
+	build = func(at V, arrived Letter, hasArrived bool, depth int, walk []Letter) *Tree {
+		endpoints[Key(walk)] = at
+		node := &Tree{}
+		if depth == r {
+			return node
+		}
+		node.Children = make(map[Letter]*Tree)
+		expand := func(to V, l Letter) {
+			if hasArrived && l == arrived.Inv() {
+				return // non-backtracking
+			}
+			node.Children[l] = build(to, l, true, depth+1, append(walk, l))
+		}
+		for _, a := range g.Out(at) {
+			expand(a.To, Letter{Label: a.Label})
+		}
+		for _, a := range g.In(at) {
+			expand(a.To, Letter{Label: a.Label, In: true})
+		}
+		return node
+	}
+	return build(root, Letter{}, false, 0, nil), endpoints
+}
+
+// Complete returns the complete radius-r tree (T*, λ) over an alphabet
+// of the given size: the root has an ℓ and an ℓ^{-1} child for every
+// label ℓ, and every other internal node has all extensions except the
+// inverse of its arrival letter.
+func Complete(alphabet, r int) *Tree {
+	var build func(arrived Letter, hasArrived bool, depth int) *Tree
+	build = func(arrived Letter, hasArrived bool, depth int) *Tree {
+		node := &Tree{}
+		if depth == r {
+			return node
+		}
+		node.Children = make(map[Letter]*Tree)
+		for lbl := 0; lbl < alphabet; lbl++ {
+			for _, in := range []bool{false, true} {
+				l := Letter{Label: lbl, In: in}
+				if hasArrived && l == arrived.Inv() {
+					continue
+				}
+				node.Children[l] = build(l, true, depth+1)
+			}
+		}
+		return node
+	}
+	return build(Letter{}, false, 0)
+}
+
+// Size returns the number of vertices (walks) in the tree.
+func (t *Tree) Size() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Depth returns the height of the tree.
+func (t *Tree) Depth() int {
+	d := 0
+	for _, c := range t.Children {
+		if cd := c.Depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// sortedLetters returns the child letters in canonical order.
+func (t *Tree) sortedLetters() []Letter {
+	ls := make([]Letter, 0, len(t.Children))
+	for l := range t.Children {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Less(ls[j]) })
+	return ls
+}
+
+// Encode returns a canonical string encoding of the tree: two truncated
+// views are isomorphic as rooted L-labelled trees if and only if their
+// encodings are equal.
+func (t *Tree) Encode() string {
+	var sb strings.Builder
+	t.encode(&sb)
+	return sb.String()
+}
+
+func (t *Tree) encode(sb *strings.Builder) {
+	sb.WriteByte('(')
+	for _, l := range t.sortedLetters() {
+		sb.WriteString(l.String())
+		t.Children[l].encode(sb)
+	}
+	sb.WriteByte(')')
+}
+
+// Equal reports whether two trees are equal (isomorphic as rooted
+// labelled trees).
+func Equal(a, b *Tree) bool {
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for l, ca := range a.Children {
+		cb, ok := b.Children[l]
+		if !ok || !Equal(ca, cb) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubtreeOf reports whether t embeds into s as a rooted subtree: every
+// walk of t is a walk of s. (The paper's W ⊆ V(T*) with
+// (T*, λ) ↾ W = τ(T(G, v)).)
+func (t *Tree) IsSubtreeOf(s *Tree) bool {
+	for l, ct := range t.Children {
+		cs, ok := s.Children[l]
+		if !ok || !ct.IsSubtreeOf(cs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Visit walks the tree in canonical (BFS, letter-sorted) order, calling
+// fn with each vertex's walk and node. The root is visited first with
+// an empty walk.
+func (t *Tree) Visit(fn func(walk []Letter, node *Tree)) {
+	type item struct {
+		walk []Letter
+		node *Tree
+	}
+	queue := []item{{walk: nil, node: t}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		fn(it.walk, it.node)
+		for _, l := range it.node.sortedLetters() {
+			w := make([]Letter, len(it.walk)+1)
+			copy(w, it.walk)
+			w[len(it.walk)] = l
+			queue = append(queue, item{walk: w, node: it.node.Children[l]})
+		}
+	}
+}
+
+// Walks returns the walks of all vertices in canonical BFS order.
+// The first entry is the empty walk (the root).
+func (t *Tree) Walks() [][]Letter {
+	var out [][]Letter
+	t.Visit(func(walk []Letter, _ *Tree) {
+		out = append(out, walk)
+	})
+	return out
+}
+
+// ToGraph returns the underlying undirected tree of the view, the walks
+// naming its vertices (in canonical BFS order, root first), and the
+// root's vertex index (always 0). This is the structure an OI-algorithm
+// sees when a view is interpreted as an ordered graph.
+func (t *Tree) ToGraph() (*graph.Graph, [][]Letter, int) {
+	walks := t.Walks()
+	index := make(map[string]int, len(walks))
+	for i, w := range walks {
+		index[Key(w)] = i
+	}
+	b := graph.NewBuilder(len(walks))
+	for i, w := range walks {
+		if len(w) == 0 {
+			continue
+		}
+		parent := index[Key(w[:len(w)-1])]
+		b.MustAddEdge(parent, i)
+	}
+	return b.Build(), walks, 0
+}
+
+// ToDigraph returns the view as a materialised L-digraph together with
+// the walks naming its vertices (canonical BFS order, root = vertex 0).
+// An ℓ-letter edge from walk w to walk wℓ becomes the arc w -> wℓ
+// labelled ℓ; an ℓ^{-1}-letter edge becomes the arc wℓ^{-1} -> w.
+func (t *Tree) ToDigraph(alphabet int) (*digraph.Digraph, [][]Letter, int) {
+	walks := t.Walks()
+	index := make(map[string]int, len(walks))
+	for i, w := range walks {
+		index[Key(w)] = i
+	}
+	b := digraph.NewBuilder(len(walks), alphabet)
+	for i, w := range walks {
+		if len(w) == 0 {
+			continue
+		}
+		parent := index[Key(w[:len(w)-1])]
+		last := w[len(w)-1]
+		if last.In {
+			b.MustAddArc(i, parent, last.Label)
+		} else {
+			b.MustAddArc(parent, i, last.Label)
+		}
+	}
+	return b.Build(), walks, 0
+}

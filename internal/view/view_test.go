@@ -1,0 +1,252 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+)
+
+// directedCycle returns the n-cycle directed around with a single label.
+func directedCycle(n int) *digraph.Digraph {
+	b := digraph.NewBuilder(n, 1)
+	for i := 0; i < n; i++ {
+		b.MustAddArc(i, (i+1)%n, 0)
+	}
+	return b.Build()
+}
+
+func TestLetter(t *testing.T) {
+	a := Letter{Label: 2}
+	if a.Inv() != (Letter{Label: 2, In: true}) || a.Inv().Inv() != a {
+		t.Error("Inv broken")
+	}
+	if a.String() != "2" || a.Inv().String() != "2'" {
+		t.Error("String broken")
+	}
+	if !a.Less(a.Inv()) || a.Inv().Less(a) {
+		t.Error("Less should put ℓ before ℓ^{-1}")
+	}
+	if !(Letter{Label: 1}).Less(Letter{Label: 2, In: true}) {
+		t.Error("Less should order by label first")
+	}
+}
+
+func TestKey(t *testing.T) {
+	if Key(nil) != "" {
+		t.Error("empty walk should have empty key")
+	}
+	w := []Letter{{Label: 0}, {Label: 1, In: true}}
+	if Key(w) != "0,1'" {
+		t.Errorf("Key = %q", Key(w))
+	}
+}
+
+func TestViewOfDirectedCycle(t *testing.T) {
+	// On a directed cycle with one label, the radius-r view is a path
+	// of 2r+1 vertices: r forward steps, r backward steps.
+	for r := 0; r <= 3; r++ {
+		v := Build[int](directedCycle(20), 0, r)
+		if got, want := v.Size(), 2*r+1; got != want {
+			t.Errorf("r=%d: size %d, want %d", r, got, want)
+		}
+		if v.Depth() != r {
+			t.Errorf("r=%d: depth %d", r, v.Depth())
+		}
+	}
+}
+
+func TestViewUnrollsShortCycle(t *testing.T) {
+	// The view of the directed triangle at radius 3 is a path of 7
+	// vertices: the view "unrolls" the cycle (it is the universal
+	// cover), so it is strictly larger than the graph.
+	v := Build[int](directedCycle(3), 0, 3)
+	if v.Size() != 7 {
+		t.Errorf("size %d, want 7", v.Size())
+	}
+}
+
+func TestViewsOfCycleNodesAreIsomorphic(t *testing.T) {
+	d := directedCycle(12)
+	want := Build[int](d, 0, 3).Encode()
+	for v := 1; v < 12; v++ {
+		if got := Build[int](d, v, 3).Encode(); got != want {
+			t.Fatalf("node %d has a different view", v)
+		}
+	}
+}
+
+func TestEndpointsAreCoveringMap(t *testing.T) {
+	// Fig 4(c): ϕ maps each walk to its endpoint; in particular
+	// consecutive walks differ by one arc of the host graph.
+	d := directedCycle(5)
+	tr, endpoints := BuildWithEndpoints[int](d, 2, 2)
+	if endpoints[""] != 2 {
+		t.Error("root endpoint should be the centre")
+	}
+	tr.Visit(func(walk []Letter, _ *Tree) {
+		if len(walk) == 0 {
+			return
+		}
+		parent := endpoints[Key(walk[:len(walk)-1])]
+		child := endpoints[Key(walk)]
+		l := walk[len(walk)-1]
+		var want int
+		if l.In {
+			want = (parent + 4) % 5 // follow the arc backwards
+		} else {
+			want = (parent + 1) % 5
+		}
+		if child != want {
+			t.Errorf("walk %s: endpoint %d, want %d", Key(walk), child, want)
+		}
+	})
+}
+
+func TestCompleteTree(t *testing.T) {
+	// |T*| for alphabet L and radius r: root has 2|L| children, inner
+	// nodes 2|L|-1. For L=2, r=2 (Fig. 5): 1 + 4 + 4*3 = 17.
+	tests := []struct {
+		alphabet, r, want int
+	}{
+		{1, 0, 1},
+		{1, 1, 3},
+		{1, 2, 5}, // path: the cycle's view shape
+		{2, 1, 5},
+		{2, 2, 17},
+		{3, 2, 1 + 6 + 6*5},
+	}
+	for _, tc := range tests {
+		got := Complete(tc.alphabet, tc.r).Size()
+		if got != tc.want {
+			t.Errorf("Complete(%d,%d).Size() = %d, want %d", tc.alphabet, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestViewIsSubtreeOfComplete(t *testing.T) {
+	star := Complete(2, 3)
+	d := directedCycle(9) // alphabet 1 ⊆ alphabet 2
+	v := Build[int](d, 0, 3)
+	if !v.IsSubtreeOf(star) {
+		t.Error("cycle view should embed into T* with a larger alphabet")
+	}
+	if star.IsSubtreeOf(v) {
+		t.Error("T* should not embed into the cycle view")
+	}
+	if !v.IsSubtreeOf(v) {
+		t.Error("a tree embeds into itself")
+	}
+}
+
+func TestEncodeDistinguishes(t *testing.T) {
+	// A path digraph's endpoint view differs from its middle view.
+	b := digraph.NewBuilder(3, 1)
+	b.MustAddArc(0, 1, 0)
+	b.MustAddArc(1, 2, 0)
+	d := b.Build()
+	if Build[int](d, 0, 1).Encode() == Build[int](d, 1, 1).Encode() {
+		t.Error("distinct views got equal encodings")
+	}
+	if !Equal(Build[int](d, 0, 1), Build[int](d, 0, 1)) {
+		t.Error("Equal false negative")
+	}
+	if Equal(Build[int](d, 0, 1), Build[int](d, 1, 1)) {
+		t.Error("Equal false positive")
+	}
+}
+
+func TestWalksAndVisitOrder(t *testing.T) {
+	tr := Complete(1, 2)
+	walks := tr.Walks()
+	if len(walks) != tr.Size() {
+		t.Fatalf("walks %d != size %d", len(walks), tr.Size())
+	}
+	if len(walks[0]) != 0 {
+		t.Error("first walk should be the root")
+	}
+	// BFS order: lengths are non-decreasing.
+	for i := 1; i < len(walks); i++ {
+		if len(walks[i]) < len(walks[i-1]) {
+			t.Error("walks not in BFS order")
+		}
+	}
+}
+
+func TestToGraph(t *testing.T) {
+	tr := Complete(2, 2)
+	g, walks, root := tr.ToGraph()
+	if g.N() != 17 || g.M() != 16 {
+		t.Fatalf("T*(2,2) graph: n=%d m=%d", g.N(), g.M())
+	}
+	if root != 0 || len(walks) != 17 {
+		t.Error("root/walks wrong")
+	}
+	if g.Girth() != -1 {
+		t.Error("a view's underlying graph must be a tree")
+	}
+	if !g.Connected() {
+		t.Error("view graph must be connected")
+	}
+	if g.Degree(root) != 4 {
+		t.Errorf("root degree %d, want 4", g.Degree(root))
+	}
+}
+
+func TestToDigraph(t *testing.T) {
+	d := directedCycle(9)
+	tr := Build[int](d, 0, 2)
+	vd, walks, root := tr.ToDigraph(1)
+	if vd.N() != 5 || vd.Arcs() != 4 {
+		t.Fatalf("view digraph wrong: %v", vd)
+	}
+	if root != 0 || len(walks) != 5 {
+		t.Error("bookkeeping wrong")
+	}
+	// Rebuilding the view of the view's root gives the same view
+	// (views are invariant under taking views of trees).
+	again := Build[int](vd, root, 2)
+	if !Equal(tr, again) {
+		t.Error("view of view differs")
+	}
+}
+
+// Property: the view tree of a port-numbered random regular graph at
+// radius r has size at most that of the complete tree and embeds in it.
+func TestQuickViewEmbedsInComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomRegular(12, 3, rng)
+		p := digraph.FromPorts(g, nil)
+		r := 1 + rng.Intn(2)
+		star := Complete(p.D.Alphabet(), r)
+		v := Build[int](p.D, rng.Intn(g.N()), r)
+		return v.Size() <= star.Size() && v.IsSubtreeOf(star)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: views are invariant under the covering map from a cycle of
+// double length (a lift): the view of C_{2n} at any node equals the
+// view of C_n at its image.
+func TestQuickViewLiftInvariance(t *testing.T) {
+	f := func(k uint8) bool {
+		n := 3 + int(k)%10
+		g1 := directedCycle(n)
+		g2 := directedCycle(2 * n)
+		r := 2
+		for v := 0; v < 2*n; v++ {
+			if Build[int](g2, v, r).Encode() != Build[int](g1, v%n, r).Encode() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

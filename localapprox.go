@@ -1,0 +1,135 @@
+// Package localapprox is a Go reproduction of
+//
+//	Mika Göös, Juho Hirvonen, Jukka Suomela:
+//	"Lower Bounds for Local Approximation", PODC 2012.
+//
+// The paper proves that for simple PO-checkable graph optimisation
+// problems on bounded-degree lift-closed families, deterministic
+// constant-time distributed algorithms gain nothing from unique
+// identifiers: ID = OI = PO for local approximation.
+//
+// This package is a thin facade re-exporting the library's main entry
+// points; the implementation lives in the internal packages:
+//
+//	internal/graph       graphs and generators
+//	internal/digraph     L-digraphs, ports, covering maps, lazy graphs
+//	internal/view        view trees T(G,v) and T*
+//	internal/order       ordered balls, homogeneity (Def. 3.1)
+//	internal/group       the groups U_i, H_i, W_i of Section 5
+//	internal/homog       the Theorem 3.2 construction
+//	internal/lift        lifts and the Theorem 3.3 product
+//	internal/model       the ID/OI/PO models and simulators
+//	internal/core        the main-theorem transforms and the certified
+//	                     PO lower-bound engine
+//	internal/ramsey      monochromatic-subset search (Section 4.2)
+//	internal/problems    the six problems of Example 1.1
+//	internal/solve       exact optimisation solvers
+//	internal/algorithms  local algorithms (upper bounds + adversaries)
+//	internal/experiments the E1–E14 experiment suite
+//
+// Quick start (see also examples/):
+//
+//	g := localapprox.Cycle(9)
+//	h := localapprox.HostFromGraph(g)
+//	sol, _ := localapprox.RunPO(h, localapprox.EDSOneOut(), localapprox.EdgeKind)
+//	ratio, _ := localapprox.Ratio(localapprox.MinEDS, g, sol)
+package localapprox
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/digraph"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/homog"
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/problems"
+)
+
+// Re-exported core types.
+type (
+	// Graph is an undirected bounded-degree graph.
+	Graph = graph.Graph
+	// Digraph is an L-edge-labelled digraph (port numbering +
+	// orientation).
+	Digraph = digraph.Digraph
+	// Host is a graph instance runnable in all three models.
+	Host = model.Host
+	// Solution is a vertex or edge subset produced by an algorithm.
+	Solution = model.Solution
+	// Problem is a simple PO-checkable optimisation problem.
+	Problem = problems.Problem
+	// Construction is a Theorem 3.2 homogeneous-graph construction.
+	Construction = homog.Construction
+	// LowerBound is a machine-certified PO-model lower bound.
+	LowerBound = core.LowerBound
+	// TransferReport is an end-to-end Theorem 4.1 run.
+	TransferReport = core.TransferReport
+	// Table is an experiment result.
+	Table = experiments.Table
+	// Rank is a linear order on vertices (the OI model's structure).
+	Rank = order.Rank
+	// SearchOptions bounds the homogeneous-construction search.
+	SearchOptions = homog.SearchOptions
+)
+
+// Solution kinds.
+const (
+	VertexKind = model.VertexKind
+	EdgeKind   = model.EdgeKind
+)
+
+// The six problems of Example 1.1.
+var (
+	MinVC  = problems.MinVertexCover{}
+	MinEC  = problems.MinEdgeCover{}
+	MaxMM  = problems.MaxMatching{}
+	MaxIS  = problems.MaxIndependentSet{}
+	MinDS  = problems.MinDominatingSet{}
+	MinEDS = problems.MinEdgeDominatingSet{}
+)
+
+// Graph generators.
+var (
+	Cycle         = graph.Cycle
+	Torus         = graph.Torus
+	Petersen      = graph.Petersen
+	Complete      = graph.Complete
+	Circulant     = graph.Circulant
+	RandomRegular = graph.RandomRegular
+)
+
+// Hosts and runners.
+var (
+	HostFromGraph = model.HostFromGraph
+	NewHost       = model.NewHost
+	RunPO         = model.RunPO
+	RunOI         = model.RunOI
+	RunID         = model.RunID
+	RunRounds     = model.RunRounds
+)
+
+// Algorithms.
+var (
+	EDSOneOut     = algorithms.EDSOneOut
+	ECOneEdge     = algorithms.ECOneEdge
+	DSAll         = algorithms.DSAll
+	VCAll         = algorithms.VCAll
+	VCEdgePacking = algorithms.VCEdgePacking
+	ColeVishkin   = algorithms.ColeVishkinMIS
+	IDGreedyEDS   = algorithms.IDGreedyEDS
+)
+
+// Main-theorem machinery.
+var (
+	SearchHomogeneous    = homog.Search
+	OIToPO               = core.OIToPO
+	TransferOIToPO       = core.TransferOIToPO
+	BuildHomogeneousLift = core.BuildHomogeneousLift
+	CertifyPOLowerBound  = core.CertifyPOLowerBound
+	IDToOI               = core.IDToOI
+	Ratio                = problems.Ratio
+	VerifyLocally        = problems.VerifyLocally
+	AllExperiments       = experiments.All
+)

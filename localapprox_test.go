@@ -1,0 +1,51 @@
+package localapprox
+
+import "testing"
+
+// TestFacadeEndToEnd exercises the public API exactly as the package
+// documentation advertises.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := Cycle(9)
+	h := HostFromGraph(g)
+	sol, err := RunPO(h, EDSOneOut(), EdgeKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := Ratio(MinEDS, g, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 3.0001 {
+		t.Errorf("EDS ratio %v exceeds 3 on a cycle", ratio)
+	}
+	if !VerifyLocally(MinEDS, g, sol) {
+		t.Error("local verification failed")
+	}
+}
+
+func TestFacadeLowerBound(t *testing.T) {
+	h := HostFromGraph(Cycle(6))
+	lb, err := CertifyPOLowerBound(h, MinVC, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.BestRatio < 1 {
+		t.Errorf("bound %v below 1", lb.BestRatio)
+	}
+}
+
+func TestFacadeConstruction(t *testing.T) {
+	c, err := SearchHomogeneous(1, 1, SearchOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CertifiedGirthFloor(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	if len(AllExperiments()) < 10 {
+		t.Error("experiment registry too small")
+	}
+}
