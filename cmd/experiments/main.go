@@ -3,9 +3,13 @@
 // index) and prints the results as text tables, or as markdown with
 // -markdown (the source of EXPERIMENTS.md's tables).
 //
+// The full sweep fans the independent experiments out over a worker
+// pool (-p controls the width; -p 1 is the sequential fallback);
+// results are printed in suite order either way.
+//
 // Usage:
 //
-//	experiments [-markdown] [-only E10]
+//	experiments [-markdown] [-only E10] [-p N]
 package main
 
 import (
@@ -14,12 +18,15 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E10)")
+	parallelism := flag.Int("p", 0, "worker-pool width (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
+	par.Set(*parallelism)
 	if err := run(*markdown, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -27,24 +34,33 @@ func main() {
 }
 
 func run(markdown bool, only string) error {
-	ran := 0
+	if only == "" {
+		for _, res := range experiments.RunAll() {
+			if res.Err != nil {
+				return fmt.Errorf("%s (%s): %w", res.ID, res.Name, res.Err)
+			}
+			emit(res.Table, markdown)
+		}
+		return nil
+	}
 	for _, e := range experiments.All() {
-		if only != "" && e.ID != only {
+		if e.ID != only {
 			continue
 		}
 		tbl, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
 		}
-		if markdown {
-			fmt.Print(tbl.Markdown())
-		} else {
-			fmt.Println(tbl.String())
-		}
-		ran++
+		emit(tbl, markdown)
+		return nil
 	}
-	if ran == 0 {
-		return fmt.Errorf("no experiment matches %q", only)
+	return fmt.Errorf("no experiment matches %q", only)
+}
+
+func emit(t *experiments.Table, markdown bool) {
+	if markdown {
+		fmt.Print(t.Markdown())
+	} else {
+		fmt.Println(t.String())
 	}
-	return nil
 }

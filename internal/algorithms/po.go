@@ -88,11 +88,7 @@ func VCAll() model.PO {
 // be optimal for PO algorithms on cycles.
 func EDSAll() model.PO {
 	return model.FuncPO{R: 1, Fn: func(t *view.Tree) model.Output {
-		out := model.Output{}
-		for l := range t.Children {
-			out.Letters = append(out.Letters, l)
-		}
-		return out
+		return model.Output{Letters: t.Letters()}
 	}}
 }
 
@@ -114,33 +110,23 @@ func EmptyEdge() model.PO {
 }
 
 func minOutLetter(t *view.Tree) (view.Letter, bool) {
-	var best view.Letter
-	found := false
-	for l := range t.Children {
-		if l.In {
-			continue
-		}
-		if !found || l.Label < best.Label {
-			best = l
-			found = true
+	// Children are letter-sorted (label ascending, ℓ before ℓ^{-1}),
+	// so the first forward letter is the smallest-label out-arc.
+	for _, c := range t.Children() {
+		if !c.L.In {
+			return c.L, true
 		}
 	}
-	return best, found
+	return view.Letter{}, false
 }
 
 func minInLetter(t *view.Tree) (view.Letter, bool) {
-	var best view.Letter
-	found := false
-	for l := range t.Children {
-		if !l.In {
-			continue
-		}
-		if !found || l.Label < best.Label {
-			best = l
-			found = true
+	for _, c := range t.Children() {
+		if c.L.In {
+			return c.L, true
 		}
 	}
-	return best, found
+	return view.Letter{}, false
 }
 
 // --- OI algorithms ---

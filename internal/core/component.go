@@ -33,24 +33,26 @@ type ComponentReport struct {
 // overall fraction, so the connected version of the construction loses
 // nothing.
 func (lr *LiftResult) BestComponent(c *homog.Construction) (*ComponentReport, error) {
-	tauType, err := c.TauStarBallEncoding()
-	if err != nil {
-		return nil, err
-	}
 	hcay, err := c.HCayley(lr.M)
 	if err != nil {
 		return nil, err
 	}
-	isTau := make(map[string]bool)
+	// Distinct fibre coordinates, in first-appearance order.
+	var coords []string
+	seen := make(map[string]bool)
 	for _, pr := range lr.Pairs {
-		if _, ok := isTau[pr.H]; ok {
-			continue
+		if !seen[pr.H] {
+			seen[pr.H] = true
+			coords = append(coords, pr.H)
 		}
-		ball, err := order.CanonicalBallImplicit[string](hcay, c.NodeLess, pr.H, c.R)
-		if err != nil {
-			return nil, err
-		}
-		isTau[pr.H] = ball.Encode() == tauType
+	}
+	flags, err := c.ClassifyTau(hcay, coords)
+	if err != nil {
+		return nil, err
+	}
+	isTau := make(map[string]bool, len(coords))
+	for i, h := range coords {
+		isTau[h] = flags[i]
 	}
 
 	comps := lr.Host.G.Components()

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/par"
+	"repro/internal/problems"
+)
+
+// TestLowerBoundEnginesParallelInvariant runs both certified
+// lower-bound engines at parallelism 1 and 8 on small hosts (a cycle
+// and the Petersen graph) and requires identical certificates — the
+// type classification is the only parallel stage, and its id
+// assignment is in vertex order.
+func TestLowerBoundEnginesParallelInvariant(t *testing.T) {
+	hosts := map[string]*model.Host{}
+	b := digraph.NewBuilder(9, 1)
+	for i := 0; i < 9; i++ {
+		b.MustAddArc(i, (i+1)%9, 0)
+	}
+	h, err := model.NewHost(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts["cycle9"] = h
+	hosts["petersen"] = model.HostFromGraph(graph.Petersen())
+	_ = rand.Int // keep math/rand linked for future hosts
+
+	for name, h := range hosts {
+		// Vertex problems keep the enumeration at 2^types; the cycle's
+		// edge problems are covered by the package's main tests.
+		rank := order.Identity(h.G.N())
+		old := par.Set(1)
+		seqPO, errPO := CertifyPOLowerBound(h, problems.MinDominatingSet{}, 1, 1<<20)
+		seqOI, errOI := CertifyOILowerBound(h, rank, problems.MinVertexCover{}, 1, 1<<20)
+		par.Set(8)
+		parPO, errPO2 := CertifyPOLowerBound(h, problems.MinDominatingSet{}, 1, 1<<20)
+		parOI, errOI2 := CertifyOILowerBound(h, rank, problems.MinVertexCover{}, 1, 1<<20)
+		par.Set(old)
+		if errPO != nil || errPO2 != nil || errOI != nil || errOI2 != nil {
+			t.Fatalf("%s: errors %v %v %v %v", name, errPO, errPO2, errOI, errOI2)
+		}
+		if *seqPO != *parPO {
+			t.Fatalf("%s: PO certificate diverged: seq %+v par %+v", name, seqPO, parPO)
+		}
+		if *seqOI != *parOI {
+			t.Fatalf("%s: OI certificate diverged: seq %+v par %+v", name, seqOI, parOI)
+		}
+	}
+}

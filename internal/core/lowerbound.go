@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/problems"
 	"repro/internal/view"
 )
@@ -46,23 +46,24 @@ func CertifyPOLowerBound(h *model.Host, p problems.Problem, r, maxAlgorithms int
 	if err != nil {
 		return nil, err
 	}
-	// Classify nodes by view type; record each type's root letters.
+	// Classify nodes by view type. Views are hash-consed, so the type
+	// map is keyed by interned *Tree — pointer identity, no Encode()
+	// strings. The per-node view builds are data-parallel; type ids are
+	// assigned in vertex order, so the numbering is deterministic.
+	trees := make([]*view.Tree, n)
+	par.For(n, func(v int) {
+		trees[v] = view.Build[int](h.D, v, r)
+	})
 	typeOf := make([]int, n)
-	index := map[string]int{}
+	index := map[*view.Tree]int{}
 	var rootLetters [][]view.Letter
 	for v := 0; v < n; v++ {
-		t := view.Build[int](h.D, v, r)
-		enc := t.Encode()
-		id, ok := index[enc]
+		t := trees[v]
+		id, ok := index[t]
 		if !ok {
 			id = len(index)
-			index[enc] = id
-			ls := make([]view.Letter, 0, len(t.Children))
-			for l := range t.Children {
-				ls = append(ls, l)
-			}
-			sort.Slice(ls, func(i, j int) bool { return ls[i].Less(ls[j]) })
-			rootLetters = append(rootLetters, ls)
+			index[t] = id
+			rootLetters = append(rootLetters, t.Letters())
 		}
 		typeOf[v] = id
 	}

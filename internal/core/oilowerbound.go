@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/problems"
 )
 
@@ -49,19 +50,27 @@ func CertifyOILowerBound(h *model.Host, rank order.Rank, p problems.Problem, r, 
 		return nil, err
 	}
 	// Classify nodes by ordered ball type; remember each node's
-	// ball-to-host vertex map for edge outputs.
-	typeOf := make([]int, n)
-	index := map[string]int{}
-	var rootNbrs [][]int // per type: ball indices adjacent to the root
+	// ball-to-host vertex map for edge outputs. Balls are interned so
+	// the type map is keyed by canonical *Ball; the per-node ball
+	// extraction is data-parallel and type ids are assigned in vertex
+	// order.
+	in := order.NewInterner()
+	balls := make([]*order.Ball, n)
 	verts := make([][]int, n)
-	for v := 0; v < n; v++ {
+	par.For(n, func(v int) {
 		ball, vs := order.CanonicalBallVerts(h.G, rank, v, r)
+		balls[v] = in.Canon(ball)
 		verts[v] = vs
-		enc := ball.Encode()
-		id, ok := index[enc]
+	})
+	typeOf := make([]int, n)
+	index := map[*order.Ball]int{}
+	var rootNbrs [][]int // per type: ball indices adjacent to the root
+	for v := 0; v < n; v++ {
+		ball := balls[v]
+		id, ok := index[ball]
 		if !ok {
 			id = len(index)
-			index[enc] = id
+			index[ball] = id
 			rootNbrs = append(rootNbrs, model.RootNeighbors(ball.G, ball.Root))
 		}
 		typeOf[v] = id

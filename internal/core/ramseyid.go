@@ -99,23 +99,20 @@ func encodeOutput(sb *strings.Builder, o model.Output) {
 
 // BallCatalogue collects the distinct canonical ordered ball types of
 // radius r occurring on the ordered host — the W-space of the Ramsey
-// colouring.
+// colouring. Deduplication is by interned pointer; the encodings are
+// rendered once per distinct type, only to fix the catalogue order.
 func BallCatalogue(h *model.Host, rank order.Rank, r int) []*order.Ball {
-	seen := map[string]*order.Ball{}
-	var keys []string
+	in := order.NewInterner()
+	seen := map[*order.Ball]bool{}
+	var out []*order.Ball
 	for v := 0; v < h.G.N(); v++ {
-		b := order.CanonicalBall(h.G, rank, v, r)
-		enc := b.Encode()
-		if _, ok := seen[enc]; !ok {
-			seen[enc] = b
-			keys = append(keys, enc)
+		b := in.Canon(order.CanonicalBall(h.G, rank, v, r))
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
 		}
 	}
-	sort.Strings(keys)
-	out := make([]*order.Ball, len(keys))
-	for i, k := range keys {
-		out[i] = seen[k]
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Encode() < out[j].Encode() })
 	return out
 }
 

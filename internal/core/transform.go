@@ -186,17 +186,13 @@ func BuildHomogeneousLift(c *homog.Construction, base *digraph.Digraph, m, maxNo
 		rank[i] = pos
 	}
 	// Count τ*-typed H-coordinates exactly.
-	tauType, err := c.TauStarBallEncoding()
+	tauFlags, err := c.ClassifyTau(hcay, hs)
 	if err != nil {
 		return nil, err
 	}
 	isTau := make(map[string]bool, nH)
-	for _, hnode := range hs {
-		ball, err := order.CanonicalBallImplicit[string](hcay, c.NodeLess, hnode, c.R)
-		if err != nil {
-			return nil, err
-		}
-		isTau[hnode] = ball.Encode() == tauType
+	for i, hnode := range hs {
+		isTau[hnode] = tauFlags[i]
 	}
 	tau := 0
 	for _, pr := range pairs {

@@ -22,16 +22,31 @@ type BallOf[V comparable] struct {
 // Ball extracts the radius-r ball around centre in g. BFS follows both
 // out- and in-arcs (distance is undirected); all arcs with both
 // endpoints inside the ball are kept.
+//
+// When g is a materialised *Digraph the BFS runs over a dense []int
+// visited array instead of a map[V]int — the common case in the
+// homogeneity and lower-bound scans, which extract a ball per vertex.
 func Ball[V comparable](g Implicit[V], centre V, r int) *BallOf[V] {
+	if d, ok := any(g).(*Digraph); ok {
+		b := ballDense(d, any(centre).(int), r)
+		return any(b).(*BallOf[V])
+	}
 	index := map[V]int{centre: 0}
 	nodes := []V{centre}
 	dist := []int{0}
+	// Each vertex's out-arcs are fetched exactly once and kept for the
+	// arc-building pass: for lazily evaluated hosts (Cayley graphs,
+	// lifts) Out() is a group multiplication per neighbour, and the
+	// homogeneity scans extract one ball per vertex.
+	var outs [][]ArcTo[V]
 	for head := 0; head < len(nodes); head++ {
 		v := nodes[head]
+		out := g.Out(v)
+		outs = append(outs, out)
 		if dist[head] == r {
 			continue
 		}
-		for _, a := range g.Out(v) {
+		for _, a := range out {
 			if _, seen := index[a.To]; !seen {
 				index[a.To] = len(nodes)
 				nodes = append(nodes, a.To)
@@ -47,8 +62,8 @@ func Ball[V comparable](g Implicit[V], centre V, r int) *BallOf[V] {
 		}
 	}
 	b := NewBuilder(len(nodes), g.Alphabet())
-	for i, v := range nodes {
-		for _, a := range g.Out(v) {
+	for i := range nodes {
+		for _, a := range outs[i] {
 			if j, in := index[a.To]; in {
 				b.MustAddArc(i, j, a.Label)
 			}
@@ -57,12 +72,58 @@ func Ball[V comparable](g Implicit[V], centre V, r int) *BallOf[V] {
 	return &BallOf[V]{D: b.Build(), Root: 0, Nodes: nodes, Index: index, Dist: dist}
 }
 
+// ballDense is Ball specialised to materialised digraphs: the visited
+// set is a dense []int keyed by vertex number.
+func ballDense(d *Digraph, centre, r int) *BallOf[int] {
+	at := make([]int, d.n) // vertex -> ball index + 1 (0 = unseen)
+	at[centre] = 1
+	nodes := []int{centre}
+	dist := []int{0}
+	for head := 0; head < len(nodes); head++ {
+		v := nodes[head]
+		if dist[head] == r {
+			continue
+		}
+		visit := func(to int) {
+			if at[to] == 0 {
+				at[to] = len(nodes) + 1
+				nodes = append(nodes, to)
+				dist = append(dist, dist[head]+1)
+			}
+		}
+		for _, a := range d.out[v] {
+			visit(a.To)
+		}
+		for _, a := range d.in[v] {
+			visit(a.To)
+		}
+	}
+	b := NewBuilder(len(nodes), d.alphabet)
+	index := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		index[v] = i
+		for _, a := range d.out[v] {
+			if j := at[a.To]; j != 0 {
+				b.MustAddArc(i, j-1, a.Label)
+			}
+		}
+	}
+	return &BallOf[int]{D: b.Build(), Root: 0, Nodes: nodes, Index: index, Dist: dist}
+}
+
 // Materialize explores everything reachable (in the undirected sense)
 // from the start vertices and builds a concrete Digraph. It fails if
 // more than maxNodes vertices are found, which guards against
 // accidentally expanding one of the paper's astronomically large
 // implicit graphs.
 func Materialize[V comparable](g Implicit[V], starts []V, maxNodes int) (*Digraph, []V, map[V]int, error) {
+	if d, ok := any(g).(*Digraph); ok {
+		md, nodes, index, err := materializeDense(d, any(starts).([]int), maxNodes)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return md, any(nodes).([]V), any(index).(map[V]int), nil
+	}
 	index := make(map[V]int)
 	var nodes []V
 	push := func(v V) error {
@@ -98,6 +159,51 @@ func Materialize[V comparable](g Implicit[V], starts []V, maxNodes int) (*Digrap
 	for i, v := range nodes {
 		for _, a := range g.Out(v) {
 			b.MustAddArc(i, index[a.To], a.Label)
+		}
+	}
+	return b.Build(), nodes, index, nil
+}
+
+// materializeDense is Materialize specialised to materialised
+// digraphs, using a dense visited array for the reachability sweep.
+func materializeDense(d *Digraph, starts []int, maxNodes int) (*Digraph, []int, map[int]int, error) {
+	at := make([]int, d.n) // vertex -> new index + 1 (0 = unseen)
+	var nodes []int
+	push := func(v int) error {
+		if at[v] != 0 {
+			return nil
+		}
+		if len(nodes) >= maxNodes {
+			return fmt.Errorf("digraph: materialisation exceeds %d nodes", maxNodes)
+		}
+		at[v] = len(nodes) + 1
+		nodes = append(nodes, v)
+		return nil
+	}
+	for _, s := range starts {
+		if err := push(s); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for head := 0; head < len(nodes); head++ {
+		v := nodes[head]
+		for _, a := range d.out[v] {
+			if err := push(a.To); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		for _, a := range d.in[v] {
+			if err := push(a.To); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	b := NewBuilder(len(nodes), d.alphabet)
+	index := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		index[v] = i
+		for _, a := range d.out[v] {
+			b.MustAddArc(i, at[a.To]-1, a.Label)
 		}
 	}
 	return b.Build(), nodes, index, nil

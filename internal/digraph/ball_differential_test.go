@@ -1,0 +1,111 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// generic wraps a *Digraph so the type switch in Ball/Materialize
+// cannot see it — forcing the retained map-based reference path.
+type generic struct{ d *Digraph }
+
+func (g generic) Alphabet() int   { return g.d.Alphabet() }
+func (g generic) Out(v int) []Arc { return g.d.Out(v) }
+func (g generic) In(v int) []Arc  { return g.d.In(v) }
+
+var _ Implicit[int] = generic{}
+
+func diffDigraphs() map[string]*Digraph {
+	out := map[string]*Digraph{
+		"petersen": FromPorts(graph.Petersen(), nil).D,
+		"torus6x6": FromPorts(graph.Torus(6, 6), nil).D,
+		"random":   FromPorts(graph.RandomRegular(18, 3, rand.New(rand.NewSource(7))), nil).D,
+	}
+	b := NewBuilder(12, 1)
+	for i := 0; i < 12; i++ {
+		b.MustAddArc(i, (i+1)%12, 0)
+	}
+	out["cycle"] = b.Build()
+	return out
+}
+
+func sameDigraph(a, b *Digraph) bool {
+	if a.N() != b.N() || a.Alphabet() != b.Alphabet() || a.Arcs() != b.Arcs() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		ao, bo := a.Out(v), b.Out(v)
+		if len(ao) != len(bo) {
+			return false
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBallDenseMatchesGeneric: the []int fast path must reproduce the
+// map-based reference field by field.
+func TestBallDenseMatchesGeneric(t *testing.T) {
+	for name, d := range diffDigraphs() {
+		for r := 0; r <= 3; r++ {
+			for v := 0; v < d.N(); v += 3 {
+				fast := Ball[int](d, v, r)
+				slow := Ball[int](generic{d}, v, r)
+				if !sameDigraph(fast.D, slow.D) {
+					t.Fatalf("%s v=%d r=%d: ball digraphs differ", name, v, r)
+				}
+				if fast.Root != slow.Root || len(fast.Nodes) != len(slow.Nodes) {
+					t.Fatalf("%s v=%d r=%d: root/nodes differ", name, v, r)
+				}
+				for i := range fast.Nodes {
+					if fast.Nodes[i] != slow.Nodes[i] || fast.Dist[i] != slow.Dist[i] {
+						t.Fatalf("%s v=%d r=%d: node %d bookkeeping differs", name, v, r, i)
+					}
+					if fast.Index[fast.Nodes[i]] != i {
+						t.Fatalf("%s v=%d r=%d: index map wrong", name, v, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaterializeDenseMatchesGeneric compares the dense reachability
+// sweep against the generic one.
+func TestMaterializeDenseMatchesGeneric(t *testing.T) {
+	for name, d := range diffDigraphs() {
+		fastD, fastNodes, fastIdx, err := Materialize[int](d, []int{0}, 1<<12)
+		if err != nil {
+			t.Fatalf("%s: dense: %v", name, err)
+		}
+		slowD, slowNodes, slowIdx, err := Materialize[int](generic{d}, []int{0}, 1<<12)
+		if err != nil {
+			t.Fatalf("%s: generic: %v", name, err)
+		}
+		if !sameDigraph(fastD, slowD) {
+			t.Fatalf("%s: materialised digraphs differ", name)
+		}
+		if len(fastNodes) != len(slowNodes) {
+			t.Fatalf("%s: node counts differ", name)
+		}
+		for i := range fastNodes {
+			if fastNodes[i] != slowNodes[i] {
+				t.Fatalf("%s: discovery order differs at %d", name, i)
+			}
+			if fastIdx[fastNodes[i]] != slowIdx[slowNodes[i]] {
+				t.Fatalf("%s: index maps differ at %d", name, i)
+			}
+		}
+	}
+	// The budget error must still fire on the dense path.
+	big := diffDigraphs()["torus6x6"]
+	if _, _, _, err := Materialize[int](big, []int{0}, 5); err == nil {
+		t.Fatal("dense Materialize ignored the node budget")
+	}
+}

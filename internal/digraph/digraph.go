@@ -77,6 +77,10 @@ func NewBuilder(n, alphabet int) *Builder {
 // if the arc would violate the proper-labelling condition: u must not
 // already have an outgoing arc labelled label, and v must not already
 // have an incoming arc labelled label. Self-loops are rejected.
+//
+// Arc lists are kept label-sorted as they grow, so the duplicate-label
+// check is a binary search rather than a linear scan and Build needs
+// no final sort.
 func (b *Builder) AddArc(u, v, label int) error {
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		return fmt.Errorf("digraph: arc (%d,%d) out of range [0,%d)", u, v, b.n)
@@ -87,19 +91,31 @@ func (b *Builder) AddArc(u, v, label int) error {
 	if label < 0 || label >= b.alphabet {
 		return fmt.Errorf("digraph: label %d out of range [0,%d)", label, b.alphabet)
 	}
-	for _, a := range b.out[u] {
-		if a.Label == label {
-			return fmt.Errorf("digraph: node %d already has out-label %d", u, label)
-		}
+	oi, dup := searchLabel(b.out[u], label)
+	if dup {
+		return fmt.Errorf("digraph: node %d already has out-label %d", u, label)
 	}
-	for _, a := range b.in[v] {
-		if a.Label == label {
-			return fmt.Errorf("digraph: node %d already has in-label %d", v, label)
-		}
+	ii, dup := searchLabel(b.in[v], label)
+	if dup {
+		return fmt.Errorf("digraph: node %d already has in-label %d", v, label)
 	}
-	b.out[u] = append(b.out[u], Arc{To: v, Label: label})
-	b.in[v] = append(b.in[v], Arc{To: u, Label: label})
+	b.out[u] = insertArc(b.out[u], oi, Arc{To: v, Label: label})
+	b.in[v] = insertArc(b.in[v], ii, Arc{To: u, Label: label})
 	return nil
+}
+
+// searchLabel returns the insertion position of label in the
+// label-sorted arc slice and whether the label is already present.
+func searchLabel(arcs []Arc, label int) (int, bool) {
+	i := sort.Search(len(arcs), func(i int) bool { return arcs[i].Label >= label })
+	return i, i < len(arcs) && arcs[i].Label == label
+}
+
+func insertArc(arcs []Arc, i int, a Arc) []Arc {
+	arcs = append(arcs, Arc{})
+	copy(arcs[i+1:], arcs[i:])
+	arcs[i] = a
+	return arcs
 }
 
 // MustAddArc is AddArc that panics on error.
@@ -109,12 +125,9 @@ func (b *Builder) MustAddArc(u, v, label int) {
 	}
 }
 
-// Build finalises the digraph. Arc lists are sorted by label.
+// Build finalises the digraph. Arc lists are sorted by label (an
+// invariant AddArc maintains incrementally).
 func (b *Builder) Build() *Digraph {
-	for v := 0; v < b.n; v++ {
-		sort.Slice(b.out[v], func(i, j int) bool { return b.out[v][i].Label < b.out[v][j].Label })
-		sort.Slice(b.in[v], func(i, j int) bool { return b.in[v][i].Label < b.in[v][j].Label })
-	}
 	return &Digraph{n: b.n, alphabet: b.alphabet, out: b.out, in: b.in}
 }
 
@@ -144,21 +157,19 @@ func (d *Digraph) Arcs() int {
 }
 
 // OutArc returns the out-arc of v with the given label, if any.
+// Binary search over the label-sorted arc list.
 func (d *Digraph) OutArc(v, label int) (Arc, bool) {
-	for _, a := range d.out[v] {
-		if a.Label == label {
-			return a, true
-		}
+	if i, ok := searchLabel(d.out[v], label); ok {
+		return d.out[v][i], true
 	}
 	return Arc{}, false
 }
 
 // InArc returns the in-arc of v with the given label, if any.
+// Binary search over the label-sorted arc list.
 func (d *Digraph) InArc(v, label int) (Arc, bool) {
-	for _, a := range d.in[v] {
-		if a.Label == label {
-			return a, true
-		}
+	if i, ok := searchLabel(d.in[v], label); ok {
+		return d.in[v][i], true
 	}
 	return Arc{}, false
 }
@@ -166,20 +177,26 @@ func (d *Digraph) InArc(v, label int) (Arc, bool) {
 // Underlying returns the simple undirected graph obtained by forgetting
 // directions and labels. It returns an error if two vertices are joined
 // by more than one arc (the underlying structure would be a multigraph,
-// which graph.Graph does not represent).
+// which graph.Graph does not represent). The adjacency is assembled
+// wholesale and validated by graph.FromAdjacency — Underlying runs once
+// per extracted ball in the homogeneity scans, so it avoids the
+// Builder's per-edge map.
 func (d *Digraph) Underlying() (*graph.Graph, error) {
-	b := graph.NewBuilder(d.n)
+	adj := make([][]int, d.n)
+	for u := 0; u < d.n; u++ {
+		adj[u] = make([]int, 0, len(d.out[u])+len(d.in[u]))
+	}
 	for u := 0; u < d.n; u++ {
 		for _, a := range d.out[u] {
-			if b.HasEdge(u, a.To) {
-				return nil, fmt.Errorf("digraph: parallel arcs between %d and %d", u, a.To)
-			}
-			if err := b.AddEdge(u, a.To); err != nil {
-				return nil, fmt.Errorf("digraph: underlying graph: %w", err)
-			}
+			adj[u] = append(adj[u], a.To)
+			adj[a.To] = append(adj[a.To], u)
 		}
 	}
-	return b.Build(), nil
+	g, err := graph.FromAdjacency(adj)
+	if err != nil {
+		return nil, fmt.Errorf("digraph: underlying graph: parallel arcs or invalid structure: %w", err)
+	}
+	return g, nil
 }
 
 // IsRegularDigraph reports whether every vertex has out-degree and

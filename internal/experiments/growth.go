@@ -104,10 +104,10 @@ func Views() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	enc := view.Build[int](h9.D, 0, 2).Encode()
+	ref := view.Build[int](h9.D, 0, 2)
 	same := true
 	for w := 1; w < 9; w++ {
-		if view.Build[int](h9.D, w, 2).Encode() != enc {
+		if view.Build[int](h9.D, w, 2) != ref {
 			same = false
 		}
 	}

@@ -110,20 +110,22 @@ func UHomogeneity() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tau, err := c.TauStarBallEncoding()
+		tau, err := c.TauStarBall()
 		if err != nil {
 			return nil, err
 		}
+		in := order.NewInterner()
+		tau = in.Canon(tau)
 		u := group.U(c.Level)
 		samples := 25
 		match := 0
 		for i := 0; i < samples; i++ {
 			e := u.RandSmall(rng, 30)
-			typ, err := c.TypeAt(0, e)
+			b, err := c.BallAt(0, e)
 			if err != nil {
 				return nil, err
 			}
-			if typ == tau {
+			if in.Canon(b) == tau {
 				match++
 			}
 		}

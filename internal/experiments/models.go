@@ -45,13 +45,13 @@ func Models() (*Table, error) {
 		Ref:     "Fig. 1",
 		Columns: []string{"node", "ID label", "OI rank", "PO view type", "ID: local min", "OI: local min", "PO possible?"},
 	}
-	types := map[string]int{}
+	types := map[*view.Tree]int{}
 	for v := 0; v < g.N(); v++ {
-		enc := view.Build[int](h.D, v, 1).Encode()
-		if _, ok := types[enc]; !ok {
-			types[enc] = len(types)
+		tree := view.Build[int](h.D, v, 1)
+		if _, ok := types[tree]; !ok {
+			types[tree] = len(types)
 		}
-		t.AddRow(v, ids[v], rank[v], fmt.Sprintf("t%d", types[enc]),
+		t.AddRow(v, ids[v], rank[v], fmt.Sprintf("t%d", types[tree]),
 			yn(solID.Vertices[v]), yn(solOI.Vertices[v]), "no (symmetric)")
 	}
 	t.Notes = append(t.Notes,

@@ -98,10 +98,11 @@ func poK33() (*model.Host, error) {
 }
 
 // countViewTypes counts the distinct radius-r view types on the host.
+// Views are hash-consed, so distinctness is pointer distinctness.
 func countViewTypes(h *model.Host, r int) int {
-	types := map[string]bool{}
+	types := map[*view.Tree]bool{}
 	for v := 0; v < h.G.N(); v++ {
-		types[view.Build[int](h.D, v, r).Encode()] = true
+		types[view.Build[int](h.D, v, r)] = true
 	}
 	return len(types)
 }

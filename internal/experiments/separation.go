@@ -106,13 +106,17 @@ func misPossibleOI(n, r int) (bool, error) {
 	if types > 20 {
 		return false, fmt.Errorf("experiments: too many types (%d)", types)
 	}
-	typeIdx := make(map[string]int, types)
+	// Canonicalise the catalogue in an interner so the per-evaluation
+	// type lookup is a hash probe on the interned pointer, not a string
+	// encoding.
+	in := order.NewInterner()
+	typeIdx := make(map[*order.Ball]int, types)
 	for i, b := range cat {
-		typeIdx[b.Encode()] = i
+		typeIdx[in.Canon(b)] = i
 	}
 	for mask := 0; mask < 1<<types; mask++ {
 		alg := model.FuncOI{R: r, Fn: func(b *order.Ball) model.Output {
-			return model.Output{Member: mask&(1<<typeIdx[b.Encode()]) != 0}
+			return model.Output{Member: mask&(1<<typeIdx[in.Canon(b)]) != 0}
 		}}
 		sol, err := model.RunOI(h, rank, alg, model.VertexKind)
 		if err != nil {

@@ -24,6 +24,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // Table is one experiment's result in paper-style tabular form.
@@ -120,6 +122,28 @@ type Experiment struct {
 	ID   string
 	Run  func() (*Table, error)
 	Name string
+}
+
+// Result is one experiment's outcome in a RunAll sweep.
+type Result struct {
+	Experiment
+	Table *Table
+	Err   error
+}
+
+// RunAll executes the full suite, fanning the independent experiments
+// out over the parallel layer (internal/par) and returning results in
+// suite order. Each experiment owns its RNGs and hosts, so the tables
+// are identical to a sequential run; par.Set(1) is the sequential
+// fallback.
+func RunAll() []Result {
+	exps := All()
+	res := make([]Result, len(exps))
+	par.For(len(exps), func(i int) {
+		res[i].Experiment = exps[i]
+		res[i].Table, res[i].Err = exps[i].Run()
+	})
+	return res
 }
 
 // All returns the full experiment suite in order.

@@ -84,6 +84,44 @@ func (b *Builder) Build() *Graph {
 	return &Graph{n: b.n, m: len(b.edges), adj: adj}
 }
 
+// FromAdjacency builds a graph directly from neighbour lists,
+// bypassing the Builder's edge map — the fast path for callers that
+// assemble adjacency wholesale (ball extraction, underlying graphs of
+// digraphs). The lists are sorted in place and validated: self-loops,
+// duplicate edges (parallel arcs) and asymmetric entries are rejected.
+func FromAdjacency(adj [][]int) (*Graph, error) {
+	n := len(adj)
+	m := 0
+	for u, l := range adj {
+		sort.Ints(l)
+		for i, v := range l {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("graph: neighbour %d of %d out of range [0,%d)", v, u, n)
+			}
+			if v == u {
+				return nil, fmt.Errorf("graph: self-loop at %d", u)
+			}
+			if i > 0 && l[i-1] == v {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+			}
+		}
+		m += len(l)
+	}
+	if m%2 != 0 {
+		return nil, fmt.Errorf("graph: adjacency is not symmetric")
+	}
+	for u, l := range adj {
+		for _, v := range l {
+			w := adj[v]
+			i := sort.SearchInts(w, u)
+			if i >= len(w) || w[i] != u {
+				return nil, fmt.Errorf("graph: edge {%d,%d} missing its mirror", u, v)
+			}
+		}
+	}
+	return &Graph{n: n, m: m / 2, adj: adj}, nil
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
@@ -175,6 +213,8 @@ func (g *Graph) NeighborIndex(u, v int) int {
 
 // InducedSubgraph returns the subgraph induced by the given vertices and
 // a mapping old-vertex -> new-vertex (missing vertices map to -1).
+// The adjacency lists are assembled directly (no Builder edge map):
+// this sits inside the canonical-ball hot loop.
 func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
 	idx := make([]int, g.n)
 	for i := range idx {
@@ -183,16 +223,20 @@ func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
 	for i, v := range vs {
 		idx[v] = i
 	}
-	b := NewBuilder(len(vs))
+	adj := make([][]int, len(vs))
+	m := 0
 	for i, v := range vs {
 		for _, w := range g.adj[v] {
-			j := idx[w]
-			if j > i {
-				b.MustAddEdge(i, j)
+			if j := idx[w]; j >= 0 {
+				adj[i] = append(adj[i], j)
+				if j > i {
+					m++
+				}
 			}
 		}
+		sort.Ints(adj[i])
 	}
-	return b.Build(), idx
+	return &Graph{n: len(vs), m: m, adj: adj}, idx
 }
 
 // Clone returns a deep copy of g.

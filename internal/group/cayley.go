@@ -3,7 +3,6 @@ package group
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"repro/internal/digraph"
 )
@@ -73,12 +72,15 @@ func (c *Cayley) Elem(v string) Elem {
 	return e
 }
 
-// Out returns the arcs g → g·s_ℓ.
+// Out returns the arcs g → g·s_ℓ. One scratch element is reused for
+// all the products; only the encoded node strings escape.
 func (c *Cayley) Out(v string) []digraph.ArcTo[string] {
 	e := c.Elem(v)
 	out := make([]digraph.ArcTo[string], len(c.gens))
+	buf := make(Elem, len(e))
 	for l, s := range c.gens {
-		out[l] = digraph.ArcTo[string]{To: EncodeElem(c.fam.Mul(e, s)), Label: l}
+		c.fam.mul(buf, e, s, c.fam.Level)
+		out[l] = digraph.ArcTo[string]{To: EncodeElem(buf), Label: l}
 	}
 	return out
 }
@@ -87,37 +89,67 @@ func (c *Cayley) Out(v string) []digraph.ArcTo[string] {
 func (c *Cayley) In(v string) []digraph.ArcTo[string] {
 	e := c.Elem(v)
 	in := make([]digraph.ArcTo[string], len(c.invs))
+	buf := make(Elem, len(e))
 	for l, s := range c.invs {
-		in[l] = digraph.ArcTo[string]{To: EncodeElem(c.fam.Mul(e, s)), Label: l}
+		c.fam.mul(buf, e, s, c.fam.Level)
+		in[l] = digraph.ArcTo[string]{To: EncodeElem(buf), Label: l}
 	}
 	return in
 }
 
-// EncodeElem renders a tuple as a comma-separated string.
+// EncodeElem renders a tuple as a comma-separated string. Digits are
+// appended into one byte buffer (no per-coordinate Itoa strings): node
+// encoding sits on the Cayley-graph hot path, where every Out/In call
+// renders each neighbour.
 func EncodeElem(e Elem) string {
-	var sb strings.Builder
+	buf := make([]byte, 0, 4*len(e))
 	for i, x := range e {
 		if i > 0 {
-			sb.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		sb.WriteString(strconv.Itoa(x))
+		buf = strconv.AppendInt(buf, int64(x), 10)
 	}
-	return sb.String()
+	return string(buf)
 }
 
-// DecodeElem parses EncodeElem output.
+// DecodeElem parses EncodeElem output. The scan is a single pass over
+// the bytes — no strings.Split allocation.
 func DecodeElem(s string, dim int) (Elem, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != dim {
-		return nil, fmt.Errorf("group: %q has %d coordinates, want %d", s, len(parts), dim)
-	}
 	e := make(Elem, dim)
-	for i, p := range parts {
-		x, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, fmt.Errorf("group: bad coordinate %q: %w", p, err)
+	coord, pos := 0, 0
+	for coord < dim {
+		start := pos
+		neg := false
+		if pos < len(s) && s[pos] == '-' {
+			neg = true
+			pos++
 		}
-		e[i] = x
+		x, digits := 0, 0
+		for pos < len(s) && s[pos] >= '0' && s[pos] <= '9' {
+			if x > (1<<62)/10 {
+				return nil, fmt.Errorf("group: coordinate %q overflows in %q", s[start:], s)
+			}
+			x = x*10 + int(s[pos]-'0')
+			pos++
+			digits++
+		}
+		if digits == 0 {
+			return nil, fmt.Errorf("group: bad coordinate %q in %q", s[start:pos], s)
+		}
+		if neg {
+			x = -x
+		}
+		e[coord] = x
+		coord++
+		if coord < dim {
+			if pos >= len(s) || s[pos] != ',' {
+				return nil, fmt.Errorf("group: %q has fewer than %d coordinates", s, dim)
+			}
+			pos++
+		}
+	}
+	if pos != len(s) {
+		return nil, fmt.Errorf("group: %q has more than %d coordinates", s, dim)
 	}
 	return e, nil
 }
@@ -145,6 +177,13 @@ func (f Family) GirthUpTo(gens []Elem, maxLen int) int {
 		letters = append(letters, letter{gen: i, inv: true})
 	}
 	best := -1
+	// One preallocated element buffer per depth: the DFS visits one
+	// child at a time, so buf[d] is free for reuse once the subtree
+	// below it returns — the whole search allocates nothing per node.
+	buf := make([]Elem, maxLen+1)
+	for i := range buf {
+		buf[i] = make(Elem, f.Dim())
+	}
 	var dfs func(cur Elem, last letter, hasLast bool, depth int)
 	dfs = func(cur Elem, last letter, hasLast bool, depth int) {
 		if depth > 0 && f.IsIdentity(cur) {
@@ -161,7 +200,8 @@ func (f Family) GirthUpTo(gens []Elem, maxLen int) int {
 			if hasLast && l.gen == last.gen && l.inv != last.inv {
 				continue // backtracking
 			}
-			dfs(f.Mul(cur, s), l, true, depth+1)
+			f.mul(buf[depth+1], cur, s, f.Level)
+			dfs(buf[depth+1], l, true, depth+1)
 		}
 	}
 	dfs(f.Identity(), letter{}, false, 0)

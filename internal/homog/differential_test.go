@@ -1,0 +1,78 @@
+package homog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestHomogeneityScansParallelInvariant pins the parallel homogeneity
+// scans against the sequential fallback: identical reports at every
+// parallelism level, including the RNG-driven sampler (samples are
+// drawn before the fork, so the stream is schedule-independent).
+func TestHomogeneityScansParallelInvariant(t *testing.T) {
+	c, err := Search(1, 1, SearchOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.MForEpsilon(0.5)
+	if m < 4 {
+		m = 4
+	}
+
+	old := par.Set(1)
+	defer par.Set(old)
+	seqExact, err := c.HomogeneityExact(m, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSample, err := c.HomogeneitySample(m, 40, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par.Set(8)
+	parExact, err := c.HomogeneityExact(m, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSample, err := c.HomogeneitySample(m, 40, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if *seqExact != *parExact {
+		t.Fatalf("exact scan diverged: seq %+v par %+v", seqExact, parExact)
+	}
+	if *seqSample != *parSample {
+		t.Fatalf("sampler diverged: seq %+v par %+v", seqSample, parSample)
+	}
+}
+
+// TestSearchParallelInvariant: the blocked-parallel generator search
+// must return the same construction (level, generators, attempt count)
+// as the sequential scan.
+func TestSearchParallelInvariant(t *testing.T) {
+	// searchUncached bypasses the memo so the parallel run really
+	// re-executes the blocked scan.
+	old := par.Set(1)
+	defer par.Set(old)
+	seq, err := searchUncached(2, 1, SearchOptions{Seed: 42}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Set(8)
+	parc, err := searchUncached(2, 1, SearchOptions{Seed: 42}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Level != parc.Level || seq.Attempts != parc.Attempts || len(seq.Gens) != len(parc.Gens) {
+		t.Fatalf("search diverged: seq %+v par %+v", seq, parc)
+	}
+	for i := range seq.Gens {
+		if !seq.Gens[i].Equal(parc.Gens[i]) {
+			t.Fatalf("generator %d differs", i)
+		}
+	}
+}

@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/digraph"
 	"repro/internal/group"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/view"
 )
 
@@ -69,14 +71,44 @@ func (o SearchOptions) withDefaults() SearchOptions {
 	return o
 }
 
+// searchCache memoises Search results: the search is a pure function
+// of (k, r, opts), re-requested with identical parameters by every
+// experiment in the suite, so the certified construction is computed
+// once per process. Cached constructions are shared — callers must not
+// mutate Gens.
+var searchCache sync.Map // searchKey -> *Construction
+
+type searchKey struct {
+	k, r int
+	opts SearchOptions
+}
+
 // Search finds a construction for the given parameters: the smallest
 // level at which a random k-subset of W_level spans a Cayley graph of
 // girth > 2r+1, with the girth certified exactly by reduced-word
 // enumeration (Theorem 5.1 stands in as an existence guarantee).
+// Results are memoised per (k, r, opts).
 func Search(k, r int, opts SearchOptions) (*Construction, error) {
 	if k < 1 || r < 0 {
 		return nil, fmt.Errorf("homog: bad parameters k=%d r=%d", k, r)
 	}
+	// Key on the defaulted options so the zero value and its explicit
+	// spelling hit the same cache entry.
+	key := searchKey{k: k, r: r, opts: opts.withDefaults()}
+	if c, ok := searchCache.Load(key); ok {
+		return c.(*Construction), nil
+	}
+	c, err := searchUncached(k, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	if prev, loaded := searchCache.LoadOrStore(key, c); loaded {
+		return prev.(*Construction), nil
+	}
+	return c, nil
+}
+
+func searchUncached(k, r int, opts SearchOptions) (*Construction, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	need := 2*r + 1
@@ -86,16 +118,37 @@ func Search(k, r int, opts SearchOptions) (*Construction, error) {
 		if w.Order().BitLen() <= k {
 			continue // group too small to host k distinct non-identity elements
 		}
+		// Draw all candidate generator sets sequentially (so the RNG
+		// stream is schedule-independent), then certify girth in
+		// parallel blocks, taking the first success in draw order —
+		// the same generators and attempt count the sequential search
+		// reports, with early exit after the winning block.
+		cands := make([][]group.Elem, 0, opts.TriesPerLevel)
 		for try := 0; try < opts.TriesPerLevel; try++ {
-			gens := randomSubset(w, k, rng)
-			if gens == nil {
-				continue
-			}
-			attempts++
-			if g := w.GirthUpTo(gens, need); g == -1 {
-				return &Construction{K: k, R: r, Level: level, Gens: gens, Attempts: attempts}, nil
+			if gens := randomSubset(w, k, rng); gens != nil {
+				cands = append(cands, gens)
 			}
 		}
+		blk := 4 * par.N()
+		for lo := 0; lo < len(cands); lo += blk {
+			hi := lo + blk
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			ok := make([]bool, hi-lo)
+			par.For(hi-lo, func(j int) {
+				ok[j] = w.GirthUpTo(cands[lo+j], need) == -1
+			})
+			for j, good := range ok {
+				if good {
+					return &Construction{
+						K: k, R: r, Level: level, Gens: cands[lo+j],
+						Attempts: attempts + lo + j + 1,
+					}, nil
+				}
+			}
+		}
+		attempts += len(cands)
 	}
 	return nil, fmt.Errorf("homog: no generator set with girth > %d found up to level %d", need, opts.MaxLevel)
 }
@@ -222,24 +275,31 @@ func (c *Construction) TauStar() (*order.OrderedTree, error) {
 	return ot, nil
 }
 
-// TauStarBallEncoding returns the canonical ordered-ball encoding of
-// τ*, the reference against which node types are compared.
-func (c *Construction) TauStarBallEncoding() (string, error) {
+// TauStarBall returns the canonical ordered ball of τ*, the reference
+// against which node types are compared (by interned pointer in the
+// scan hot loops).
+func (c *Construction) TauStarBall() (*order.Ball, error) {
 	ot, err := c.TauStar()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	ball, err := ot.BallOfSubtree(ot.Tree)
+	return ot.BallOfSubtree(ot.Tree)
+}
+
+// TauStarBallEncoding returns the canonical ordered-ball encoding of
+// τ* — the string form, for display and goldens.
+func (c *Construction) TauStarBallEncoding() (string, error) {
+	ball, err := c.TauStarBall()
 	if err != nil {
 		return "", err
 	}
 	return ball.Encode(), nil
 }
 
-// TypeAt returns the canonical ordered-ball encoding of the radius-R
+// BallAt returns the canonical ordered ball of the radius-R
 // neighbourhood of the given element in C(H(m), S) under the restricted
 // U-order (or in C(U, S) when m == 0).
-func (c *Construction) TypeAt(m int, e group.Elem) (string, error) {
+func (c *Construction) BallAt(m int, e group.Elem) (*order.Ball, error) {
 	var cay *group.Cayley
 	if m == 0 {
 		cay = c.UCayley()
@@ -247,10 +307,56 @@ func (c *Construction) TypeAt(m int, e group.Elem) (string, error) {
 		var err error
 		cay, err = c.HCayley(m)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 	}
-	ball, err := order.CanonicalBallImplicit[string](cay, c.NodeLess, cay.Node(e), c.R)
+	return c.CayleyBall(cay, cay.Node(e))
+}
+
+// CayleyBall classifies one node of a Cayley graph of the construction:
+// the canonical ordered radius-R ball under the restricted U-order.
+// Each ball vertex's element is decoded once (the sort keys), not per
+// comparison as NodeLess would.
+func (c *Construction) CayleyBall(cay *group.Cayley, node string) (*order.Ball, error) {
+	u := group.U(c.Level)
+	return order.CanonicalBallImplicitBy[string, group.Elem](cay, cay.Elem, u.Less, node, c.R)
+}
+
+// ClassifyTau reports, for each node of cay, whether its canonical
+// ordered ball has type τ*. Classification interns the canonical balls
+// and compares against τ*'s representative by pointer; the per-node
+// ball extractions run data-parallel. The first extraction error, in
+// node order, is returned.
+func (c *Construction) ClassifyTau(cay *group.Cayley, nodes []string) ([]bool, error) {
+	tauBall, err := c.TauStarBall()
+	if err != nil {
+		return nil, err
+	}
+	in := order.NewInterner()
+	tauBall = in.Canon(tauBall)
+	flags := make([]bool, len(nodes))
+	errs := make([]error, len(nodes))
+	par.For(len(nodes), func(i int) {
+		ball, err := c.CayleyBall(cay, nodes[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		flags[i] = in.Canon(ball) == tauBall
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return flags, nil
+}
+
+// TypeAt returns the canonical ordered-ball encoding of the radius-R
+// neighbourhood of the given element; see BallAt for the pointer-based
+// form the hot loops use.
+func (c *Construction) TypeAt(m int, e group.Elem) (string, error) {
+	ball, err := c.BallAt(m, e)
 	if err != nil {
 		return "", err
 	}
@@ -294,6 +400,9 @@ type ExactReport struct {
 
 // HomogeneityExact scans every element of H(m) (feasible only when
 // m^d <= maxNodes), classifying each vertex's ordered r-neighbourhood.
+// The scan is data-parallel: elements are enumerated by odometer up
+// front, classified concurrently into one ball interner, and the type
+// counts merged in element order — identical to the sequential scan.
 func (c *Construction) HomogeneityExact(m, maxNodes int) (*ExactReport, error) {
 	fam, err := group.NewFamily(c.Level, m)
 	if err != nil {
@@ -304,7 +413,7 @@ func (c *Construction) HomogeneityExact(m, maxNodes int) (*ExactReport, error) {
 		return nil, fmt.Errorf("homog: |H| = %v exceeds scan budget %d", total, maxNodes)
 	}
 	n := int(total.Int64())
-	tauType, err := c.TauStarBallEncoding()
+	tauBall, err := c.TauStarBall()
 	if err != nil {
 		return nil, err
 	}
@@ -312,26 +421,57 @@ func (c *Construction) HomogeneityExact(m, maxNodes int) (*ExactReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	types := make(map[string]int)
-	tau := 0
+	in := order.NewInterner()
+	tauBall = in.Canon(tauBall)
+	// Enumerate Z_m^d by odometer.
+	elems := make([]group.Elem, n)
+	nodes := make([]string, n)
 	e := make(group.Elem, fam.Dim())
 	for i := 0; i < n; i++ {
-		ball, err := order.CanonicalBallImplicit[string](cay, c.NodeLess, cay.Node(e), c.R)
-		if err != nil {
-			return nil, err
-		}
-		enc := ball.Encode()
-		types[enc]++
-		if enc == tauType {
-			tau++
-		}
-		// Odometer increment over Z_m^d.
+		elems[i] = append(group.Elem(nil), e...)
+		nodes[i] = cay.Node(elems[i])
 		for j := 0; j < len(e); j++ {
 			e[j]++
 			if e[j] < m {
 				break
 			}
 			e[j] = 0
+		}
+	}
+	// The whole finite graph fits the scan budget, so materialise it
+	// once: the n per-element ball extractions then run over the dense
+	// integer digraph (no group multiplications or node decoding in the
+	// scan loop). Every element is a start vertex — C(H, S) may be
+	// disconnected when S does not generate.
+	md, mNodes, mIndex, err := digraph.Materialize[string](cay, nodes, n)
+	if err != nil {
+		return nil, fmt.Errorf("homog: materialise C(H(%d), S): %w", m, err)
+	}
+	mElems := make([]group.Elem, len(mNodes))
+	for i, s := range mNodes {
+		mElems[i] = cay.Elem(s)
+	}
+	u := group.U(c.Level)
+	key := func(v int) group.Elem { return mElems[v] }
+	balls := make([]*order.Ball, n)
+	errs := make([]error, n)
+	par.For(n, func(i int) {
+		b, err := order.CanonicalBallImplicitBy[int, group.Elem](md, key, u.Less, mIndex[nodes[i]], c.R)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		balls[i] = in.Canon(b)
+	})
+	types := make(map[*order.Ball]int)
+	tau := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		types[balls[i]]++
+		if balls[i] == tauBall {
+			tau++
 		}
 	}
 	girth := digraph.UndirectedGirth[string](cay, []string{cay.Node(fam.Identity())}, 2*c.R+2)
@@ -361,12 +501,10 @@ type SampleReport struct {
 // HomogeneitySample estimates the τ*-type fraction of (H(m), <) by
 // sampling uniform random elements; it additionally verifies that all
 // sampled interior elements (coordinates in [R, m−1−R]) have type τ*.
+// Samples are drawn from rng sequentially (schedule-independent
+// stream), then classified in parallel.
 func (c *Construction) HomogeneitySample(m, samples int, rng *rand.Rand) (*SampleReport, error) {
 	fam, err := group.NewFamily(c.Level, m)
-	if err != nil {
-		return nil, err
-	}
-	tauType, err := c.TauStarBallEncoding()
 	if err != nil {
 		return nil, err
 	}
@@ -374,18 +512,22 @@ func (c *Construction) HomogeneitySample(m, samples int, rng *rand.Rand) (*Sampl
 	if err != nil {
 		return nil, err
 	}
+	elems := make([]group.Elem, samples)
+	nodes := make([]string, samples)
+	for i := range elems {
+		elems[i] = fam.Rand(rng)
+		nodes[i] = cay.Node(elems[i])
+	}
+	isTau, err := c.ClassifyTau(cay, nodes)
+	if err != nil {
+		return nil, err
+	}
 	rep := &SampleReport{M: m, Samples: samples, InnerBound: c.InnerFraction(m), InteriorAllTau: true}
 	for i := 0; i < samples; i++ {
-		e := fam.Rand(rng)
-		ball, err := order.CanonicalBallImplicit[string](cay, c.NodeLess, cay.Node(e), c.R)
-		if err != nil {
-			return nil, err
-		}
-		isTau := ball.Encode() == tauType
-		if isTau {
+		if isTau[i] {
 			rep.TauCount++
 		}
-		if interior(e, m, c.R) && !isTau {
+		if interior(elems[i], m, c.R) && !isTau[i] {
 			rep.InteriorAllTau = false
 		}
 	}

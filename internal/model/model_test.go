@@ -19,11 +19,7 @@ func cycleHost(n int) *Host {
 // selectAllPO selects every incident arc of the root at radius r.
 func selectAllPO(r int) PO {
 	return FuncPO{R: r, Fn: func(t *view.Tree) Output {
-		out := Output{Member: true}
-		for l := range t.Children {
-			out.Letters = append(out.Letters, l)
-		}
-		return out
+		return Output{Member: true, Letters: t.Letters()}
 	}}
 }
 

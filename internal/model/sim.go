@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/view"
 )
 
@@ -143,7 +144,7 @@ type GatherState struct {
 func GatherViews(r int) RoundAlgo {
 	return RoundAlgo{
 		Init: func(info NodeInfo) any {
-			return &GatherState{letters: info.Letters, Tree: &view.Tree{}}
+			return &GatherState{letters: info.Letters, Tree: view.Leaf()}
 		},
 		Step: func(state any, round int, inbox []Msg) (any, []Msg, bool) {
 			s := state.(*GatherState)
@@ -154,19 +155,11 @@ func GatherViews(r int) RoundAlgo {
 				// same arc L.Inv(); the neighbour's walk back across
 				// this arc starts with letter L.Inv() at the
 				// neighbour, so that child is pruned (non-backtracking).
-				children := make(map[view.Letter]*view.Tree, len(inbox))
+				children := make([]view.Child, 0, len(inbox))
 				for _, m := range inbox {
-					nb := m.Data.(*view.Tree)
-					pruned := &view.Tree{Children: make(map[view.Letter]*view.Tree, len(nb.Children))}
-					for l, c := range nb.Children {
-						if l == m.L.Inv() {
-							continue
-						}
-						pruned.Children[l] = c
-					}
-					children[m.L] = pruned
+					children = append(children, view.Child{L: m.L, T: pruneChild(m.Data.(*view.Tree), m.L.Inv())})
 				}
-				s.Tree = &view.Tree{Children: children}
+				s.Tree = view.NewTree(children)
 			}
 			if round == r {
 				return s, nil, true
@@ -181,18 +174,53 @@ func GatherViews(r int) RoundAlgo {
 	}
 }
 
-// GatheredTrees runs GatherViews for r rounds and returns each node's
-// gathered view tree.
+// pruneChild returns t without its child labelled drop (t itself when
+// the letter is absent).
+func pruneChild(t *view.Tree, drop view.Letter) *view.Tree {
+	if _, ok := t.Child(drop); !ok {
+		return t
+	}
+	kids := make([]view.Child, 0, t.NumChildren()-1)
+	for _, c := range t.Children() {
+		if c.L == drop {
+			continue
+		}
+		kids = append(kids, c)
+	}
+	return view.NewTree(kids)
+}
+
+// GatheredTrees returns each node's radius-r view tree, computed by
+// the level-synchronous assembly that GatherViews performs by message
+// passing: after round t every node's tree is assembled from its
+// neighbours' round-(t-1) trees with the backtracking child pruned.
+// Rounds are barriers; within a round the per-node assembly is
+// data-parallel (each node writes only its own slot, and the interned
+// constructors are concurrency-safe), so the result is byte-identical
+// to the sequential simulation — a property the differential tests
+// pin down against both RunRoundsStates and per-node view.Build.
 func GatheredTrees(h *Host, r int) ([]*view.Tree, error) {
-	states, _, err := RunRoundsStates(h, nil, GatherViews(r), r+1)
-	if err != nil {
-		return nil, err
+	n := h.G.N()
+	cur := make([]*view.Tree, n)
+	for v := range cur {
+		cur[v] = view.Leaf()
 	}
-	trees := make([]*view.Tree, len(states))
-	for v, st := range states {
-		trees[v] = st.(*GatherState).Tree
+	for round := 1; round <= r; round++ {
+		cur = par.Map(n, func(v int) *view.Tree {
+			outArcs, inArcs := h.D.Out(v), h.D.In(v)
+			kids := make([]view.Child, 0, len(outArcs)+len(inArcs))
+			for _, a := range outArcs {
+				l := view.Letter{Label: a.Label}
+				kids = append(kids, view.Child{L: l, T: pruneChild(cur[a.To], l.Inv())})
+			}
+			for _, a := range inArcs {
+				l := view.Letter{Label: a.Label, In: true}
+				kids = append(kids, view.Child{L: l, T: pruneChild(cur[a.To], l.Inv())})
+			}
+			return view.NewTree(kids)
+		})
 	}
-	return trees, nil
+	return cur, nil
 }
 
 // SimulatePO runs any PO algorithm operationally: gather the radius-r

@@ -1,0 +1,109 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// measureReference is the retained sequential reference for Measure:
+// the pre-interner implementation, classifying vertices by Encode()
+// strings. The interned/parallel Measure must agree with it exactly.
+func measureReference(g *graph.Graph, rank Rank, r int) Homogeneity {
+	counts := make(map[string]int)
+	for v := 0; v < g.N(); v++ {
+		counts[CanonicalBall(g, rank, v, r).Encode()]++
+	}
+	h := Homogeneity{N: g.N()}
+	for typ, c := range counts {
+		if c > h.Count || (c == h.Count && typ < h.Type) {
+			h.Count = c
+			h.Type = typ
+		}
+	}
+	if g.N() > 0 {
+		h.Alpha = float64(h.Count) / float64(g.N())
+	}
+	h.Counts = nil
+	return h
+}
+
+func diffHosts() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"petersen":       graph.Petersen(),
+		"torus6x6":       graph.Torus(6, 6),
+		"randomregular":  graph.RandomRegular(18, 3, rand.New(rand.NewSource(11))),
+		"randomregular4": graph.RandomRegular(16, 4, rand.New(rand.NewSource(5))),
+	}
+}
+
+// TestMeasureMatchesReference runs the interned Measure both
+// sequentially and in parallel and compares every field against the
+// string-based reference, byte for byte.
+func TestMeasureMatchesReference(t *testing.T) {
+	for name, g := range diffHosts() {
+		rank := Identity(g.N())
+		for r := 0; r <= 2; r++ {
+			want := measureReference(g, rank, r)
+			for _, p := range []int{1, 8} {
+				defer par.Set(par.Set(p))
+				got := Measure(g, rank, r)
+				if got.N != want.N || got.Count != want.Count || got.Alpha != want.Alpha {
+					t.Fatalf("%s r=%d p=%d: got (n=%d c=%d a=%v) want (n=%d c=%d a=%v)",
+						name, r, p, got.N, got.Count, got.Alpha, want.N, want.Count, want.Alpha)
+				}
+				if got.Type != want.Type {
+					t.Fatalf("%s r=%d p=%d: majority type %q != reference %q", name, r, p, got.Type, want.Type)
+				}
+				// The count multiset must coincide with the reference's
+				// (keyed by encoding).
+				refCounts := make(map[string]int)
+				for v := 0; v < g.N(); v++ {
+					refCounts[CanonicalBall(g, rank, v, r).Encode()]++
+				}
+				if len(got.Counts) != len(refCounts) {
+					t.Fatalf("%s r=%d p=%d: %d types, reference %d", name, r, p, len(got.Counts), len(refCounts))
+				}
+				for b, c := range got.Counts {
+					if refCounts[b.Encode()] != c {
+						t.Fatalf("%s r=%d p=%d: type %q count %d, reference %d",
+							name, r, p, b.Encode(), c, refCounts[b.Encode()])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeFormatStable pins the Ball.Encode wire format (the
+// strconv rewrite must be byte-identical to the fmt original).
+func TestEncodeFormatStable(t *testing.T) {
+	g := graph.Cycle(4)
+	b := CanonicalBall(g, Identity(4), 1, 1)
+	if got := b.Encode(); got != "n3 r1:0-1;1-2;" {
+		t.Fatalf("Encode() = %q", got)
+	}
+}
+
+// TestInternerCanon checks pointer semantics: isomorphic balls
+// canonicalise to one representative, distinct ones stay apart.
+func TestInternerCanon(t *testing.T) {
+	g := graph.Cycle(9)
+	rank := Identity(9)
+	in := NewInterner()
+	a := in.Canon(CanonicalBall(g, rank, 2, 1))
+	b := in.Canon(CanonicalBall(g, rank, 3, 1))
+	if a != b {
+		t.Fatal("isomorphic cycle balls not shared")
+	}
+	p := graph.Petersen()
+	c := in.Canon(CanonicalBall(p, Identity(10), 0, 1))
+	if c == a {
+		t.Fatal("petersen ball collided with cycle ball")
+	}
+	if a.Encode() != b.Encode() || a.Encode() == c.Encode() {
+		t.Fatal("interning disagrees with encodings")
+	}
+}

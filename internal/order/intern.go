@@ -1,0 +1,95 @@
+package order
+
+import "sync"
+
+// Interner hash-conses canonical ordered balls: Canon maps every ball
+// that is isomorphic as an ordered rooted graph (same size, same root
+// position, same edge set over the rank-sorted vertices) to one
+// representative *Ball. Equality of canonical types is then pointer
+// identity and count maps are keyed by *Ball — no Encode() strings in
+// the measurement hot loops. Collisions of the 64-bit structural hash
+// are resolved by full comparison, so correctness does not depend on
+// hash quality. Safe for concurrent use from the parallel scan layer.
+type Interner struct {
+	shards [ballShards]ballShard
+}
+
+const ballShards = 64 // power of two
+
+type ballShard struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*Ball
+}
+
+// NewInterner returns an empty ball interner.
+func NewInterner() *Interner { return &Interner{} }
+
+// Canon returns the canonical representative of b's isomorphism type,
+// registering b if the type is new.
+func (in *Interner) Canon(b *Ball) *Ball {
+	h := b.hashType()
+	shard := &in.shards[h&(ballShards-1)]
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if shard.buckets == nil {
+		shard.buckets = make(map[uint64][]*Ball)
+	}
+	for _, cand := range shard.buckets[h] {
+		if cand.sameType(b) {
+			return cand
+		}
+	}
+	shard.buckets[h] = append(shard.buckets[h], b)
+	return b
+}
+
+// hashType hashes the canonical form: vertex count, root position and
+// the edge set (adjacency is iterated in deterministic sorted order).
+func (b *Ball) hashType() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(b.G.N()))
+	h = mix64(h ^ uint64(b.Root))
+	n := b.G.N()
+	for u := 0; u < n; u++ {
+		for _, v := range b.G.Neighbors(u) {
+			if u < v {
+				h = mix64(h ^ (uint64(u)<<32 | uint64(v)))
+			}
+		}
+	}
+	return h
+}
+
+// sameType reports whether two canonical balls are identical: same
+// order, same root, same adjacency.
+func (b *Ball) sameType(o *Ball) bool {
+	if b == o {
+		return true
+	}
+	n := b.G.N()
+	if n != o.G.N() || b.Root != o.Root || b.G.M() != o.G.M() {
+		return false
+	}
+	for u := 0; u < n; u++ {
+		bu, ou := b.G.Neighbors(u), o.G.Neighbors(u)
+		if len(bu) != len(ou) {
+			return false
+		}
+		for i := range bu {
+			if bu[i] != ou[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mix64 is the splitmix64 finaliser.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -12,10 +12,11 @@ package order
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"repro/internal/digraph"
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Ball is the canonical form of an ordered radius-r neighbourhood
@@ -30,14 +31,29 @@ type Ball struct {
 }
 
 // Encode returns a canonical string: two ordered neighbourhoods are
-// isomorphic iff their encodings are equal.
+// isomorphic iff their encodings are equal. Digits are appended with
+// strconv (no fmt machinery) and the adjacency is walked in place (no
+// Edges() allocation); hot loops should prefer an Interner and pointer
+// comparison, keeping Encode for display and goldens.
 func (b *Ball) Encode() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "n%d r%d:", b.G.N(), b.Root)
-	for _, e := range b.G.Edges() {
-		fmt.Fprintf(&sb, "%d-%d;", e.U, e.V)
+	n := b.G.N()
+	buf := make([]byte, 0, 16+8*b.G.M())
+	buf = append(buf, 'n')
+	buf = strconv.AppendInt(buf, int64(n), 10)
+	buf = append(buf, ' ', 'r')
+	buf = strconv.AppendInt(buf, int64(b.Root), 10)
+	buf = append(buf, ':')
+	for u := 0; u < n; u++ {
+		for _, v := range b.G.Neighbors(u) {
+			if u < v {
+				buf = strconv.AppendInt(buf, int64(u), 10)
+				buf = append(buf, '-')
+				buf = strconv.AppendInt(buf, int64(v), 10)
+				buf = append(buf, ';')
+			}
+		}
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // Rank is a linear order on the vertices of a graph: Rank[v] is the
@@ -114,32 +130,52 @@ type Homogeneity struct {
 	// Alpha is the largest fraction of vertices sharing one ordered
 	// r-neighbourhood type; the graph is (Alpha, r)-homogeneous.
 	Alpha float64
-	// Type is the encoding of the majority type.
+	// Type is the encoding of the majority type (for display; the
+	// canonical ball itself is Majority).
 	Type string
+	// Majority is the canonical ball of the majority type.
+	Majority *Ball
 	// Count is the number of vertices of the majority type.
 	Count int
 	// N is the total number of vertices.
 	N int
-	// Counts maps each occurring type to its frequency.
-	Counts map[string]int
+	// Counts maps each occurring canonical type to its frequency.
+	Counts map[*Ball]int
 }
 
 // Measure computes the homogeneity of (g, rank) at radius r by scanning
-// every vertex.
+// every vertex. The scan is data-parallel (see internal/par): each
+// worker canonicalises balls into a shared interner, and the counts are
+// merged in vertex order, so the result is independent of the
+// parallelism level. Types are compared by interned pointer — no
+// Encode() strings on the hot path; the single majority encoding is
+// rendered at the end.
 func Measure(g *graph.Graph, rank Rank, r int) Homogeneity {
-	counts := make(map[string]int)
-	for v := 0; v < g.N(); v++ {
-		counts[CanonicalBall(g, rank, v, r).Encode()]++
+	n := g.N()
+	in := NewInterner()
+	balls := par.Map(n, func(v int) *Ball {
+		return in.Canon(CanonicalBall(g, rank, v, r))
+	})
+	counts := make(map[*Ball]int)
+	for _, b := range balls {
+		counts[b]++
 	}
-	h := Homogeneity{N: g.N(), Counts: counts}
-	for typ, c := range counts {
-		if c > h.Count || (c == h.Count && typ < h.Type) {
+	h := Homogeneity{N: n, Counts: counts}
+	for b, c := range counts {
+		if c > h.Count {
 			h.Count = c
-			h.Type = typ
+			h.Majority = b
+		} else if c == h.Count && h.Majority != nil && b.Encode() < h.Majority.Encode() {
+			// Deterministic tie-break on the canonical encoding (ties
+			// are rare; both encodings are computed only then).
+			h.Majority = b
 		}
 	}
-	if g.N() > 0 {
-		h.Alpha = float64(h.Count) / float64(g.N())
+	if h.Majority != nil {
+		h.Type = h.Majority.Encode()
+	}
+	if n > 0 {
+		h.Alpha = float64(h.Count) / float64(n)
 	}
 	return h
 }
@@ -150,17 +186,29 @@ func Measure(g *graph.Graph, rank Rank, r int) Homogeneity {
 // structure has parallel edges (which cannot occur when the girth
 // exceeds 2, as in all of the paper's constructions).
 func CanonicalBallImplicit[V comparable](g digraph.Implicit[V], less func(a, b V) bool, v V, r int) (*Ball, error) {
+	return CanonicalBallImplicitBy(g, func(v V) V { return v }, less, v, r)
+}
+
+// CanonicalBallImplicitBy is CanonicalBallImplicit with the host order
+// evaluated on precomputed sort keys: key runs once per ball vertex
+// instead of inside every comparison. The Cayley-graph scans use this
+// to decode each node's group element a single time.
+func CanonicalBallImplicitBy[V comparable, K any](g digraph.Implicit[V], key func(V) K, less func(a, b K) bool, v V, r int) (*Ball, error) {
 	ball := digraph.Ball(g, v, r)
 	und, err := ball.D.Underlying()
 	if err != nil {
 		return nil, fmt.Errorf("order: ball at radius %d: %w", r, err)
+	}
+	keys := make([]K, len(ball.Nodes))
+	for i, n := range ball.Nodes {
+		keys[i] = key(n)
 	}
 	// Sort ball indices by the host order of their original vertices.
 	perm := make([]int, und.N())
 	for i := range perm {
 		perm[i] = i
 	}
-	sort.Slice(perm, func(a, b int) bool { return less(ball.Nodes[perm[a]], ball.Nodes[perm[b]]) })
+	sort.Slice(perm, func(a, b int) bool { return less(keys[perm[a]], keys[perm[b]]) })
 	sub, idx := und.InducedSubgraph(perm)
 	return &Ball{G: sub, Root: idx[ball.Root]}, nil
 }

@@ -1,0 +1,144 @@
+// Package par is the repo-wide parallel execution layer: a single
+// process-wide parallelism knob plus a small deterministic fork-join
+// helper used by the embarrassingly parallel scans (homogeneity
+// measurement, view gathering, lift classification, the experiment
+// suite).
+//
+// Design rules, enforced by the callers:
+//
+//   - work is always indexed 0..n-1 and each index writes only its own
+//     result slot, so the merge order is fixed by the index, never by
+//     goroutine scheduling — parallel and sequential runs are
+//     byte-identical;
+//   - any randomness is drawn sequentially *before* the fork, so RNG
+//     streams do not depend on the schedule;
+//   - Set(1) is the sequential fallback: For degenerates to a plain
+//     loop with no goroutines at all.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// limit is the current parallelism knob (number of workers For may
+// spawn). It is process-wide: the library's scans are data-parallel
+// over disjoint slots, so one global knob suffices.
+var limit atomic.Int64
+
+// extra counts worker goroutines currently alive across all For calls.
+// For reserves extras from a process-wide budget of N()-1, so nested
+// calls (an experiment scan inside the experiment-suite fan-out)
+// degrade to inline execution instead of multiplying worker counts:
+// the knob bounds total workers, not workers per call.
+var extra atomic.Int64
+
+func init() {
+	limit.Store(int64(runtime.NumCPU()))
+}
+
+// Set sets the parallelism knob and returns the previous value.
+// n <= 0 resets to runtime.NumCPU(); n == 1 forces the sequential
+// fallback everywhere.
+func Set(n int) int {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return int(limit.Swap(int64(n)))
+}
+
+// N returns the current parallelism knob.
+func N() int { return int(limit.Load()) }
+
+// For runs fn(i) for every i in [0, n) on the calling goroutine plus
+// up to N()-1 extra workers, reserved from a process-wide budget so
+// that nested For calls never oversubscribe: total workers across all
+// concurrent calls stay bounded by the knob, and a For issued from
+// inside another For's worker runs inline. Indices are handed out
+// dynamically (work stealing via a shared counter), so callers must
+// make fn(i) touch only state owned by index i. With N() == 1, or
+// n <= 1, or an exhausted budget, fn runs inline on the calling
+// goroutine in increasing index order.
+//
+// A panic in any fn is re-raised on the calling goroutine after all
+// workers have stopped.
+func For(n int, fn func(i int)) {
+	want := int(limit.Load()) - 1
+	if want > n-1 {
+		want = n - 1
+	}
+	spawn := reserve(want)
+	if spawn <= 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	defer extra.Add(-int64(spawn))
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(spawn)
+	for w := 0; w < spawn; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work() // the calling goroutine participates
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// reserve claims up to want extra-worker slots from the global budget
+// of N()-1 and returns how many it got.
+func reserve(want int) int {
+	got := 0
+	for got < want {
+		cur := extra.Load()
+		free := limit.Load() - 1 - cur
+		if free <= 0 {
+			break
+		}
+		take := int64(want - got)
+		if take > free {
+			take = free
+		}
+		if extra.CompareAndSwap(cur, cur+take) {
+			got += int(take)
+		}
+	}
+	return got
+}
+
+// Map runs fn over [0, n) in parallel and collects the results in
+// index order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,68 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	defer Set(Set(8))
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForSequentialFallback(t *testing.T) {
+	defer Set(Set(1))
+	// With parallelism 1 the indices must arrive in increasing order on
+	// the calling goroutine.
+	var got []int
+	For(5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential fallback out of order: %v", got)
+		}
+	}
+}
+
+func TestSetClamps(t *testing.T) {
+	old := Set(3)
+	defer Set(old)
+	if N() != 3 {
+		t.Fatalf("N=%d want 3", N())
+	}
+	Set(0) // resets to NumCPU
+	if N() < 1 {
+		t.Fatalf("N=%d after reset", N())
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer Set(Set(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	For(16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestMap(t *testing.T) {
+	defer Set(Set(4))
+	out := Map(10, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("Map[%d]=%d", i, v)
+		}
+	}
+}

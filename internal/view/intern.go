@@ -1,0 +1,146 @@
+package view
+
+import (
+	"sort"
+	"sync"
+)
+
+// Interner hash-conses view trees: structurally identical subtrees are
+// represented by one canonical *Tree, so tree equality is pointer
+// identity and a map keyed by *Tree is a map keyed by isomorphism
+// type. The table is sharded by hash, making concurrent interning from
+// the parallel scan layer cheap.
+//
+// Every constructor in this package (Build, Complete, NewTree, Leaf)
+// goes through the package-wide default interner, so trees obtained
+// from the public API are always safe to compare with == and to use as
+// map keys. Private interners (NewInterner) exist for tests and for
+// isolating memory lifetimes; trees from different interners still
+// compare correctly via Equal, just not via ==.
+type Interner struct {
+	shards [internShards]internShard
+	leaf   *Tree
+}
+
+const internShards = 64 // power of two
+
+type internShard struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*Tree
+}
+
+// NewInterner returns an empty interner with its own canonical leaf.
+func NewInterner() *Interner {
+	in := &Interner{}
+	in.leaf = &Tree{hash: leafHash, size: 1, depth: 0}
+	return in
+}
+
+// defaultInterner backs the package-level constructors.
+var defaultInterner = NewInterner()
+
+// Leaf returns the canonical childless tree of the default interner.
+func Leaf() *Tree { return defaultInterner.Leaf() }
+
+// Leaf returns the interner's canonical childless tree.
+func (in *Interner) Leaf() *Tree { return in.leaf }
+
+// NewTree interns a node with the given children in the default
+// interner. See (*Interner).Node for the contract on kids.
+func NewTree(kids []Child) *Tree { return defaultInterner.Node(kids) }
+
+// Node returns the canonical tree with the given children. Letters
+// must be distinct (the proper-labelling invariant); kids need not be
+// sorted. Node takes ownership of the slice — callers must not reuse
+// it afterwards. Child trees should come from the same interner for
+// sharing to occur (correctness does not depend on it).
+func (in *Interner) Node(kids []Child) *Tree {
+	if len(kids) == 0 {
+		return in.leaf
+	}
+	if !childrenSorted(kids) {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].L.Less(kids[j].L) })
+	}
+	h := hashKids(kids)
+	shard := &in.shards[h&(internShards-1)]
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if shard.buckets == nil {
+		shard.buckets = make(map[uint64][]*Tree)
+	}
+	for _, cand := range shard.buckets[h] {
+		if sameKids(cand.kids, kids) {
+			return cand
+		}
+	}
+	size, depth := int32(1), int32(0)
+	for i := range kids {
+		if i > 0 && kids[i].L == kids[i-1].L {
+			panic("view: duplicate child letter " + kids[i].L.String())
+		}
+		size += kids[i].T.size
+		if d := kids[i].T.depth + 1; d > depth {
+			depth = d
+		}
+	}
+	t := &Tree{kids: kids, hash: h, size: size, depth: depth}
+	shard.buckets[h] = append(shard.buckets[h], t)
+	return t
+}
+
+func childrenSorted(kids []Child) bool {
+	for i := 1; i < len(kids); i++ {
+		if !kids[i-1].L.Less(kids[i].L) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameKids reports slice equality of children: same letters and the
+// same child trees by pointer (valid because children are interned
+// before their parent).
+func sameKids(a, b []Child) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].L != b[i].L || a[i].T != b[i].T {
+			return false
+		}
+	}
+	return true
+}
+
+// --- hashing ---
+
+// leafHash seeds the structural hash; any odd constant works since
+// collisions are resolved by full comparison in the intern table.
+const leafHash uint64 = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 finaliser: a cheap full-avalanche mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func letterCode(l Letter) uint64 {
+	c := uint64(l.Label) << 1
+	if l.In {
+		c |= 1
+	}
+	return c
+}
+
+func hashKids(kids []Child) uint64 {
+	h := leafHash
+	for _, c := range kids {
+		h = mix64(h ^ letterCode(c.L))
+		h = mix64(h ^ c.T.hash)
+	}
+	return h
+}

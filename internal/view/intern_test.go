@@ -1,0 +1,159 @@
+package view
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/digraph"
+	"repro/internal/graph"
+)
+
+// TestInternPointerIdentity pins the hash-consing contract: building
+// the same view twice yields the same pointer, so == is isomorphism.
+func TestInternPointerIdentity(t *testing.T) {
+	d := directedCycle(12)
+	for r := 0; r <= 3; r++ {
+		a := Build[int](d, 0, r)
+		b := Build[int](d, 5, r) // cycle views are isomorphic at every node
+		if a != b {
+			t.Fatalf("r=%d: isomorphic views are distinct pointers", r)
+		}
+		if a.Hash() != b.Hash() {
+			t.Fatalf("r=%d: equal trees, different hashes", r)
+		}
+	}
+	p := digraph.FromPorts(graph.Petersen(), nil).D
+	x := Build[int](p, 3, 2)
+	y := Build[int](p, 3, 2)
+	if x != y {
+		t.Fatal("rebuilding the same view gave a new pointer")
+	}
+}
+
+// TestInternDistinguishes checks that distinct views stay distinct.
+func TestInternDistinguishes(t *testing.T) {
+	b := digraph.NewBuilder(3, 1)
+	b.MustAddArc(0, 1, 0)
+	b.MustAddArc(1, 2, 0)
+	d := b.Build()
+	if Build[int](d, 0, 1) == Build[int](d, 1, 1) {
+		t.Fatal("path endpoint and midpoint views interned to one node")
+	}
+}
+
+// TestCrossInternerEqual: trees from separate interners never share
+// pointers but still compare equal structurally.
+func TestCrossInternerEqual(t *testing.T) {
+	in1, in2 := NewInterner(), NewInterner()
+	l := Letter{Label: 0}
+	a := in1.Node([]Child{{L: l, T: in1.Leaf()}})
+	b := in2.Node([]Child{{L: l, T: in2.Leaf()}})
+	if a == b {
+		t.Fatal("separate interners shared a node")
+	}
+	if !Equal(a, b) {
+		t.Fatal("Equal must fall back to structure across interners")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("structural hash must not depend on the interner")
+	}
+}
+
+// TestNewTreeSortsChildren: children may be handed over in any order.
+func TestNewTreeSortsChildren(t *testing.T) {
+	l0, l1 := Letter{Label: 0}, Letter{Label: 1, In: true}
+	a := NewTree([]Child{{L: l1, T: Leaf()}, {L: l0, T: Leaf()}})
+	b := NewTree([]Child{{L: l0, T: Leaf()}, {L: l1, T: Leaf()}})
+	if a != b {
+		t.Fatal("child order leaked into identity")
+	}
+	ls := a.Letters()
+	if len(ls) != 2 || !ls[0].Less(ls[1]) {
+		t.Fatalf("letters not sorted: %v", ls)
+	}
+}
+
+// TestDuplicateLetterPanics: the proper-labelling invariant is
+// enforced at construction.
+func TestDuplicateLetterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate letter did not panic")
+		}
+	}()
+	l := Letter{Label: 2}
+	NewTree([]Child{{L: l, T: Leaf()}, {L: l, T: Leaf()}})
+}
+
+// TestSizeDepthPrecomputed cross-checks the O(1) Size/Depth against a
+// recount over Children().
+func TestSizeDepthPrecomputed(t *testing.T) {
+	var recount func(tr *Tree) (int, int)
+	recount = func(tr *Tree) (size, depth int) {
+		size = 1
+		for _, c := range tr.Children() {
+			s, d := recount(c.T)
+			size += s
+			if d+1 > depth {
+				depth = d + 1
+			}
+		}
+		return size, depth
+	}
+	for _, tr := range []*Tree{
+		Complete(2, 3),
+		Build[int](directedCycle(7), 0, 3),
+		Build[int](digraph.FromPorts(graph.Petersen(), nil).D, 0, 2),
+	} {
+		s, d := recount(tr)
+		if tr.Size() != s || tr.Depth() != d {
+			t.Fatalf("Size/Depth (%d,%d) != recount (%d,%d)", tr.Size(), tr.Depth(), s, d)
+		}
+	}
+}
+
+// TestChildLookup checks the binary-search child accessor.
+func TestChildLookup(t *testing.T) {
+	tr := Complete(3, 2)
+	for _, c := range tr.Children() {
+		got, ok := tr.Child(c.L)
+		if !ok || got != c.T {
+			t.Fatalf("Child(%v) lookup failed", c.L)
+		}
+	}
+	if _, ok := tr.Child(Letter{Label: 99}); ok {
+		t.Fatal("absent letter found")
+	}
+}
+
+// TestConcurrentInterning hammers one interner from many goroutines
+// and checks that all of them receive identical pointers (run under
+// -race in CI).
+func TestConcurrentInterning(t *testing.T) {
+	g := graph.RandomRegular(20, 3, rand.New(rand.NewSource(9)))
+	d := digraph.FromPorts(g, nil).D
+	ref := make([]*Tree, g.N())
+	for v := range ref {
+		ref[v] = Build[int](d, v, 2)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := 0; v < g.N(); v++ {
+				if Build[int](d, v, 2) != ref[v] {
+					errs <- "concurrent build returned a fresh pointer"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -9,6 +9,13 @@
 // traversed backwards). Proper labellings make views deterministic:
 // a node has at most one neighbour per letter, so view trees have a
 // trivial canonical form.
+//
+// Trees are immutable and hash-consed (see Interner): children are
+// kept in a letter-sorted slice, every node carries a precomputed
+// 64-bit structural hash, and structurally identical subtrees share
+// one allocation. Two trees built through the package constructors are
+// isomorphic if and only if they are the same pointer, so hot loops
+// key their count maps by *Tree instead of by Encode() strings.
 package view
 
 import (
@@ -61,17 +68,80 @@ func Key(walk []Letter) string {
 	return sb.String()
 }
 
-// Tree is a (truncated) view tree. Children are keyed by the letter
-// extending the walk; a nil map or empty map is a leaf.
+// Child is one labelled edge of a view tree: the letter extending the
+// walk and the subtree it leads to.
+type Child struct {
+	L Letter
+	T *Tree
+}
+
+// Tree is a (truncated) view tree. Trees are immutable and interned:
+// construct them with Build, Complete, NewTree or Leaf, never with a
+// composite literal. Children are sorted by letter.
 type Tree struct {
-	Children map[Letter]*Tree
+	kids  []Child
+	hash  uint64
+	size  int32
+	depth int32
+}
+
+// Hash returns the precomputed 64-bit structural hash of the tree.
+// Equal trees have equal hashes; the interner resolves collisions, so
+// within one interner distinct trees are distinct pointers regardless
+// of hash quality.
+func (t *Tree) Hash() uint64 { return t.hash }
+
+// NumChildren returns the number of children of the root.
+func (t *Tree) NumChildren() int { return len(t.kids) }
+
+// Children returns the root's children in canonical (letter-sorted)
+// order. The returned slice is shared and must not be modified.
+func (t *Tree) Children() []Child { return t.kids }
+
+// Child returns the subtree reached by letter l, if present.
+func (t *Tree) Child(l Letter) (*Tree, bool) {
+	kids := t.kids
+	i := sort.Search(len(kids), func(i int) bool { return !kids[i].L.Less(l) })
+	if i < len(kids) && kids[i].L == l {
+		return kids[i].T, true
+	}
+	return nil, false
+}
+
+// Letters returns the root's child letters in canonical order.
+func (t *Tree) Letters() []Letter {
+	ls := make([]Letter, len(t.kids))
+	for i, c := range t.kids {
+		ls[i] = c.L
+	}
+	return ls
 }
 
 // Build returns the radius-r truncation of the view T(g, root):
 // τ(T(G, v)) in the paper's notation.
 func Build[V comparable](g digraph.Implicit[V], root V, r int) *Tree {
-	t, _ := BuildWithEndpoints(g, root, r)
-	return t
+	var build func(at V, arrived Letter, hasArrived bool, depth int) *Tree
+	build = func(at V, arrived Letter, hasArrived bool, depth int) *Tree {
+		if depth == r {
+			return Leaf()
+		}
+		out, in := g.Out(at), g.In(at)
+		kids := make([]Child, 0, len(out)+len(in))
+		expand := func(to V, l Letter) {
+			if hasArrived && l == arrived.Inv() {
+				return // non-backtracking
+			}
+			kids = append(kids, Child{L: l, T: build(to, l, true, depth+1)})
+		}
+		for _, a := range out {
+			expand(a.To, Letter{Label: a.Label})
+		}
+		for _, a := range in {
+			expand(a.To, Letter{Label: a.Label, In: true})
+		}
+		return NewTree(kids)
+	}
+	return build(root, Letter{}, false, 0)
 }
 
 // BuildWithEndpoints additionally returns the covering map ϕ restricted
@@ -82,24 +152,24 @@ func BuildWithEndpoints[V comparable](g digraph.Implicit[V], root V, r int) (*Tr
 	var build func(at V, arrived Letter, hasArrived bool, depth int, walk []Letter) *Tree
 	build = func(at V, arrived Letter, hasArrived bool, depth int, walk []Letter) *Tree {
 		endpoints[Key(walk)] = at
-		node := &Tree{}
 		if depth == r {
-			return node
+			return Leaf()
 		}
-		node.Children = make(map[Letter]*Tree)
+		out, in := g.Out(at), g.In(at)
+		kids := make([]Child, 0, len(out)+len(in))
 		expand := func(to V, l Letter) {
 			if hasArrived && l == arrived.Inv() {
 				return // non-backtracking
 			}
-			node.Children[l] = build(to, l, true, depth+1, append(walk, l))
+			kids = append(kids, Child{L: l, T: build(to, l, true, depth+1, append(walk, l))})
 		}
-		for _, a := range g.Out(at) {
+		for _, a := range out {
 			expand(a.To, Letter{Label: a.Label})
 		}
-		for _, a := range g.In(at) {
+		for _, a := range in {
 			expand(a.To, Letter{Label: a.Label, In: true})
 		}
-		return node
+		return NewTree(kids)
 	}
 	return build(root, Letter{}, false, 0, nil), endpoints
 }
@@ -107,62 +177,52 @@ func BuildWithEndpoints[V comparable](g digraph.Implicit[V], root V, r int) (*Tr
 // Complete returns the complete radius-r tree (T*, λ) over an alphabet
 // of the given size: the root has an ℓ and an ℓ^{-1} child for every
 // label ℓ, and every other internal node has all extensions except the
-// inverse of its arrival letter.
+// inverse of its arrival letter. Hash-consing makes the result a DAG
+// whose distinct-node count is linear in alphabet·r.
 func Complete(alphabet, r int) *Tree {
+	type memoKey struct {
+		arrived Letter
+		has     bool
+		depth   int
+	}
+	memo := make(map[memoKey]*Tree)
 	var build func(arrived Letter, hasArrived bool, depth int) *Tree
 	build = func(arrived Letter, hasArrived bool, depth int) *Tree {
-		node := &Tree{}
 		if depth == r {
-			return node
+			return Leaf()
 		}
-		node.Children = make(map[Letter]*Tree)
+		k := memoKey{arrived: arrived, has: hasArrived, depth: depth}
+		if t, ok := memo[k]; ok {
+			return t
+		}
+		kids := make([]Child, 0, 2*alphabet)
 		for lbl := 0; lbl < alphabet; lbl++ {
 			for _, in := range []bool{false, true} {
 				l := Letter{Label: lbl, In: in}
 				if hasArrived && l == arrived.Inv() {
 					continue
 				}
-				node.Children[l] = build(l, true, depth+1)
+				kids = append(kids, Child{L: l, T: build(l, true, depth+1)})
 			}
 		}
-		return node
+		t := NewTree(kids)
+		memo[k] = t
+		return t
 	}
 	return build(Letter{}, false, 0)
 }
 
-// Size returns the number of vertices (walks) in the tree.
-func (t *Tree) Size() int {
-	n := 1
-	for _, c := range t.Children {
-		n += c.Size()
-	}
-	return n
-}
+// Size returns the number of vertices (walks) in the tree. Precomputed
+// at intern time, so this is O(1).
+func (t *Tree) Size() int { return int(t.size) }
 
-// Depth returns the height of the tree.
-func (t *Tree) Depth() int {
-	d := 0
-	for _, c := range t.Children {
-		if cd := c.Depth() + 1; cd > d {
-			d = cd
-		}
-	}
-	return d
-}
-
-// sortedLetters returns the child letters in canonical order.
-func (t *Tree) sortedLetters() []Letter {
-	ls := make([]Letter, 0, len(t.Children))
-	for l := range t.Children {
-		ls = append(ls, l)
-	}
-	sort.Slice(ls, func(i, j int) bool { return ls[i].Less(ls[j]) })
-	return ls
-}
+// Depth returns the height of the tree. O(1).
+func (t *Tree) Depth() int { return int(t.depth) }
 
 // Encode returns a canonical string encoding of the tree: two truncated
 // views are isomorphic as rooted L-labelled trees if and only if their
-// encodings are equal.
+// encodings are equal. Hot loops should compare trees by pointer or
+// Hash instead; Encode remains for serialisation, goldens and display.
 func (t *Tree) Encode() string {
 	var sb strings.Builder
 	t.encode(&sb)
@@ -171,22 +231,25 @@ func (t *Tree) Encode() string {
 
 func (t *Tree) encode(sb *strings.Builder) {
 	sb.WriteByte('(')
-	for _, l := range t.sortedLetters() {
-		sb.WriteString(l.String())
-		t.Children[l].encode(sb)
+	for _, c := range t.kids {
+		sb.WriteString(c.L.String())
+		c.T.encode(sb)
 	}
 	sb.WriteByte(')')
 }
 
 // Equal reports whether two trees are equal (isomorphic as rooted
-// labelled trees).
+// labelled trees). For trees from one interner this is a pointer
+// comparison; the structural fallback only runs across interners.
 func Equal(a, b *Tree) bool {
-	if len(a.Children) != len(b.Children) {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.hash != b.hash || len(a.kids) != len(b.kids) {
 		return false
 	}
-	for l, ca := range a.Children {
-		cb, ok := b.Children[l]
-		if !ok || !Equal(ca, cb) {
+	for i := range a.kids {
+		if a.kids[i].L != b.kids[i].L || !Equal(a.kids[i].T, b.kids[i].T) {
 			return false
 		}
 	}
@@ -197,9 +260,12 @@ func Equal(a, b *Tree) bool {
 // walk of t is a walk of s. (The paper's W ⊆ V(T*) with
 // (T*, λ) ↾ W = τ(T(G, v)).)
 func (t *Tree) IsSubtreeOf(s *Tree) bool {
-	for l, ct := range t.Children {
-		cs, ok := s.Children[l]
-		if !ok || !ct.IsSubtreeOf(cs) {
+	if t == s {
+		return true
+	}
+	for _, c := range t.kids {
+		cs, ok := s.Child(c.L)
+		if !ok || !c.T.IsSubtreeOf(cs) {
 			return false
 		}
 	}
@@ -219,11 +285,11 @@ func (t *Tree) Visit(fn func(walk []Letter, node *Tree)) {
 		it := queue[0]
 		queue = queue[1:]
 		fn(it.walk, it.node)
-		for _, l := range it.node.sortedLetters() {
+		for _, c := range it.node.kids {
 			w := make([]Letter, len(it.walk)+1)
 			copy(w, it.walk)
-			w[len(it.walk)] = l
-			queue = append(queue, item{walk: w, node: it.node.Children[l]})
+			w[len(it.walk)] = c.L
+			queue = append(queue, item{walk: w, node: c.T})
 		}
 	}
 }
@@ -231,7 +297,7 @@ func (t *Tree) Visit(fn func(walk []Letter, node *Tree)) {
 // Walks returns the walks of all vertices in canonical BFS order.
 // The first entry is the empty walk (the root).
 func (t *Tree) Walks() [][]Letter {
-	var out [][]Letter
+	out := make([][]Letter, 0, t.Size())
 	t.Visit(func(walk []Letter, _ *Tree) {
 		out = append(out, walk)
 	})

@@ -44,6 +44,7 @@ import (
 	"repro/internal/homog"
 	"repro/internal/model"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/problems"
 )
 
@@ -132,4 +133,15 @@ var (
 	Ratio                = problems.Ratio
 	VerifyLocally        = problems.VerifyLocally
 	AllExperiments       = experiments.All
+	RunAllExperiments    = experiments.RunAll
+)
+
+// Parallelism controls the worker-pool width of the scan-heavy paths
+// (homogeneity measurement, view gathering, lift classification, the
+// experiment suite). SetParallelism(1) forces the sequential fallback;
+// SetParallelism(0) resets to the number of CPUs. Parallel and
+// sequential runs produce identical results.
+var (
+	SetParallelism = par.Set
+	Parallelism    = par.N
 )
