@@ -7,9 +7,14 @@
 // pool (-p controls the width; -p 1 is the sequential fallback);
 // results are printed in suite order either way.
 //
+// With -host <descriptor> the host-parameterisable experiments (E1,
+// E5, E12, E13) run on any family registered in internal/host, e.g.
+// -host torus:12x12 or -host random-regular:d=4,n=512,seed=7; an
+// unknown descriptor lists the registry.
+//
 // Usage:
 //
-//	experiments [-markdown] [-only E10] [-p N]
+//	experiments [-markdown] [-only E10] [-p N] [-host DESC]
 package main
 
 import (
@@ -18,22 +23,27 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/host"
 	"repro/internal/par"
 )
 
 func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E10)")
+	hostDesc := flag.String("host", "", "run the host-parameterisable experiments on this host family (e.g. torus:12x12)")
 	parallelism := flag.Int("p", 0, "worker-pool width (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 	par.Set(*parallelism)
-	if err := run(*markdown, *only); err != nil {
+	if err := run(*markdown, *only, *hostDesc); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(markdown bool, only string) error {
+func run(markdown bool, only, hostDesc string) error {
+	if hostDesc != "" {
+		return runHosted(markdown, only, hostDesc)
+	}
 	if only == "" {
 		for _, res := range experiments.RunAll() {
 			if res.Err != nil {
@@ -55,6 +65,31 @@ func run(markdown bool, only string) error {
 		return nil
 	}
 	return fmt.Errorf("no experiment matches %q", only)
+}
+
+// runHosted resolves the descriptor once and runs the host experiments
+// on it (all of them, or the one selected by -only).
+func runHosted(markdown bool, only, hostDesc string) error {
+	h, err := host.Parse(hostDesc)
+	if err != nil {
+		return err
+	}
+	if only != "" {
+		tbl, err := experiments.RunHosted(only, h)
+		if err != nil {
+			return err
+		}
+		emit(tbl, markdown)
+		return nil
+	}
+	for _, e := range experiments.HostExperiments() {
+		tbl, err := e.Run(h)
+		if err != nil {
+			return fmt.Errorf("%s (%s) on %s: %w", e.ID, e.Name, hostDesc, err)
+		}
+		emit(tbl, markdown)
+	}
+	return nil
 }
 
 func emit(t *experiments.Table, markdown bool) {

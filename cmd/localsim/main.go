@@ -5,6 +5,11 @@
 // Usage:
 //
 //	localsim -alg eds-one-out -graph cycle -n 12 [-model po] [-seed 1]
+//	localsim -alg eds-all -host torus:6x6
+//
+// -host accepts any descriptor registered in internal/host (e.g.
+// grid3d:3x3x3, margulis-expander:n=6, lift:cycle:9,l=3); it overrides
+// -graph/-n/-d, and an unknown descriptor lists the registry.
 //
 // Algorithms: eds-one-out, eds-all, ec-one-edge, ds-all, vc-all,
 // vc-packing (round-based PO), id-greedy-eds, id-nonmin-vc,
@@ -20,6 +25,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/digraph"
 	"repro/internal/graph"
+	"repro/internal/host"
 	"repro/internal/model"
 	"repro/internal/order"
 	"repro/internal/problems"
@@ -28,19 +34,38 @@ import (
 func main() {
 	alg := flag.String("alg", "eds-one-out", "algorithm name")
 	graphName := flag.String("graph", "cycle", "graph family: cycle|dcycle|petersen|torus|regular|circulant")
+	hostDesc := flag.String("host", "", "registry host descriptor (overrides -graph; e.g. torus:6x6)")
 	n := flag.Int("n", 12, "instance size")
 	d := flag.Int("d", 3, "degree for -graph regular")
 	seed := flag.Int64("seed", 1, "seed for random graphs and identifiers")
 	flag.Parse()
-	if err := run(*alg, *graphName, *n, *d, *seed); err != nil {
+	if err := run(*alg, *graphName, *hostDesc, *n, *d, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "localsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algName, graphName string, n, d int, seed int64) error {
+func run(algName, graphName, hostDesc string, n, d int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
-	h, err := buildHost(graphName, n, d, rng)
+	var (
+		h   *model.Host
+		err error
+	)
+	if hostDesc != "" {
+		var rh *host.Host
+		rh, err = host.Parse(hostDesc)
+		if err != nil {
+			return err
+		}
+		graphName = rh.Desc
+		if rh.D != nil {
+			h = &model.Host{D: rh.D, G: rh.G}
+		} else {
+			h = model.HostFromGraph(rh.G)
+		}
+	} else {
+		h, err = buildHost(graphName, n, d, rng)
+	}
 	if err != nil {
 		return err
 	}

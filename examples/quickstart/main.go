@@ -6,24 +6,38 @@
 // al. — a genuine anonymous algorithm: no identifiers are used, only
 // the port numbering, and it is 2-approximate on every graph.
 //
-// Run: go run ./examples/quickstart
+// Run: go run ./examples/quickstart [host-descriptor]
+//
+// The host is resolved through the registry (internal/host), so any
+// registered family works: "torus:6x6", "margulis-expander:n=6",
+// "random-regular:d=3,n=20,seed=1", ... The default is the Petersen
+// graph.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/algorithms"
-	"repro/internal/graph"
+	"repro/internal/host"
 	"repro/internal/model"
 	"repro/internal/problems"
 )
 
 func main() {
-	// 1. A bounded-degree input graph: the Petersen graph (3-regular).
-	g := graph.Petersen()
-	fmt.Printf("input: Petersen graph, n=%d, m=%d, Δ=%d, girth=%d\n",
-		g.N(), g.M(), g.MaxDegree(), g.Girth())
+	// 1. A bounded-degree input graph, by registry descriptor.
+	desc := "petersen"
+	if len(os.Args) > 1 {
+		desc = os.Args[1]
+	}
+	hh, err := host.Parse(desc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := hh.G
+	fmt.Printf("input: %s, n=%d, m=%d, Δ=%d, girth=%d\n",
+		desc, g.N(), g.M(), g.MaxDegree(), g.Girth())
 
 	// 2. Equip it with a port numbering and orientation: the full
 	//    structure a PO-model node may use. No identifiers anywhere.

@@ -30,7 +30,7 @@ func RandomizedMatching(h *model.Host, rng *rand.Rand) *model.Solution {
 	for v := 0; v < n; v++ {
 		proposal[v] = -1
 		if d := g.Degree(v); d > 0 {
-			proposal[v] = g.Neighbors(v)[rng.Intn(d)]
+			proposal[v] = int(g.Neighbors(v)[rng.Intn(d)])
 		}
 	}
 	sol := model.NewSolution(model.EdgeKind, n)

@@ -91,10 +91,10 @@ func ballDense(d *Digraph, centre, r int) *BallOf[int] {
 				dist = append(dist, dist[head]+1)
 			}
 		}
-		for _, a := range d.out[v] {
+		for _, a := range d.Out(v) {
 			visit(a.To)
 		}
-		for _, a := range d.in[v] {
+		for _, a := range d.In(v) {
 			visit(a.To)
 		}
 	}
@@ -102,7 +102,7 @@ func ballDense(d *Digraph, centre, r int) *BallOf[int] {
 	index := make(map[int]int, len(nodes))
 	for i, v := range nodes {
 		index[v] = i
-		for _, a := range d.out[v] {
+		for _, a := range d.Out(v) {
 			if j := at[a.To]; j != 0 {
 				b.MustAddArc(i, j-1, a.Label)
 			}
@@ -187,12 +187,12 @@ func materializeDense(d *Digraph, starts []int, maxNodes int) (*Digraph, []int, 
 	}
 	for head := 0; head < len(nodes); head++ {
 		v := nodes[head]
-		for _, a := range d.out[v] {
+		for _, a := range d.Out(v) {
 			if err := push(a.To); err != nil {
 				return nil, nil, nil, err
 			}
 		}
-		for _, a := range d.in[v] {
+		for _, a := range d.In(v) {
 			if err := push(a.To); err != nil {
 				return nil, nil, nil, err
 			}
@@ -202,7 +202,7 @@ func materializeDense(d *Digraph, starts []int, maxNodes int) (*Digraph, []int, 
 	index := make(map[int]int, len(nodes))
 	for i, v := range nodes {
 		index[v] = i
-		for _, a := range d.out[v] {
+		for _, a := range d.Out(v) {
 			b.MustAddArc(i, at[a.To]-1, a.Label)
 		}
 	}

@@ -1,0 +1,117 @@
+package digraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refDigraph is the retained slice-of-slices reference: label-sorted
+// per-vertex arc lists, the representation Digraph used before the
+// CSR refactor.
+type refDigraph struct {
+	n, alphabet int
+	out, in     [][]Arc
+}
+
+func buildRefDigraph(n, alphabet int, arcs [][3]int) *refDigraph {
+	r := &refDigraph{n: n, alphabet: alphabet, out: make([][]Arc, n), in: make([][]Arc, n)}
+	for _, a := range arcs {
+		u, v, l := a[0], a[1], a[2]
+		r.out[u] = append(r.out[u], Arc{To: v, Label: l})
+		r.in[v] = append(r.in[v], Arc{To: u, Label: l})
+	}
+	for v := 0; v < n; v++ {
+		sort.Slice(r.out[v], func(i, j int) bool { return r.out[v][i].Label < r.out[v][j].Label })
+		sort.Slice(r.in[v], func(i, j int) bool { return r.in[v][i].Label < r.in[v][j].Label })
+	}
+	return r
+}
+
+func sameArcs(t *testing.T, got, want []Arc, what string, v int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s(%d): csr %v ref %v", what, v, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s(%d)[%d]: csr %v ref %v", what, v, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDigraphCSRAgainstReference builds random properly-labelled
+// digraphs and pins every CSR accessor — Out, In, OutArc, InArc,
+// Degree, Arcs — against the reference arc lists.
+func TestDigraphCSRAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		alphabet := 1 + rng.Intn(4)
+		b := NewBuilder(n, alphabet)
+		var accepted [][3]int
+		for i := 0; i < 4*n; i++ {
+			u, v, l := rng.Intn(n), rng.Intn(n), rng.Intn(alphabet)
+			if b.AddArc(u, v, l) == nil {
+				accepted = append(accepted, [3]int{u, v, l})
+			}
+		}
+		d := b.Build()
+		ref := buildRefDigraph(n, alphabet, accepted)
+		if d.Arcs() != len(accepted) {
+			t.Fatalf("arc count: csr %d ref %d", d.Arcs(), len(accepted))
+		}
+		for v := 0; v < n; v++ {
+			sameArcs(t, d.Out(v), ref.out[v], "Out", v)
+			sameArcs(t, d.In(v), ref.in[v], "In", v)
+			if d.Degree(v) != len(ref.out[v])+len(ref.in[v]) {
+				t.Fatalf("degree of %d: csr %d ref %d", v, d.Degree(v), len(ref.out[v])+len(ref.in[v]))
+			}
+			for l := 0; l < alphabet; l++ {
+				ga, gok := d.OutArc(v, l)
+				wa, wok := refArc(ref.out[v], l)
+				if gok != wok || ga != wa {
+					t.Fatalf("OutArc(%d,%d): csr %v,%v ref %v,%v", v, l, ga, gok, wa, wok)
+				}
+				ga, gok = d.InArc(v, l)
+				wa, wok = refArc(ref.in[v], l)
+				if gok != wok || ga != wa {
+					t.Fatalf("InArc(%d,%d): csr %v,%v ref %v,%v", v, l, ga, gok, wa, wok)
+				}
+			}
+		}
+	}
+}
+
+func refArc(arcs []Arc, label int) (Arc, bool) {
+	for _, a := range arcs {
+		if a.Label == label {
+			return a, true
+		}
+	}
+	return Arc{}, false
+}
+
+// TestDigraphBuilderDeadAfterBuild pins the post-Build contract:
+// AddArc and a second Build panic explicitly instead of silently
+// mutating the built digraph.
+func TestDigraphBuilderDeadAfterBuild(t *testing.T) {
+	b := NewBuilder(3, 1)
+	b.MustAddArc(0, 1, 0)
+	d := b.Build()
+	mustPanic(t, "AddArc after Build", func() { _ = b.AddArc(1, 2, 0) })
+	mustPanic(t, "Build after Build", func() { b.Build() })
+	if d.Arcs() != 1 {
+		t.Fatal("built digraph mutated")
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

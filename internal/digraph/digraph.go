@@ -40,21 +40,28 @@ type Implicit[V comparable] interface {
 	In(v V) []ArcTo[V]
 }
 
-// Digraph is a materialised L-digraph with a proper labelling.
-// It implements Implicit[int].
+// Digraph is a materialised L-digraph with a proper labelling, stored
+// in CSR form: the out-arcs of v are out[outOff[v]:outOff[v+1]] (and
+// symmetrically for in), label-sorted within each row, so every arc
+// scan walks one flat contiguous array. It implements Implicit[int].
 type Digraph struct {
 	n        int
 	alphabet int
-	out      [][]Arc
-	in       [][]Arc
+	outOff   []int32 // row offsets into out, len n+1
+	inOff    []int32 // row offsets into in, len n+1
+	out      []Arc   // flat out-arc array, label-sorted per row
+	in       []Arc   // flat in-arc array, label-sorted per row
 }
 
 var _ Implicit[int] = (*Digraph)(nil)
 
 // Builder accumulates arcs for a Digraph, enforcing proper labelling.
+// Per-vertex rows are scaffolding; Build concatenates them into the
+// final flat CSR arrays.
 type Builder struct {
 	n        int
 	alphabet int
+	built    bool
 	out      [][]Arc
 	in       [][]Arc
 }
@@ -82,6 +89,9 @@ func NewBuilder(n, alphabet int) *Builder {
 // check is a binary search rather than a linear scan and Build needs
 // no final sort.
 func (b *Builder) AddArc(u, v, label int) error {
+	if b.built {
+		panic("digraph: AddArc on a Builder after Build")
+	}
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		return fmt.Errorf("digraph: arc (%d,%d) out of range [0,%d)", u, v, b.n)
 	}
@@ -125,10 +135,32 @@ func (b *Builder) MustAddArc(u, v, label int) {
 	}
 }
 
-// Build finalises the digraph. Arc lists are sorted by label (an
-// invariant AddArc maintains incrementally).
+// Build finalises the digraph, concatenating the label-sorted arc
+// rows (an invariant AddArc maintains incrementally) into the flat
+// CSR arrays. The builder is dead afterwards: further AddArc panics.
 func (b *Builder) Build() *Digraph {
-	return &Digraph{n: b.n, alphabet: b.alphabet, out: b.out, in: b.in}
+	if b.built {
+		panic("digraph: Build called twice")
+	}
+	b.built = true
+	outOff, out := flattenArcs(b.out)
+	inOff, in := flattenArcs(b.in)
+	b.out, b.in = nil, nil
+	return &Digraph{n: b.n, alphabet: b.alphabet, outOff: outOff, inOff: inOff, out: out, in: in}
+}
+
+// flattenArcs concatenates per-vertex arc rows into one flat array
+// with row offsets.
+func flattenArcs(rows [][]Arc) ([]int32, []Arc) {
+	off := make([]int32, len(rows)+1)
+	for v, row := range rows {
+		off[v+1] = off[v] + int32(len(row))
+	}
+	flat := make([]Arc, off[len(rows)])
+	for v, row := range rows {
+		copy(flat[off[v]:], row)
+	}
+	return off, flat
 }
 
 // N returns the number of vertices.
@@ -137,39 +169,38 @@ func (d *Digraph) N() int { return d.n }
 // Alphabet returns |L|.
 func (d *Digraph) Alphabet() int { return d.alphabet }
 
-// Out returns the out-arcs of v sorted by label. Do not modify.
-func (d *Digraph) Out(v int) []Arc { return d.out[v] }
+// Out returns the out-arcs of v sorted by label: a subslice of the
+// flat CSR arc array. Do not modify.
+func (d *Digraph) Out(v int) []Arc { return d.out[d.outOff[v]:d.outOff[v+1]] }
 
 // In returns the in-arcs of v sorted by label (Arc.To is the source).
 // Do not modify.
-func (d *Digraph) In(v int) []Arc { return d.in[v] }
+func (d *Digraph) In(v int) []Arc { return d.in[d.inOff[v]:d.inOff[v+1]] }
 
 // Degree returns the total number of arcs incident to v.
-func (d *Digraph) Degree(v int) int { return len(d.out[v]) + len(d.in[v]) }
-
-// Arcs returns the number of arcs.
-func (d *Digraph) Arcs() int {
-	m := 0
-	for v := 0; v < d.n; v++ {
-		m += len(d.out[v])
-	}
-	return m
+func (d *Digraph) Degree(v int) int {
+	return int(d.outOff[v+1] - d.outOff[v] + d.inOff[v+1] - d.inOff[v])
 }
 
+// Arcs returns the number of arcs.
+func (d *Digraph) Arcs() int { return len(d.out) }
+
 // OutArc returns the out-arc of v with the given label, if any.
-// Binary search over the label-sorted arc list.
+// Binary search over the label-sorted arc row.
 func (d *Digraph) OutArc(v, label int) (Arc, bool) {
-	if i, ok := searchLabel(d.out[v], label); ok {
-		return d.out[v][i], true
+	row := d.Out(v)
+	if i, ok := searchLabel(row, label); ok {
+		return row[i], true
 	}
 	return Arc{}, false
 }
 
 // InArc returns the in-arc of v with the given label, if any.
-// Binary search over the label-sorted arc list.
+// Binary search over the label-sorted arc row.
 func (d *Digraph) InArc(v, label int) (Arc, bool) {
-	if i, ok := searchLabel(d.in[v], label); ok {
-		return d.in[v][i], true
+	row := d.In(v)
+	if i, ok := searchLabel(row, label); ok {
+		return row[i], true
 	}
 	return Arc{}, false
 }
@@ -177,22 +208,27 @@ func (d *Digraph) InArc(v, label int) (Arc, bool) {
 // Underlying returns the simple undirected graph obtained by forgetting
 // directions and labels. It returns an error if two vertices are joined
 // by more than one arc (the underlying structure would be a multigraph,
-// which graph.Graph does not represent). The adjacency is assembled
-// wholesale and validated by graph.FromAdjacency — Underlying runs once
-// per extracted ball in the homogeneity scans, so it avoids the
-// Builder's per-edge map.
+// which graph.Graph does not represent). The CSR arrays are assembled
+// directly — every vertex's undirected degree is its out-degree plus
+// in-degree, so the offsets are known up front and the fill is a
+// single pass over the flat arc arrays. Underlying runs once per
+// extracted ball in the homogeneity scans.
 func (d *Digraph) Underlying() (*graph.Graph, error) {
-	adj := make([][]int, d.n)
-	for u := 0; u < d.n; u++ {
-		adj[u] = make([]int, 0, len(d.out[u])+len(d.in[u]))
+	off := make([]int32, d.n+1)
+	for v := 0; v < d.n; v++ {
+		off[v+1] = off[v] + int32(d.Degree(v))
 	}
+	nbr := make([]int32, off[d.n])
+	cur := append([]int32(nil), off[:d.n]...)
 	for u := 0; u < d.n; u++ {
-		for _, a := range d.out[u] {
-			adj[u] = append(adj[u], a.To)
-			adj[a.To] = append(adj[a.To], u)
+		for _, a := range d.Out(u) {
+			nbr[cur[u]] = int32(a.To)
+			cur[u]++
+			nbr[cur[a.To]] = int32(u)
+			cur[a.To]++
 		}
 	}
-	g, err := graph.FromAdjacency(adj)
+	g, err := graph.FromCSR(off, nbr)
 	if err != nil {
 		return nil, fmt.Errorf("digraph: underlying graph: parallel arcs or invalid structure: %w", err)
 	}
@@ -204,7 +240,7 @@ func (d *Digraph) Underlying() (*graph.Graph, error) {
 // structure, the shape required of the homogeneous graphs H).
 func (d *Digraph) IsRegularDigraph(k int) bool {
 	for v := 0; v < d.n; v++ {
-		if len(d.out[v]) != k || len(d.in[v]) != k {
+		if int(d.outOff[v+1]-d.outOff[v]) != k || int(d.inOff[v+1]-d.inOff[v]) != k {
 			return false
 		}
 	}
@@ -226,7 +262,7 @@ func (d *Digraph) Induced(verts []int) (*Digraph, []int) {
 	}
 	b := NewBuilder(len(verts), d.alphabet)
 	for i, v := range verts {
-		for _, a := range d.out[v] {
+		for _, a := range d.Out(v) {
 			if j, in := idx[a.To]; in {
 				b.MustAddArc(i, j, a.Label)
 			}
@@ -245,7 +281,7 @@ func (d *Digraph) WithAlphabet(k int) (*Digraph, error) {
 	}
 	b := NewBuilder(d.n, k)
 	for v := 0; v < d.n; v++ {
-		for _, a := range d.out[v] {
+		for _, a := range d.Out(v) {
 			if err := b.AddArc(v, a.To, a.Label); err != nil {
 				return nil, err
 			}

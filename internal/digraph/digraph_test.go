@@ -96,7 +96,7 @@ func TestFromPorts(t *testing.T) {
 	for v := 0; v < p.D.N(); v++ {
 		for _, a := range p.D.Out(v) {
 			pl := p.Labels[a.Label]
-			if g.Neighbors(v)[pl.I-1] != a.To || g.Neighbors(a.To)[pl.J-1] != v {
+			if int(g.Neighbors(v)[pl.I-1]) != a.To || int(g.Neighbors(a.To)[pl.J-1]) != v {
 				t.Fatalf("label %v inconsistent for arc %d->%d", pl, v, a.To)
 			}
 		}

@@ -19,7 +19,7 @@ func (d *Digraph) DOT(graphName string, name func(v int) string) string {
 		}
 	}
 	for v := 0; v < d.n; v++ {
-		for _, a := range d.out[v] {
+		for _, a := range d.Out(v) {
 			fmt.Fprintf(&sb, "  %d -> %d [label=\"%d\"];\n", v, a.To, a.Label)
 		}
 	}

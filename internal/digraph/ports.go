@@ -84,7 +84,7 @@ func EulerianOrientation(g *graph.Graph) (Orientation, error) {
 			for {
 				advanced := false
 				for next[v] < g.Degree(v) {
-					w := g.Neighbors(v)[next[v]]
+					w := int(g.Neighbors(v)[next[v]])
 					next[v]++
 					e := graph.NewEdge(v, w)
 					if used[e] {

@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDuplicateEdgeErrorContext pins the duplicate-edge diagnostic:
+// the error names the normalised offending edge and both insertion
+// positions (which AddEdge call first added it, which call was
+// rejected).
+func TestDuplicateEdgeErrorContext(t *testing.T) {
+	b := NewBuilder(6)
+	b.MustAddEdge(0, 1) // edge #1
+	b.MustAddEdge(5, 2) // edge #2
+	b.MustAddEdge(3, 4) // edge #3
+	err := b.AddEdge(2, 5)
+	if err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"{2,5}", "edge #2", "edge #4"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("duplicate error %q does not mention %s", msg, want)
+		}
+	}
+	// The failed add must not count: the next edge is still #4.
+	b.MustAddEdge(0, 2)
+	if err := b.AddEdge(2, 0); err == nil || !strings.Contains(err.Error(), "edge #4") {
+		t.Errorf("insertion ordinal drifted after rejected add: %v", err)
+	}
+}
+
+// TestBuilderDeadAfterBuild pins the post-Build contract: AddEdge,
+// HasEdge and a second Build panic explicitly instead of silently
+// mutating (or misreporting) the built graph.
+func TestBuilderDeadAfterBuild(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	g := b.Build()
+	for what, fn := range map[string]func(){
+		"AddEdge":     func() { _ = b.AddEdge(1, 2) },
+		"MustAddEdge": func() { b.MustAddEdge(1, 2) },
+		"HasEdge":     func() { b.HasEdge(0, 1) },
+		"Build":       func() { b.Build() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s after Build did not panic", what)
+				}
+			}()
+			fn()
+		}()
+	}
+	if g.M() != 1 || !g.HasEdge(0, 1) {
+		t.Fatal("built graph mutated")
+	}
+}

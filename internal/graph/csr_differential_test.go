@@ -1,0 +1,269 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refGraph is the retained slice-of-slices reference implementation:
+// the representation the package used before the CSR refactor, built
+// through a map-backed edge set. The CSR Graph is pinned against it
+// edge for edge.
+type refGraph struct {
+	n   int
+	adj [][]int
+}
+
+func buildRef(n int, edges [][2]int) (*refGraph, error) {
+	set := map[[2]int]struct{}{}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			return nil, fmt.Errorf("ref: bad edge {%d,%d}", u, v)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if _, dup := set[key]; dup {
+			return nil, fmt.Errorf("ref: duplicate edge {%d,%d}", u, v)
+		}
+		set[key] = struct{}{}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for _, l := range adj {
+		sort.Ints(l)
+	}
+	return &refGraph{n: n, adj: adj}, nil
+}
+
+// refBall is the pre-CSR Ball: BFS over the reference adjacency.
+func (r *refGraph) ball(v, rad int) []int {
+	dist := make([]int, r.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[v] = 0
+	out := []int{v}
+	for head := 0; head < len(out); head++ {
+		u := out[head]
+		if dist[u] == rad {
+			continue
+		}
+		for _, w := range r.adj[u] {
+			if dist[w] == -1 {
+				dist[w] = dist[u] + 1
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// sameAdjacency checks CSR rows against the reference lists.
+func sameAdjacency(t *testing.T, g *Graph, r *refGraph) {
+	t.Helper()
+	if g.N() != r.n {
+		t.Fatalf("n: csr %d ref %d", g.N(), r.n)
+	}
+	m := 0
+	for v := 0; v < r.n; v++ {
+		m += len(r.adj[v])
+		row := g.Neighbors(v)
+		if len(row) != len(r.adj[v]) {
+			t.Fatalf("degree of %d: csr %d ref %d", v, len(row), len(r.adj[v]))
+		}
+		for i, w := range row {
+			if int(w) != r.adj[v][i] {
+				t.Fatalf("neighbor %d of %d: csr %d ref %d", i, v, w, r.adj[v][i])
+			}
+		}
+	}
+	if g.M() != m/2 {
+		t.Fatalf("m: csr %d ref %d", g.M(), m/2)
+	}
+}
+
+// differentialHosts enumerates the pinned host families: Petersen,
+// tori, random-regular (several seeds) and the generated expander /
+// grid families. Cayley hosts are pinned in csr_hosts_test.go (they
+// need the host registry, which imports this package).
+func differentialHosts() map[string]*Graph {
+	rng := rand.New(rand.NewSource(11))
+	return map[string]*Graph{
+		"petersen":     Petersen(),
+		"torus6x6":     Torus(6, 6),
+		"torus3x4x5":   Torus(3, 4, 5),
+		"regular-d3":   RandomRegular(24, 3, rng),
+		"regular-d4":   RandomRegular(30, 4, rng),
+		"grid3d":       Grid3D(3, 4, 2),
+		"margulis":     MargulisExpander(5),
+		"hypercube4":   Hypercube(4),
+		"circulant":    Circulant(17, 1, 3, 5),
+		"complete-bip": CompleteBipartite(4, 5),
+	}
+}
+
+func TestCSRAgainstReference(t *testing.T) {
+	for name, g := range differentialHosts() {
+		t.Run(name, func(t *testing.T) {
+			edges := make([][2]int, 0, g.M())
+			for _, e := range g.Edges() {
+				edges = append(edges, [2]int{e.U, e.V})
+			}
+			ref, err := buildRef(g.N(), edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameAdjacency(t, g, ref)
+			// Ball must visit the same vertices in the same BFS order.
+			for v := 0; v < g.N(); v++ {
+				for r := 0; r <= 3; r++ {
+					got, want := g.Ball(v, r), ref.ball(v, r)
+					if len(got) != len(want) {
+						t.Fatalf("Ball(%d,%d): csr %v ref %v", v, r, got, want)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("Ball(%d,%d)[%d]: csr %d ref %d", v, r, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCSRRandomEdgeSets drives the Builder with random edge sets,
+// including rejected duplicates, and pins the result against the
+// reference builder.
+func TestCSRRandomEdgeSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(20)
+		b := NewBuilder(n)
+		var accepted [][2]int
+		tries := rng.Intn(3 * n)
+		for i := 0; i < tries; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			err := b.AddEdge(u, v)
+			switch {
+			case u == v:
+				if err == nil {
+					t.Fatalf("self-loop {%d,%d} accepted", u, v)
+				}
+			case containsEdge(accepted, u, v):
+				if err == nil {
+					t.Fatalf("duplicate {%d,%d} accepted", u, v)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("fresh edge {%d,%d} rejected: %v", u, v, err)
+				}
+				accepted = append(accepted, [2]int{u, v})
+			}
+		}
+		g := b.Build()
+		ref, err := buildRef(n, accepted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAdjacency(t, g, ref)
+	}
+}
+
+func containsEdge(edges [][2]int, u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		if a == u && b == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFromCSRRejectsBadOffsets pins the offset validation: layouts
+// whose rows do not start at 0 (or run backwards) must fail instead
+// of yielding phantom edge counts or panicking on first access.
+func TestFromCSRRejectsBadOffsets(t *testing.T) {
+	if _, err := FromCSR([]int32{2, 2, 2}, make([]int32, 2)); err == nil {
+		t.Error("off[0] != 0 accepted")
+	}
+	if _, err := FromCSR([]int32{0, 2, 1, 2}, []int32{1, 2, 0}); err == nil {
+		t.Error("non-monotone offsets accepted")
+	}
+	if _, err := FromCSR([]int32{0, 1, 2}, []int32{1, 0}); err != nil {
+		t.Errorf("valid single-edge layout rejected: %v", err)
+	}
+}
+
+// TestBallSparseParity crosses the dense/sparse visited-set threshold
+// and pins the sparse BFS against the reference: same vertices, same
+// order.
+func TestBallSparseParity(t *testing.T) {
+	n := denseBallThreshold + 100
+	g := Circulant(n, 1, 7)
+	edges := make([][2]int, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, [2]int{e.U, e.V})
+	}
+	ref, err := buildRef(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 1, 77, n - 1, n / 2} {
+		for r := 0; r <= 3; r++ {
+			got, want := g.Ball(v, r), ref.ball(v, r)
+			if len(got) != len(want) {
+				t.Fatalf("Ball(%d,%d): sparse %d verts, ref %d", v, r, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Ball(%d,%d)[%d]: sparse %d ref %d", v, r, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzBuilderCSR feeds arbitrary byte strings as edge lists: whatever
+// subset of edges the Builder accepts must reproduce the reference
+// adjacency exactly, and FromAdjacency on the reference lists must
+// rebuild an identical graph.
+func FuzzBuilderCSR(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0})
+	f.Add([]byte{0, 1, 0, 1, 3, 3})
+	f.Add([]byte{9, 1, 4, 4, 200, 3, 7, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 16
+		b := NewBuilder(n)
+		var accepted [][2]int
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if b.AddEdge(u, v) == nil {
+				accepted = append(accepted, [2]int{u, v})
+			}
+		}
+		g := b.Build()
+		ref, err := buildRef(n, accepted)
+		if err != nil {
+			t.Fatalf("builder accepted what the reference rejects: %v", err)
+		}
+		sameAdjacency(t, g, ref)
+		g2, err := FromAdjacency(ref.adj)
+		if err != nil {
+			t.Fatalf("FromAdjacency on reference lists: %v", err)
+		}
+		sameAdjacency(t, g2, ref)
+	})
+}

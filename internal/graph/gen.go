@@ -74,6 +74,68 @@ func Grid(rows, cols int) *Graph {
 	return b.Build()
 }
 
+// Grid3D returns the nx x ny x nz three-dimensional grid graph
+// (no wrap-around; the wrapped form is Torus(nx, ny, nz)). Vertex
+// (i, j, k) is (i*ny+j)*nz+k.
+func Grid3D(nx, ny, nz int) *Graph {
+	b := NewBuilder(nx * ny * nz)
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				if i+1 < nx {
+					b.MustAddEdge(id(i, j, k), id(i+1, j, k))
+				}
+				if j+1 < ny {
+					b.MustAddEdge(id(i, j, k), id(i, j+1, k))
+				}
+				if k+1 < nz {
+					b.MustAddEdge(id(i, j, k), id(i, j, k+1))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// MargulisExpander returns the Margulis-type expander on Z_n x Z_n in
+// its Gabber–Galil form: (x, y) is joined to (x±2y, y), (x±(2y+1), y),
+// (x, y±2x) and (x, y±(2x+1)), all mod n. The underlying simple graph
+// has maximum degree 8; coincident images (small n, fixed points) are
+// deduplicated, so low-degree vertices can occur. Spectral expansion
+// of the family is classical; here it serves as a constant-degree
+// host with girth and growth behaviour unlike the paper's tori.
+func MargulisExpander(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: MargulisExpander(%d): need n >= 2", n))
+	}
+	b := NewBuilder(n * n)
+	id := func(x, y int) int { return x*n + y }
+	mod := func(x int) int {
+		x %= n
+		if x < 0 {
+			x += n
+		}
+		return x
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			v := id(x, y)
+			for _, u := range []int{
+				id(mod(x+2*y), y),
+				id(mod(x+2*y+1), y),
+				id(x, mod(y+2*x)),
+				id(x, mod(y+2*x+1)),
+			} {
+				if u != v && !b.HasEdge(v, u) {
+					b.MustAddEdge(v, u)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
 // Torus returns the cartesian product of cycles with the given side
 // lengths: the k-dimensional toroidal grid of Section 3.2. Every side
 // must be at least 3 so the result is simple. Vertex coordinates are

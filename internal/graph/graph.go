@@ -5,25 +5,37 @@
 //
 // Vertices are integers 0..n-1. Graphs are immutable once built;
 // use Builder to construct them.
+//
+// Storage is compressed sparse row (CSR): one flat []int32 neighbour
+// array plus []int32 row offsets. Every per-vertex scan (canonical
+// balls, view gathering, the lower-bound engines) walks contiguous
+// memory, and Neighbors returns a subslice with no allocation.
 package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
-// Graph is an immutable undirected simple graph on vertices 0..n-1.
-// The zero value is the empty graph on zero vertices.
+// Graph is an immutable undirected simple graph on vertices 0..n-1 in
+// CSR form: the neighbours of v are nbr[off[v]:off[v+1]], sorted
+// ascending. The zero value is the empty graph on zero vertices.
 type Graph struct {
 	n   int
 	m   int
-	adj [][]int // sorted neighbour lists
+	off []int32 // row offsets, len n+1 (nil for the zero value)
+	nbr []int32 // flat neighbour array, len 2m
 }
 
-// Builder accumulates edges for a Graph.
+// Builder accumulates edges for a Graph. Neighbour rows are kept
+// sorted as they grow (binary-search duplicate checks, no edge map),
+// and Build concatenates them into the final CSR arrays.
 type Builder struct {
 	n     int
-	edges map[[2]int]struct{}
+	m     int
+	built bool
+	adj   [][]int32 // per-vertex sorted neighbour rows
+	seq   [][]int32 // parallel to adj: 1-based insertion ordinal of the edge
 }
 
 // NewBuilder returns a builder for a graph on n vertices.
@@ -31,26 +43,34 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Builder{n: n, edges: make(map[[2]int]struct{})}
+	return &Builder{n: n, adj: make([][]int32, n), seq: make([][]int32, n)}
 }
 
 // AddEdge adds the undirected edge {u, v}. Self-loops and duplicate
-// edges are rejected with an error.
+// edges are rejected with an error; a duplicate reports both the
+// offending edge and when each copy was inserted. Calling AddEdge on a
+// finished builder panics.
 func (b *Builder) AddEdge(u, v int) error {
+	if b.built {
+		panic("graph: AddEdge on a Builder after Build")
+	}
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
 	}
 	if u == v {
 		return fmt.Errorf("graph: self-loop at %d", u)
 	}
-	if u > v {
-		u, v = v, u
+	i, dup := searchRow(b.adj[u], int32(v))
+	if dup {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}: first added as edge #%d, rejected as edge #%d",
+			min(u, v), max(u, v), b.seq[u][i], b.m+1)
 	}
-	key := [2]int{u, v}
-	if _, dup := b.edges[key]; dup {
-		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
-	}
-	b.edges[key] = struct{}{}
+	j, _ := searchRow(b.adj[v], int32(u))
+	b.m++
+	b.adj[u] = insertInt32(b.adj[u], i, int32(v))
+	b.seq[u] = insertInt32(b.seq[u], i, int32(b.m))
+	b.adj[v] = insertInt32(b.adj[v], j, int32(u))
+	b.seq[v] = insertInt32(b.seq[v], j, int32(b.m))
 	return nil
 }
 
@@ -62,65 +82,128 @@ func (b *Builder) MustAddEdge(u, v int) {
 	}
 }
 
-// HasEdge reports whether {u, v} has been added.
+// HasEdge reports whether {u, v} has been added. Panics on a finished
+// builder (the rows have been handed to the built graph).
 func (b *Builder) HasEdge(u, v int) bool {
-	if u > v {
-		u, v = v, u
+	if b.built {
+		panic("graph: HasEdge on a Builder after Build")
 	}
-	_, ok := b.edges[[2]int{u, v}]
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return false
+	}
+	_, ok := searchRow(b.adj[u], int32(v))
 	return ok
 }
 
-// Build finalises the graph.
+// Build finalises the graph, concatenating the sorted neighbour rows
+// into the flat CSR arrays. The builder is dead afterwards: any
+// further AddEdge/HasEdge/Build panics.
 func (b *Builder) Build() *Graph {
-	adj := make([][]int, b.n)
-	for e := range b.edges {
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
+	if b.built {
+		panic("graph: Build called twice")
 	}
-	for _, l := range adj {
-		sort.Ints(l)
+	b.built = true
+	off := make([]int32, b.n+1)
+	for v, row := range b.adj {
+		off[v+1] = off[v] + int32(len(row))
 	}
-	return &Graph{n: b.n, m: len(b.edges), adj: adj}
+	nbr := make([]int32, off[b.n])
+	for v, row := range b.adj {
+		copy(nbr[off[v]:], row)
+	}
+	b.adj, b.seq = nil, nil
+	return &Graph{n: b.n, m: b.m, off: off, nbr: nbr}
 }
 
-// FromAdjacency builds a graph directly from neighbour lists,
-// bypassing the Builder's edge map — the fast path for callers that
-// assemble adjacency wholesale (ball extraction, underlying graphs of
-// digraphs). The lists are sorted in place and validated: self-loops,
+// searchRow returns the insertion position of x in the sorted row and
+// whether x is already present.
+func searchRow(row []int32, x int32) (int, bool) {
+	i, ok := slices.BinarySearch(row, x)
+	return i, ok
+}
+
+func insertInt32(row []int32, i int, x int32) []int32 {
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = x
+	return row
+}
+
+// FromAdjacency builds a graph directly from neighbour lists — the
+// wholesale path for callers that assemble adjacency as [][]int. The
+// lists are flattened into CSR, sorted and validated: self-loops,
 // duplicate edges (parallel arcs) and asymmetric entries are rejected.
 func FromAdjacency(adj [][]int) (*Graph, error) {
 	n := len(adj)
-	m := 0
-	for u, l := range adj {
-		sort.Ints(l)
-		for i, v := range l {
-			if v < 0 || v >= n {
-				return nil, fmt.Errorf("graph: neighbour %d of %d out of range [0,%d)", v, u, n)
+	off := make([]int32, n+1)
+	for v, l := range adj {
+		off[v+1] = off[v] + int32(len(l))
+	}
+	nbr := make([]int32, off[n])
+	for v, l := range adj {
+		row := nbr[off[v]:off[v+1]]
+		for i, w := range l {
+			if w < 0 || w >= n {
+				return nil, fmt.Errorf("graph: neighbour %d of %d out of range [0,%d)", w, v, n)
 			}
-			if v == u {
-				return nil, fmt.Errorf("graph: self-loop at %d", u)
+			row[i] = int32(w)
+		}
+	}
+	return FromCSR(off, nbr)
+}
+
+// FromCSR builds a graph from a prepared CSR layout: off has n+1
+// entries and nbr[off[v]:off[v+1]] lists the neighbours of v. The rows
+// are sorted in place and validated (range, self-loops, duplicates,
+// mirror symmetry). The slices are owned by the graph afterwards.
+// This is the zero-copy path for digraph.Underlying and the ball
+// extractors, which sit inside the per-vertex scan loops.
+func FromCSR(off, nbr []int32) (*Graph, error) {
+	n := len(off) - 1
+	if n < 0 {
+		return nil, fmt.Errorf("graph: empty offset array")
+	}
+	if off[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets start at %d, want 0", off[0])
+	}
+	if int(off[n]) != len(nbr) {
+		return nil, fmt.Errorf("graph: offsets end at %d, want %d", off[n], len(nbr))
+	}
+	for v := 0; v < n; v++ {
+		if off[v] > off[v+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+		row := nbr[off[v]:off[v+1]]
+		slices.Sort(row)
+		for i, w := range row {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: neighbour %d of %d out of range [0,%d)", w, v, n)
 			}
-			if i > 0 && l[i-1] == v {
-				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+			if int(w) == v {
+				return nil, fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if i > 0 && row[i-1] == w {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, w)
 			}
 		}
-		m += len(l)
 	}
-	if m%2 != 0 {
+	if len(nbr)%2 != 0 {
 		return nil, fmt.Errorf("graph: adjacency is not symmetric")
 	}
-	for u, l := range adj {
-		for _, v := range l {
-			w := adj[v]
-			i := sort.SearchInts(w, u)
-			if i >= len(w) || w[i] != u {
-				return nil, fmt.Errorf("graph: edge {%d,%d} missing its mirror", u, v)
+	g := &Graph{n: n, m: len(nbr) / 2, off: off, nbr: nbr}
+	for v := 0; v < n; v++ {
+		for _, w := range g.row(v) {
+			if !g.HasEdge(int(w), v) {
+				return nil, fmt.Errorf("graph: edge {%d,%d} missing its mirror", v, w)
 			}
 		}
 	}
-	return &Graph{n: n, m: m / 2, adj: adj}, nil
+	return g, nil
 }
+
+// row returns the sorted neighbour row of v (internal form of
+// Neighbors, shared by the metrics and subgraph code).
+func (g *Graph) row(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
@@ -129,17 +212,26 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
-// Neighbors returns the sorted neighbour list of v. The returned slice
-// must not be modified.
-func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+// Neighbors returns the sorted neighbour row of v: a subslice of the
+// flat CSR array. The returned slice must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.row(v) }
+
+// AppendNeighbors appends the neighbours of v to dst as ints and
+// returns the extended slice — for callers that want an []int copy of
+// a row (the CSR row itself is []int32 and must not be modified).
+func (g *Graph) AppendNeighbors(dst []int, v int) []int {
+	for _, w := range g.row(v) {
+		dst = append(dst, int(w))
+	}
+	return dst
+}
 
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
-	l := g.adj[u]
-	i := sort.SearchInts(l, v)
-	return i < len(l) && l[i] == v
+	_, ok := searchRow(g.row(u), int32(v))
+	return ok
 }
 
 // Edge is an undirected edge with U < V.
@@ -157,8 +249,8 @@ func NewEdge(u, v int) Edge {
 func (g *Graph) Edges() []Edge {
 	es := make([]Edge, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
-			if u < v {
+		for _, w := range g.row(u) {
+			if v := int(w); u < v {
 				es = append(es, Edge{U: u, V: v})
 			}
 		}
@@ -170,8 +262,8 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) MaxDegree() int {
 	d := 0
 	for v := 0; v < g.n; v++ {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
+		if dv := g.Degree(v); dv > d {
+			d = dv
 		}
 	}
 	return d
@@ -182,10 +274,10 @@ func (g *Graph) MinDegree() int {
 	if g.n == 0 {
 		return 0
 	}
-	d := len(g.adj[0])
+	d := g.Degree(0)
 	for v := 1; v < g.n; v++ {
-		if len(g.adj[v]) < d {
-			d = len(g.adj[v])
+		if dv := g.Degree(v); dv < d {
+			d = dv
 		}
 	}
 	return d
@@ -194,7 +286,7 @@ func (g *Graph) MinDegree() int {
 // IsRegular reports whether all vertices have degree d.
 func (g *Graph) IsRegular(d int) bool {
 	for v := 0; v < g.n; v++ {
-		if len(g.adj[v]) != d {
+		if g.Degree(v) != d {
 			return false
 		}
 	}
@@ -203,9 +295,7 @@ func (g *Graph) IsRegular(d int) bool {
 
 // NeighborIndex returns i such that Neighbors(u)[i] == v, or -1.
 func (g *Graph) NeighborIndex(u, v int) int {
-	l := g.adj[u]
-	i := sort.SearchInts(l, v)
-	if i < len(l) && l[i] == v {
+	if i, ok := searchRow(g.row(u), int32(v)); ok {
 		return i
 	}
 	return -1
@@ -213,7 +303,7 @@ func (g *Graph) NeighborIndex(u, v int) int {
 
 // InducedSubgraph returns the subgraph induced by the given vertices and
 // a mapping old-vertex -> new-vertex (missing vertices map to -1).
-// The adjacency lists are assembled directly (no Builder edge map):
+// The CSR arrays are assembled directly in two passes (count, fill):
 // this sits inside the canonical-ball hot loop.
 func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
 	idx := make([]int, g.n)
@@ -223,29 +313,42 @@ func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
 	for i, v := range vs {
 		idx[v] = i
 	}
-	adj := make([][]int, len(vs))
+	k := len(vs)
+	off := make([]int32, k+1)
+	for i, v := range vs {
+		d := int32(0)
+		for _, w := range g.row(v) {
+			if idx[w] >= 0 {
+				d++
+			}
+		}
+		off[i+1] = off[i] + d
+	}
+	nbr := make([]int32, off[k])
 	m := 0
 	for i, v := range vs {
-		for _, w := range g.adj[v] {
+		row := nbr[off[i]:off[i]]
+		for _, w := range g.row(v) {
 			if j := idx[w]; j >= 0 {
-				adj[i] = append(adj[i], j)
+				row = append(row, int32(j))
 				if j > i {
 					m++
 				}
 			}
 		}
-		sort.Ints(adj[i])
+		slices.Sort(row)
 	}
-	return &Graph{n: len(vs), m: m, adj: adj}, idx
+	return &Graph{n: k, m: m, off: off, nbr: nbr}, idx
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	adj := make([][]int, g.n)
-	for v := range adj {
-		adj[v] = append([]int(nil), g.adj[v]...)
+	return &Graph{
+		n:   g.n,
+		m:   g.m,
+		off: append([]int32(nil), g.off...),
+		nbr: append([]int32(nil), g.nbr...),
 	}
-	return &Graph{n: g.n, m: g.m, adj: adj}
 }
 
 // String returns a short human-readable summary.

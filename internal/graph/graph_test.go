@@ -272,8 +272,8 @@ func TestCloneIndependence(t *testing.T) {
 	if c.N() != g.N() || c.M() != g.M() {
 		t.Fatal("clone differs")
 	}
-	c.adj[0][0] = 99
-	if g.adj[0][0] == 99 {
+	c.nbr[0] = 99
+	if g.nbr[0] == 99 {
 		t.Error("clone shares adjacency storage")
 	}
 }

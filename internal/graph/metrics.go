@@ -14,8 +14,8 @@ func (g *Graph) BFS(root int) (dist, parent []int) {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if dist[v] == -1 {
+		for _, w := range g.row(u) {
+			if v := int(w); dist[v] == -1 {
 				dist[v] = dist[u] + 1
 				parent[v] = u
 				queue = append(queue, v)
@@ -31,12 +31,22 @@ func (g *Graph) Dist(u, v int) int {
 	return d[v]
 }
 
+// denseBallThreshold bounds the graphs whose Ball visited set is a
+// dense per-call array. Above it, the Θ(n) initialisation would
+// dominate the (bounded-degree, hence small) ball itself — the
+// per-vertex scans call Ball once per vertex, turning dense scratch
+// into quadratic total work on the registry's largest hosts — so big
+// graphs fall back to a map keyed by visited vertices only.
+const denseBallThreshold = 1 << 14
+
 // Ball returns the vertices at distance at most r from v, in BFS order.
-// The visited set is a dense array: for the bounded-degree graphs of
-// the paper this is both faster and allocation-lighter than a map, and
-// the per-vertex scans (order.Measure, the lower-bound engines) call
-// Ball once per vertex.
+// The visited set is a dense array for the paper-scale graphs (faster
+// and allocation-lighter than a map) and a sparse map above
+// denseBallThreshold; both paths produce the identical BFS order.
 func (g *Graph) Ball(v, r int) []int {
+	if g.n > denseBallThreshold {
+		return g.ballSparse(v, r)
+	}
 	dist := make([]int, g.n)
 	for i := range dist {
 		dist[i] = -1
@@ -48,9 +58,30 @@ func (g *Graph) Ball(v, r int) []int {
 		if dist[u] == r {
 			continue
 		}
-		for _, w := range g.adj[u] {
-			if dist[w] == -1 {
+		for _, x := range g.row(u) {
+			if w := int(x); dist[w] == -1 {
 				dist[w] = dist[u] + 1
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// ballSparse is Ball with a map visited set: work proportional to the
+// ball, not to n.
+func (g *Graph) ballSparse(v, r int) []int {
+	dist := map[int]int{v: 0}
+	out := []int{v}
+	for head := 0; head < len(out); head++ {
+		u := out[head]
+		du := dist[u]
+		if du == r {
+			continue
+		}
+		for _, x := range g.row(u) {
+			if w := int(x); dist[w] == 0 && w != v {
+				dist[w] = du + 1
 				out = append(out, w)
 			}
 		}
@@ -89,8 +120,8 @@ func (g *Graph) Components() [][]int {
 			u := queue[0]
 			queue = queue[1:]
 			comp = append(comp, u)
-			for _, v := range g.adj[u] {
-				if !seen[v] {
+			for _, w := range g.row(u) {
+				if v := int(w); !seen[v] {
 					seen[v] = true
 					queue = append(queue, v)
 				}
@@ -145,7 +176,8 @@ func (g *Graph) Girth() int {
 			if best != -1 && 2*dist[u] >= best {
 				continue
 			}
-			for _, w := range g.adj[u] {
+			for _, x := range g.row(u) {
+				w := int(x)
 				if dist[w] == -1 {
 					dist[w] = dist[u] + 1
 					parent[w] = u
@@ -178,7 +210,8 @@ func (g *Graph) IsBipartite() (bool, []int) {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range g.adj[u] {
+			for _, w := range g.row(u) {
+				v := int(w)
 				if color[v] == -1 {
 					color[v] = 1 - color[u]
 					queue = append(queue, v)

@@ -1,0 +1,181 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/order"
+)
+
+// refAdj rebuilds a slice-of-slices adjacency (the pre-CSR reference
+// representation) from a host's edge list.
+func refAdj(h *Host) [][]int {
+	adj := make([][]int, h.G.N())
+	for _, e := range h.G.Edges() {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for _, l := range adj {
+		sort.Ints(l)
+	}
+	return adj
+}
+
+// refEncode is the reference canonical-ball encoding: the same format
+// as order.Ball.Encode, rendered with fmt over the reference
+// adjacency instead of the CSR rows.
+func refEncode(adj [][]int, root int) string {
+	s := fmt.Sprintf("n%d r%d:", len(adj), root)
+	for u := range adj {
+		for _, v := range adj[u] {
+			if u < v {
+				s += strconv.Itoa(u) + "-" + strconv.Itoa(v) + ";"
+			}
+		}
+	}
+	return s
+}
+
+// TestHostsCSRAgainstReference pins the CSR substrate on every pinned
+// host family — including the Cayley families, which exercise
+// digraph.Materialize and Underlying — against the slice-of-slices
+// reference: identical adjacency, and byte-identical canonical-ball
+// encodings at radii 1 and 2 under the identity order.
+func TestHostsCSRAgainstReference(t *testing.T) {
+	descs := []string{
+		"petersen",
+		"torus:6x6",
+		"random-regular:d=4,n=20,seed=7",
+		"cayley:W,level=2,k=2,seed=1",
+		"cayley:H,level=2,m=4,k=2,seed=1",
+		"grid3d:3x3x2",
+		"margulis-expander:n=5",
+		"lift:cycle:9,l=3",
+	}
+	for _, desc := range descs {
+		t.Run(desc, func(t *testing.T) {
+			h, err := Parse(desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adj := refAdj(h)
+			for v := 0; v < h.G.N(); v++ {
+				row := h.G.Neighbors(v)
+				if len(row) != len(adj[v]) {
+					t.Fatalf("degree of %d: csr %d ref %d", v, len(row), len(adj[v]))
+				}
+				for i, w := range row {
+					if int(w) != adj[v][i] {
+						t.Fatalf("neighbor %d of %d: csr %d ref %d", i, v, w, adj[v][i])
+					}
+				}
+			}
+			rank := order.Identity(h.G.N())
+			for _, r := range []int{1, 2} {
+				for v := 0; v < h.G.N(); v++ {
+					ball, verts := order.CanonicalBallVerts(h.G, rank, v, r)
+					got := ball.Encode()
+					// Rebuild the ball's reference adjacency through the
+					// same vertex relabelling.
+					idx := map[int]int{}
+					for i, ov := range verts {
+						idx[ov] = i
+					}
+					sub := make([][]int, len(verts))
+					for i, ov := range verts {
+						for _, w := range adj[ov] {
+							if j, in := idx[w]; in {
+								sub[i] = append(sub[i], j)
+							}
+						}
+						sort.Ints(sub[i])
+					}
+					if want := refEncode(sub, ball.Root); got != want {
+						t.Fatalf("Encode mismatch at v=%d r=%d:\ncsr %s\nref %s", v, r, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryErrors exercises the descriptor grammar's failure modes.
+func TestRegistryErrors(t *testing.T) {
+	if _, err := Parse("moebius:7"); err == nil {
+		t.Fatal("unknown family accepted")
+	} else if got := err.Error(); !strings.Contains(got, "registered host families") || !strings.Contains(got, "torus:<s1>x<s2>") {
+		t.Fatalf("unknown-family error does not list the registry:\n%s", got)
+	}
+	for _, bad := range []string{
+		"torus:2x2",                       // side < 3
+		"random-regular:d=5,n=5,seed=1",   // d >= n
+		"random-regular:d=three,n=8",      // non-integer
+		"cycle:12,bogus=1",                // unused argument
+		"cayley:U,level=2,k=1,seed=1",     // infinite group
+		"cayley:H,level=3,m=6,k=1,seed=1", // exceeds node cap
+		"lift:",                           // missing base
+		"circulant:10,4+9",                // offset out of range
+		"hypercube:0",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("descriptor %q accepted", bad)
+		}
+	}
+}
+
+// TestFamilyProperties checks each family delivers its structural
+// contract.
+func TestFamilyProperties(t *testing.T) {
+	if g := MustParse("torus:4x5x3").G; g.N() != 60 || !g.IsRegular(6) {
+		t.Error("torus:4x5x3 wrong shape")
+	}
+	if g := MustParse("hypercube:5").G; g.N() != 32 || !g.IsRegular(5) {
+		t.Error("hypercube:5 wrong shape")
+	}
+	if g := MustParse("grid3d:2x3x4").G; g.N() != 24 || g.M() != 46 {
+		t.Errorf("grid3d:2x3x4 wrong shape: n=%d m=%d", g.N(), g.M())
+	}
+	if g := MustParse("random-regular:d=4,n=18,seed=3").G; !g.IsRegular(4) {
+		t.Error("random-regular not regular")
+	}
+	if g := MustParse("margulis-expander:n=8").G; g.N() != 64 || g.MaxDegree() > 8 {
+		t.Error("margulis-expander wrong shape")
+	}
+	if g := MustParse("circulant:12,1+2+6").G; g.N() != 12 || g.MaxDegree() != 5 {
+		t.Errorf("circulant:12,1+2+6 wrong shape: Δ=%d", g.MaxDegree())
+	}
+	h := MustParse("lift:petersen,l=4,seed=9")
+	if h.G.N() != 40 || !h.G.IsRegular(3) {
+		t.Error("lift:petersen,l=4 is not a 3-regular 40-vertex graph")
+	}
+	if h.D == nil {
+		t.Error("lift host should carry its digraph")
+	}
+	// cayley:H on k generators of infinite order is 2k-regular when no
+	// generator is an involution; with involutions the collapse keeps
+	// the degree at most 2k. Either way every vertex exists.
+	ch := MustParse("cayley:H,level=2,m=4,k=2,seed=1")
+	if ch.G.N() != 64 {
+		t.Errorf("cayley:H level 2 m=4 has %d vertices, want 4^3", ch.G.N())
+	}
+	if d := ch.G.MaxDegree(); d > 4 {
+		t.Errorf("cayley:H with k=2 has Δ=%d > 2k", d)
+	}
+	// Same seed, same graph: descriptors are reproducible.
+	a := MustParse("random-regular:d=3,n=20,seed=5").G
+	b := MustParse("random-regular:d=3,n=20,seed=5").G
+	for v := 0; v < a.N(); v++ {
+		ra, rb := a.Neighbors(v), b.Neighbors(v)
+		if len(ra) != len(rb) {
+			t.Fatal("same descriptor, different graphs")
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatal("same descriptor, different graphs")
+			}
+		}
+	}
+}

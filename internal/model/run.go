@@ -2,7 +2,6 @@ package model
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/order"
@@ -263,9 +262,8 @@ var (
 
 // RootNeighbors returns the ball indices adjacent to the root in
 // increasing order — the canonical way an OI/ID algorithm addresses
-// the root's incident edges.
+// the root's incident edges. CSR rows are already sorted, so this is
+// a straight copy.
 func RootNeighbors(ballG *graph.Graph, root int) []int {
-	ns := append([]int(nil), ballG.Neighbors(root)...)
-	sort.Ints(ns)
-	return ns
+	return ballG.AppendNeighbors(make([]int, 0, ballG.Degree(root)), root)
 }

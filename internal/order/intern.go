@@ -52,7 +52,7 @@ func (b *Ball) hashType() uint64 {
 	n := b.G.N()
 	for u := 0; u < n; u++ {
 		for _, v := range b.G.Neighbors(u) {
-			if u < v {
+			if int32(u) < v {
 				h = mix64(h ^ (uint64(u)<<32 | uint64(v)))
 			}
 		}

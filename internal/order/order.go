@@ -45,7 +45,7 @@ func (b *Ball) Encode() string {
 	buf = append(buf, ':')
 	for u := 0; u < n; u++ {
 		for _, v := range b.G.Neighbors(u) {
-			if u < v {
+			if int32(u) < v {
 				buf = strconv.AppendInt(buf, int64(u), 10)
 				buf = append(buf, '-')
 				buf = strconv.AppendInt(buf, int64(v), 10)

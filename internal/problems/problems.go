@@ -165,7 +165,7 @@ func Ratio(p Problem, g *graph.Graph, sol *model.Solution) (float64, error) {
 func rootEdges(lv *LocalView) []graph.Edge {
 	var out []graph.Edge
 	for _, u := range lv.Ball.Neighbors(lv.Root) {
-		out = append(out, graph.NewEdge(lv.Root, u))
+		out = append(out, graph.NewEdge(lv.Root, int(u)))
 	}
 	return out
 }
@@ -174,7 +174,7 @@ func rootEdges(lv *LocalView) []graph.Edge {
 // selected edge.
 func hasIncidentSelected(lv *LocalView, u int) bool {
 	for _, w := range lv.Ball.Neighbors(u) {
-		if lv.EdgeIn[graph.NewEdge(u, w)] {
+		if lv.EdgeIn[graph.NewEdge(u, int(w))] {
 			return true
 		}
 	}
@@ -442,7 +442,7 @@ func (MinEdgeDominatingSet) VerifierRadius() int { return 2 }
 // by a selected edge visible in the radius-2 ball.
 func (MinEdgeDominatingSet) AcceptLocal(lv *LocalView) bool {
 	for _, u := range lv.Ball.Neighbors(lv.Root) {
-		if !hasIncidentSelected(lv, lv.Root) && !hasIncidentSelected(lv, u) {
+		if !hasIncidentSelected(lv, lv.Root) && !hasIncidentSelected(lv, int(u)) {
 			return false
 		}
 	}

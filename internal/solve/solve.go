@@ -44,7 +44,7 @@ func MaxMatching(g *graph.Graph) []graph.Edge {
 			}
 			matched[v], matched[u] = true, true
 			free -= 2
-			cur = append(cur, graph.NewEdge(v, u))
+			cur = append(cur, graph.NewEdge(v, int(u)))
 			rec(v + 1)
 			cur = cur[:len(cur)-1]
 			free += 2
@@ -148,7 +148,7 @@ func MinDominatingSet(g *graph.Graph) []int {
 	undominated := n
 
 	choose := func(c int, delta int) {
-		for _, u := range append([]int{c}, g.Neighbors(c)...) {
+		for _, u := range g.AppendNeighbors([]int{c}, c) {
 			if delta > 0 {
 				if domCount[u] == 0 {
 					undominated--
@@ -183,7 +183,7 @@ func MinDominatingSet(g *graph.Graph) []int {
 				break
 			}
 		}
-		cands := append([]int{v}, g.Neighbors(v)...)
+		cands := g.AppendNeighbors([]int{v}, v)
 		for _, c := range cands {
 			choose(c, +1)
 			cur = append(cur, c)
@@ -216,7 +216,7 @@ func MinEdgeCover(g *graph.Graph) ([]graph.Edge, error) {
 	out := append([]graph.Edge(nil), m...)
 	for v := 0; v < g.N(); v++ {
 		if !covered[v] {
-			u := g.Neighbors(v)[0]
+			u := int(g.Neighbors(v)[0])
 			out = append(out, graph.NewEdge(v, u))
 			covered[v] = true
 		}

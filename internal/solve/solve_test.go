@@ -128,7 +128,7 @@ func TestMinDominatingSetKnown(t *testing.T) {
 				}
 				ok := false
 				for _, u := range tc.g.Neighbors(v) {
-					if in[u] {
+					if in[int(u)] {
 						ok = true
 					}
 				}

@@ -11,7 +11,8 @@
 // This package is a thin facade re-exporting the library's main entry
 // points; the implementation lives in the internal packages:
 //
-//	internal/graph       graphs and generators
+//	internal/graph       graphs and generators (flat CSR storage)
+//	internal/host        the host-family registry (descriptor syntax)
 //	internal/digraph     L-digraphs, ports, covering maps, lazy graphs
 //	internal/view        view trees T(G,v) and T*
 //	internal/order       ordered balls, homogeneity (Def. 3.1)
@@ -42,6 +43,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/homog"
+	"repro/internal/host"
 	"repro/internal/model"
 	"repro/internal/order"
 	"repro/internal/par"
@@ -93,12 +95,25 @@ var (
 
 // Graph generators.
 var (
-	Cycle         = graph.Cycle
-	Torus         = graph.Torus
-	Petersen      = graph.Petersen
-	Complete      = graph.Complete
-	Circulant     = graph.Circulant
-	RandomRegular = graph.RandomRegular
+	Cycle            = graph.Cycle
+	Torus            = graph.Torus
+	Petersen         = graph.Petersen
+	Complete         = graph.Complete
+	Circulant        = graph.Circulant
+	RandomRegular    = graph.RandomRegular
+	Grid3D           = graph.Grid3D
+	MargulisExpander = graph.MargulisExpander
+)
+
+// The host registry: every named, parameterised host family behind
+// one descriptor namespace ("torus:12x12",
+// "random-regular:d=4,n=512,seed=7", "lift:cycle:9,l=3", ...). See
+// DESIGN.md §4 for the grammar; ParseHost errors list the registry.
+var (
+	ParseHost      = host.Parse
+	MustParseHost  = host.MustParse
+	HostFamilies   = host.Families
+	RegisterFamily = host.Register
 )
 
 // Hosts and runners.

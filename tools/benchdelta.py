@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Benchmark baseline recorder / regression gate for CI.
+
+Modes:
+
+  record  <bench-output> <out.json>
+      Parse `go test -bench` output (possibly -count repeated) and
+      write {"benchmarks": {name: {"ns_op": min, "B_op":, "allocs_op":}}}.
+
+  check   <bench-output> <baseline.json> [--threshold 0.25]
+      Compare the run against the committed baseline. Raw ns/op is
+      hardware-dependent, so each watched benchmark's ratio is
+      normalised by the median ratio across *all* shared benchmarks
+      (the calibration set cancels uniform machine-speed differences).
+      Exit 1 if any watched benchmark regresses by more than the
+      threshold after normalisation.
+
+Watched benchmarks (the CSR/interner hot paths the repo promises not
+to regress): ViewEncode, CanonicalBall, E14Views.
+"""
+import json
+import re
+import statistics
+import sys
+
+WATCHED = ["BenchmarkViewEncode", "BenchmarkCanonicalBall", "BenchmarkE14Views"]
+
+LINE = re.compile(
+    r"(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+(\d+) B/op\s+(\d+) allocs/op)?"
+)
+
+
+def parse(path):
+    """Parse bench output; repeated -count lines keep the minimum ns/op."""
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line)
+            if not m:
+                continue
+            name = m.group(1)
+            ns = float(m.group(3))
+            row = rows.setdefault(
+                name,
+                {
+                    "ns_op": ns,
+                    "B_op": int(m.group(4)) if m.group(4) else None,
+                    "allocs_op": int(m.group(5)) if m.group(5) else None,
+                },
+            )
+            row["ns_op"] = min(row["ns_op"], ns)
+    return rows
+
+
+def record(bench_path, out_path):
+    rows = parse(bench_path)
+    if not rows:
+        sys.exit(f"benchdelta: no benchmark lines in {bench_path}")
+    json.dump({"benchmarks": rows}, open(out_path, "w"), indent=2)
+    print(f"benchdelta: recorded {len(rows)} benchmarks to {out_path}")
+
+
+def check(bench_path, baseline_path, threshold):
+    cur = parse(bench_path)
+    base = json.load(open(baseline_path))["benchmarks"]
+    shared = sorted(set(cur) & set(base))
+    if not shared:
+        sys.exit("benchdelta: no shared benchmarks between run and baseline")
+    ratios = {n: cur[n]["ns_op"] / base[n]["ns_op"] for n in shared}
+    machine = statistics.median(ratios.values())
+    print(f"benchdelta: {len(shared)} shared benchmarks, machine factor {machine:.3f}")
+    failed = []
+    for name in WATCHED:
+        if name not in ratios:
+            print(f"benchdelta: WARNING watched {name} missing from run or baseline")
+            continue
+        norm = ratios[name] / machine
+        status = "ok"
+        if norm > 1 + threshold:
+            status = "REGRESSION"
+            failed.append(name)
+        print(
+            f"  {name}: {base[name]['ns_op']:.0f} -> {cur[name]['ns_op']:.0f} ns/op"
+            f" (normalised x{norm:.3f}) {status}"
+        )
+    if failed:
+        sys.exit(
+            f"benchdelta: normalised regression above {threshold:.0%} in: "
+            + ", ".join(failed)
+        )
+    print("benchdelta: within budget")
+
+
+def main():
+    args = sys.argv[1:]
+    if len(args) >= 3 and args[0] == "record":
+        record(args[1], args[2])
+    elif len(args) >= 3 and args[0] == "check":
+        threshold = 0.25
+        if "--threshold" in args:
+            threshold = float(args[args.index("--threshold") + 1])
+        check(args[1], args[2], threshold)
+    else:
+        sys.exit(__doc__)
+
+
+if __name__ == "__main__":
+    main()
