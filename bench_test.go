@@ -21,6 +21,7 @@ import (
 	"repro/internal/homog"
 	"repro/internal/model"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/problems"
 	"repro/internal/solve"
 	"repro/internal/view"
@@ -116,11 +117,48 @@ func BenchmarkViewEncode(b *testing.B) {
 }
 
 func BenchmarkCanonicalBall(b *testing.B) {
+	// The sweep-engine extraction path: after one warm-up pass every
+	// type is registered, so the measured loop is all interner hits —
+	// the steady state of a whole-host sweep — and must report
+	// 0 allocs/op (gated by tools/benchdelta.py against BENCH_ci.json).
+	g := graph.Torus(8, 8)
+	rank := order.Identity(g.N())
+	in := order.NewInterner()
+	s := order.NewSweeper()
+	for v := 0; v < g.N(); v++ {
+		_ = s.CanonicalBall(g, rank, v, 2, in)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.CanonicalBall(g, rank, i%g.N(), 2, in)
+	}
+}
+
+func BenchmarkCanonicalBallReference(b *testing.B) {
+	// The retained per-vertex reference path (fresh ball per call),
+	// kept benchmarked so the sweep engine's win stays visible.
 	g := graph.Torus(8, 8)
 	rank := order.Identity(g.N())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = order.CanonicalBall(g, rank, i%g.N(), 2)
+	}
+}
+
+func BenchmarkSweepMeasure(b *testing.B) {
+	// Full-host batched sweep: every vertex of a 24×24 torus at
+	// radius 2 through the sweep engine. Pinned to the sequential
+	// fallback so ns/op and allocs/op are independent of the runner's
+	// core count — this benchmark is CI-gated against BENCH_ci.json,
+	// and the parallel speedup is a property of par, not the engine.
+	defer par.Set(par.Set(1))
+	g := graph.Torus(24, 24)
+	rank := order.Identity(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = order.SweepMeasure(g, rank, 2)
 	}
 }
 

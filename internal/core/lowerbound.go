@@ -48,12 +48,15 @@ func CertifyPOLowerBound(h *model.Host, p problems.Problem, r, maxAlgorithms int
 	}
 	// Classify nodes by view type. Views are hash-consed, so the type
 	// map is keyed by interned *Tree — pointer identity, no Encode()
-	// strings. The per-node view builds are data-parallel; type ids are
-	// assigned in vertex order, so the numbering is deterministic.
+	// strings. The per-node view builds are data-parallel with
+	// worker-local build scratch; type ids are assigned in vertex
+	// order, so the numbering is deterministic.
 	trees := make([]*view.Tree, n)
-	par.For(n, func(v int) {
-		trees[v] = view.Build[int](h.D, v, r)
-	})
+	par.ForScratch(n,
+		view.NewBuildScratch,
+		func(v int, s *view.BuildScratch) {
+			trees[v] = view.BuildWith[int](s, h.D, v, r)
+		})
 	typeOf := make([]int, n)
 	index := map[*view.Tree]int{}
 	var rootLetters [][]view.Letter

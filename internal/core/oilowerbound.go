@@ -50,18 +50,21 @@ func CertifyOILowerBound(h *model.Host, rank order.Rank, p problems.Problem, r, 
 		return nil, err
 	}
 	// Classify nodes by ordered ball type; remember each node's
-	// ball-to-host vertex map for edge outputs. Balls are interned so
-	// the type map is keyed by canonical *Ball; the per-node ball
-	// extraction is data-parallel and type ids are assigned in vertex
-	// order.
+	// ball-to-host vertex map for edge outputs. Balls are swept through
+	// worker-local sweepers into one shared interner so the type map is
+	// keyed by canonical *Ball; type ids are assigned in vertex order.
+	// The vertex map is retained per node, so it is copied out of the
+	// sweeper scratch.
 	in := order.NewInterner()
 	balls := make([]*order.Ball, n)
 	verts := make([][]int, n)
-	par.For(n, func(v int) {
-		ball, vs := order.CanonicalBallVerts(h.G, rank, v, r)
-		balls[v] = in.Canon(ball)
-		verts[v] = vs
-	})
+	par.ForScratch(n,
+		order.NewSweeper,
+		func(v int, s *order.Sweeper) {
+			ball, vs := s.CanonicalBallVerts(h.G, rank, v, r, in)
+			balls[v] = ball
+			verts[v] = append([]int(nil), vs...)
+		})
 	typeOf := make([]int, n)
 	index := map[*order.Ball]int{}
 	var rootNbrs [][]int // per type: ball indices adjacent to the root

@@ -102,11 +102,11 @@ func encodeOutput(sb *strings.Builder, o model.Output) {
 // colouring. Deduplication is by interned pointer; the encodings are
 // rendered once per distinct type, only to fix the catalogue order.
 func BallCatalogue(h *model.Host, rank order.Rank, r int) []*order.Ball {
-	in := order.NewInterner()
+	sw, in := order.NewSweeper(), order.NewInterner()
 	seen := map[*order.Ball]bool{}
 	var out []*order.Ball
 	for v := 0; v < h.G.N(); v++ {
-		b := in.Canon(order.CanonicalBall(h.G, rank, v, r))
+		b := sw.CanonicalBall(h.G, rank, v, r, in)
 		if !seen[b] {
 			seen[b] = true
 			out = append(out, b)

@@ -1,6 +1,10 @@
 package digraph
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
 
 // BallOf is a materialised radius-r ball around a centre vertex of an
 // implicit digraph: the restriction of the digraph to the vertices at
@@ -19,76 +23,114 @@ type BallOf[V comparable] struct {
 	Dist []int
 }
 
+// BallScratch is the reusable state of repeated Ball extractions: the
+// BFS frontier, the per-node out-arc cache and the visited set, so
+// whole-host scans (one ball per vertex — the Cayley and lift hosts of
+// the homogeneity experiments) stop re-growing these slices from nil
+// on every call. The materialised-digraph path uses the epoch-stamped
+// dense visited set (reset by epoch bump, not clearing).
+//
+// A scratch belongs to one goroutine (par.ForScratch hands each
+// worker its own). The BallOf returned by BallWith aliases scratch
+// storage (Nodes, Index, Dist): it is valid until the next BallWith
+// call on the same scratch and must be copied if retained.
+type BallScratch[V comparable] struct {
+	nodes []V
+	dist  []int
+	outs  [][]ArcTo[V]
+	index map[V]int
+	// Dense path (materialised digraphs): epoch-stamped visited set,
+	// slot = ball index.
+	seen graph.VisitStamp
+}
+
+// NewBallScratch returns an empty scratch; buffers are sized on first
+// use and grow to the largest ball extracted.
+func NewBallScratch[V comparable]() *BallScratch[V] {
+	return &BallScratch[V]{index: make(map[V]int)}
+}
+
 // Ball extracts the radius-r ball around centre in g. BFS follows both
 // out- and in-arcs (distance is undirected); all arcs with both
 // endpoints inside the ball are kept.
 //
-// When g is a materialised *Digraph the BFS runs over a dense []int
-// visited array instead of a map[V]int — the common case in the
-// homogeneity and lower-bound scans, which extract a ball per vertex.
+// When g is a materialised *Digraph the BFS runs over a dense visited
+// array instead of a map[V]int — the common case in the homogeneity
+// and lower-bound scans, which extract a ball per vertex. Scans that
+// extract many balls should reuse a BallScratch via BallWith.
 func Ball[V comparable](g Implicit[V], centre V, r int) *BallOf[V] {
+	return BallWith(NewBallScratch[V](), g, centre, r)
+}
+
+// BallWith is Ball over caller-owned scratch: visited set, frontier
+// and out-arc cache are reused across calls. The returned BallOf
+// aliases the scratch (see BallScratch) and is valid until the next
+// call on the same scratch.
+func BallWith[V comparable](s *BallScratch[V], g Implicit[V], centre V, r int) *BallOf[V] {
 	if d, ok := any(g).(*Digraph); ok {
-		b := ballDense(d, any(centre).(int), r)
+		b := ballDense(any(s).(*BallScratch[int]), d, any(centre).(int), r)
 		return any(b).(*BallOf[V])
 	}
-	index := map[V]int{centre: 0}
-	nodes := []V{centre}
-	dist := []int{0}
+	clear(s.index)
+	s.index[centre] = 0
+	s.nodes = append(s.nodes[:0], centre)
+	s.dist = append(s.dist[:0], 0)
 	// Each vertex's out-arcs are fetched exactly once and kept for the
 	// arc-building pass: for lazily evaluated hosts (Cayley graphs,
 	// lifts) Out() is a group multiplication per neighbour, and the
 	// homogeneity scans extract one ball per vertex.
-	var outs [][]ArcTo[V]
-	for head := 0; head < len(nodes); head++ {
-		v := nodes[head]
+	s.outs = s.outs[:0]
+	for head := 0; head < len(s.nodes); head++ {
+		v := s.nodes[head]
 		out := g.Out(v)
-		outs = append(outs, out)
-		if dist[head] == r {
+		s.outs = append(s.outs, out)
+		if s.dist[head] == r {
 			continue
 		}
 		for _, a := range out {
-			if _, seen := index[a.To]; !seen {
-				index[a.To] = len(nodes)
-				nodes = append(nodes, a.To)
-				dist = append(dist, dist[head]+1)
+			if _, seen := s.index[a.To]; !seen {
+				s.index[a.To] = len(s.nodes)
+				s.nodes = append(s.nodes, a.To)
+				s.dist = append(s.dist, s.dist[head]+1)
 			}
 		}
 		for _, a := range g.In(v) {
-			if _, seen := index[a.To]; !seen {
-				index[a.To] = len(nodes)
-				nodes = append(nodes, a.To)
-				dist = append(dist, dist[head]+1)
+			if _, seen := s.index[a.To]; !seen {
+				s.index[a.To] = len(s.nodes)
+				s.nodes = append(s.nodes, a.To)
+				s.dist = append(s.dist, s.dist[head]+1)
 			}
 		}
 	}
-	b := NewBuilder(len(nodes), g.Alphabet())
-	for i := range nodes {
-		for _, a := range outs[i] {
-			if j, in := index[a.To]; in {
+	b := NewBuilder(len(s.nodes), g.Alphabet())
+	for i := range s.nodes {
+		for _, a := range s.outs[i] {
+			if j, in := s.index[a.To]; in {
 				b.MustAddArc(i, j, a.Label)
 			}
 		}
 	}
-	return &BallOf[V]{D: b.Build(), Root: 0, Nodes: nodes, Index: index, Dist: dist}
+	return &BallOf[V]{D: b.Build(), Root: 0, Nodes: s.nodes, Index: s.index, Dist: s.dist}
 }
 
-// ballDense is Ball specialised to materialised digraphs: the visited
-// set is a dense []int keyed by vertex number.
-func ballDense(d *Digraph, centre, r int) *BallOf[int] {
-	at := make([]int, d.n) // vertex -> ball index + 1 (0 = unseen)
-	at[centre] = 1
-	nodes := []int{centre}
-	dist := []int{0}
-	for head := 0; head < len(nodes); head++ {
-		v := nodes[head]
-		if dist[head] == r {
+// ballDense is BallWith specialised to materialised digraphs: the
+// visited set is the scratch's epoch-stamped dense array, so repeated
+// extractions touch only ball-sized state (no Θ(n) per-call clearing).
+func ballDense(s *BallScratch[int], d *Digraph, centre, r int) *BallOf[int] {
+	s.seen.Reset(d.n)
+	s.nodes = append(s.nodes[:0], centre)
+	s.dist = append(s.dist[:0], 0)
+	s.seen.Visit(int32(centre), 0)
+	for head := 0; head < len(s.nodes); head++ {
+		v := s.nodes[head]
+		if s.dist[head] == r {
 			continue
 		}
 		visit := func(to int) {
-			if at[to] == 0 {
-				at[to] = len(nodes) + 1
-				nodes = append(nodes, to)
-				dist = append(dist, dist[head]+1)
+			if !s.seen.Visited(int32(to)) {
+				s.seen.Visit(int32(to), int32(len(s.nodes)))
+				s.nodes = append(s.nodes, to)
+				s.dist = append(s.dist, s.dist[head]+1)
 			}
 		}
 		for _, a := range d.Out(v) {
@@ -98,17 +140,17 @@ func ballDense(d *Digraph, centre, r int) *BallOf[int] {
 			visit(a.To)
 		}
 	}
-	b := NewBuilder(len(nodes), d.alphabet)
-	index := make(map[int]int, len(nodes))
-	for i, v := range nodes {
-		index[v] = i
+	b := NewBuilder(len(s.nodes), d.alphabet)
+	clear(s.index)
+	for i, v := range s.nodes {
+		s.index[v] = i
 		for _, a := range d.Out(v) {
-			if j := at[a.To]; j != 0 {
-				b.MustAddArc(i, j-1, a.Label)
+			if s.seen.Visited(int32(a.To)) {
+				b.MustAddArc(i, int(s.seen.Slot(int32(a.To))), a.Label)
 			}
 		}
 	}
-	return &BallOf[int]{D: b.Build(), Root: 0, Nodes: nodes, Index: index, Dist: dist}
+	return &BallOf[int]{D: b.Build(), Root: 0, Nodes: s.nodes, Index: s.index, Dist: s.dist}
 }
 
 // Materialize explores everything reachable (in the undirected sense)

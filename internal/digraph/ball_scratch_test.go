@@ -1,0 +1,85 @@
+package digraph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringDigraph builds a labelled ring with a chord pattern so balls
+// overlap and differ across centres.
+func ringDigraph(n int) *Digraph {
+	b := NewBuilder(n, 2)
+	for i := 0; i < n; i++ {
+		b.MustAddArc(i, (i+1)%n, 0)
+	}
+	for i := 0; i < n; i += 3 {
+		b.MustAddArc(i, (i+2)%n, 1)
+	}
+	return b.Build()
+}
+
+// TestBallWithMatchesBall holds the scratch-reusing extraction to the
+// fresh-scratch one, reusing a single scratch across every centre and
+// radius (the whole-host sweep pattern) on both the dense path and a
+// generic Implicit wrapper.
+func TestBallWithMatchesBall(t *testing.T) {
+	d := ringDigraph(12)
+	dense := NewBallScratch[int]()
+	for r := 0; r <= 3; r++ {
+		for v := 0; v < d.N(); v++ {
+			want := Ball[int](d, v, r)
+			got := BallWith(dense, d, v, r)
+			compareBalls(t, fmt.Sprintf("dense v=%d r=%d", v, r), got, want)
+		}
+	}
+	// The generic path: the same digraph behind an Implicit facade that
+	// is not *Digraph.
+	lazy := lazyWrap{d}
+	gen := NewBallScratch[int]()
+	for r := 0; r <= 3; r++ {
+		for v := 0; v < d.N(); v++ {
+			want := Ball[int](lazy, v, r)
+			got := BallWith(gen, lazy, v, r)
+			compareBalls(t, fmt.Sprintf("generic v=%d r=%d", v, r), got, want)
+		}
+	}
+}
+
+func compareBalls(t *testing.T, at string, got, want *BallOf[int]) {
+	t.Helper()
+	if got.Root != want.Root || len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("%s: got %d nodes root %d, want %d nodes root %d",
+			at, len(got.Nodes), got.Root, len(want.Nodes), want.Root)
+	}
+	for i := range got.Nodes {
+		if got.Nodes[i] != want.Nodes[i] || got.Dist[i] != want.Dist[i] {
+			t.Fatalf("%s: node %d: (%d,d%d) != (%d,d%d)",
+				at, i, got.Nodes[i], got.Dist[i], want.Nodes[i], want.Dist[i])
+		}
+		if got.Index[got.Nodes[i]] != i {
+			t.Fatalf("%s: index of node %d is %d, want %d", at, got.Nodes[i], got.Index[got.Nodes[i]], i)
+		}
+	}
+	if got.D.N() != want.D.N() || got.D.Arcs() != want.D.Arcs() {
+		t.Fatalf("%s: ball digraph %v != %v", at, got.D, want.D)
+	}
+	for v := 0; v < got.D.N(); v++ {
+		g, w := got.D.Out(v), want.D.Out(v)
+		if len(g) != len(w) {
+			t.Fatalf("%s: out-degree of %d: %d != %d", at, v, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s: arc %d of %d: %v != %v", at, i, v, g[i], w[i])
+			}
+		}
+	}
+}
+
+// lazyWrap hides a *Digraph behind a distinct Implicit implementation,
+// forcing the generic (non-dense) extraction path.
+type lazyWrap struct{ d *Digraph }
+
+func (l lazyWrap) Alphabet() int          { return l.d.Alphabet() }
+func (l lazyWrap) Out(v int) []ArcTo[int] { return l.d.Out(v) }
+func (l lazyWrap) In(v int) []ArcTo[int]  { return l.d.In(v) }

@@ -93,25 +93,26 @@ func Views() (*Table, error) {
 	}
 	// The directed triangle's radius-3 view: the unrolled universal
 	// cover is larger than the graph.
+	bs := view.NewBuildScratch()
 	h, err := directedCycle(3)
 	if err != nil {
 		return nil, err
 	}
-	v := view.Build[int](h.D, 0, 3)
+	v := view.BuildWith[int](bs, h.D, 0, 3)
 	t.AddRow("T(C3,v) truncated", 1, 3, v.Size(), "unrolls the cycle: 7 > |C3| = 3")
 	// Fig. 4: views of all nodes of a cycle coincide.
 	h9, err := directedCycle(9)
 	if err != nil {
 		return nil, err
 	}
-	ref := view.Build[int](h9.D, 0, 2)
+	ref := view.BuildWith[int](bs, h9.D, 0, 2)
 	same := true
 	for w := 1; w < 9; w++ {
-		if view.Build[int](h9.D, w, 2) != ref {
+		if view.BuildWith[int](bs, h9.D, w, 2) != ref {
 			same = false
 		}
 	}
-	t.AddRow("T(C9,·) radius 2", 1, 2, view.Build[int](h9.D, 0, 2).Size(),
+	t.AddRow("T(C9,·) radius 2", 1, 2, view.BuildWith[int](bs, h9.D, 0, 2).Size(),
 		fmt.Sprintf("all 9 views isomorphic: %v", same))
 	t.Notes = append(t.Notes,
 		"a PO algorithm is a function of these trees (eq. B(G,v) = B(τ(T(G,v)))); their isomorphism across nodes is exactly what lower bounds exploit",

@@ -95,12 +95,13 @@ func ModelsOn(h *host.Host) (*Table, error) {
 }
 
 // countBallTypes counts distinct canonical ordered ball types at
-// radius r (interned: distinctness is pointer distinctness).
+// radius r (interned: distinctness is pointer distinctness; one
+// sweeper is reused across the whole scan).
 func countBallTypes(mh *model.Host, rank order.Rank, r int) int {
-	in := order.NewInterner()
+	sw, in := order.NewSweeper(), order.NewInterner()
 	types := map[*order.Ball]bool{}
 	for v := 0; v < mh.G.N(); v++ {
-		types[in.Canon(order.CanonicalBall(mh.G, rank, v, r))] = true
+		types[sw.CanonicalBall(mh.G, rank, v, r, in)] = true
 	}
 	return len(types)
 }
@@ -118,7 +119,7 @@ func HomogeneityOn(h *host.Host) (*Table, error) {
 	}
 	rank := order.Identity(h.G.N())
 	for _, r := range []int{1, 2} {
-		hm := order.Measure(h.G, rank, r)
+		hm := order.SweepMeasure(h.G, rank, r)
 		t.AddRow(h.Desc, r, hm.Alpha, len(hm.Counts))
 	}
 	t.Notes = append(t.Notes,

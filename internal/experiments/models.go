@@ -45,9 +45,10 @@ func Models() (*Table, error) {
 		Ref:     "Fig. 1",
 		Columns: []string{"node", "ID label", "OI rank", "PO view type", "ID: local min", "OI: local min", "PO possible?"},
 	}
+	bs := view.NewBuildScratch()
 	types := map[*view.Tree]int{}
 	for v := 0; v < g.N(); v++ {
-		tree := view.Build[int](h.D, v, 1)
+		tree := view.BuildWith[int](bs, h.D, v, 1)
 		if _, ok := types[tree]; !ok {
 			types[tree] = len(types)
 		}

@@ -98,11 +98,13 @@ func poK33() (*model.Host, error) {
 }
 
 // countViewTypes counts the distinct radius-r view types on the host.
-// Views are hash-consed, so distinctness is pointer distinctness.
+// Views are hash-consed, so distinctness is pointer distinctness; one
+// build scratch is reused across the whole scan.
 func countViewTypes(h *model.Host, r int) int {
+	bs := view.NewBuildScratch()
 	types := map[*view.Tree]bool{}
 	for v := 0; v < h.G.N(); v++ {
-		types[view.Build[int](h.D, v, r)] = true
+		types[view.BuildWith[int](bs, h.D, v, r)] = true
 	}
 	return len(types)
 }

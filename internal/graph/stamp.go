@@ -1,0 +1,50 @@
+package graph
+
+// VisitStamp is an epoch-stamped visited set over vertices 0..n-1
+// with an int32 payload slot per visited vertex: the scratch idiom of
+// the sweep engines (order.Sweeper, digraph's dense ball path), where
+// one scratch is reused across many BFS extractions and resetting
+// must not cost Θ(n). A vertex is visited iff its stamp equals the
+// current epoch, so Reset is an epoch bump; the backing arrays are
+// cleared only on the ~never-taken uint32 wraparound, where stale
+// stamps from 2^32 extractions ago could otherwise alias the new
+// epoch.
+//
+// The zero value is ready to use. A VisitStamp belongs to one
+// goroutine.
+type VisitStamp struct {
+	epoch uint32
+	stamp []uint32 // vertex -> epoch of last visit
+	slot  []int32  // vertex -> payload, valid iff stamped
+}
+
+// Reset prepares the set for a new extraction over vertices 0..n-1:
+// all vertices become unvisited in O(1) (amortised — growth and the
+// wraparound clear are the exceptions).
+func (s *VisitStamp) Reset(n int) {
+	if len(s.stamp) < n {
+		s.stamp = append(s.stamp, make([]uint32, n-len(s.stamp))...)
+		s.slot = append(s.slot, make([]int32, n-len(s.slot))...)
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+}
+
+// Visited reports whether v has been visited since the last Reset.
+func (s *VisitStamp) Visited(v int32) bool { return s.stamp[v] == s.epoch }
+
+// Visit marks v visited with the given payload slot.
+func (s *VisitStamp) Visit(v, slot int32) {
+	s.stamp[v] = s.epoch
+	s.slot[v] = slot
+}
+
+// SetSlot rewrites the payload of a visited vertex.
+func (s *VisitStamp) SetSlot(v, slot int32) { s.slot[v] = slot }
+
+// Slot returns the payload of a visited vertex (undefined when
+// !Visited(v)).
+func (s *VisitStamp) Slot(v int32) int32 { return s.slot[v] }

@@ -318,15 +318,22 @@ func (c *Construction) BallAt(m int, e group.Elem) (*order.Ball, error) {
 // Each ball vertex's element is decoded once (the sort keys), not per
 // comparison as NodeLess would.
 func (c *Construction) CayleyBall(cay *group.Cayley, node string) (*order.Ball, error) {
+	return c.cayleyBallWith(digraph.NewBallScratch[string](), cay, node)
+}
+
+// cayleyBallWith is CayleyBall over caller-owned extraction scratch
+// (one per scan worker).
+func (c *Construction) cayleyBallWith(bs *digraph.BallScratch[string], cay *group.Cayley, node string) (*order.Ball, error) {
 	u := group.U(c.Level)
-	return order.CanonicalBallImplicitBy[string, group.Elem](cay, cay.Elem, u.Less, node, c.R)
+	return order.CanonicalBallImplicitByWith[string, group.Elem](bs, cay, cay.Elem, u.Less, node, c.R)
 }
 
 // ClassifyTau reports, for each node of cay, whether its canonical
 // ordered ball has type τ*. Classification interns the canonical balls
 // and compares against τ*'s representative by pointer; the per-node
-// ball extractions run data-parallel. The first extraction error, in
-// node order, is returned.
+// ball extractions run data-parallel, each worker reusing its own
+// extraction scratch. The first extraction error, in node order, is
+// returned.
 func (c *Construction) ClassifyTau(cay *group.Cayley, nodes []string) ([]bool, error) {
 	tauBall, err := c.TauStarBall()
 	if err != nil {
@@ -336,14 +343,16 @@ func (c *Construction) ClassifyTau(cay *group.Cayley, nodes []string) ([]bool, e
 	tauBall = in.Canon(tauBall)
 	flags := make([]bool, len(nodes))
 	errs := make([]error, len(nodes))
-	par.For(len(nodes), func(i int) {
-		ball, err := c.CayleyBall(cay, nodes[i])
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		flags[i] = in.Canon(ball) == tauBall
-	})
+	par.ForScratch(len(nodes),
+		digraph.NewBallScratch[string],
+		func(i int, bs *digraph.BallScratch[string]) {
+			ball, err := c.cayleyBallWith(bs, cay, nodes[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			flags[i] = in.Canon(ball) == tauBall
+		})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -455,14 +464,16 @@ func (c *Construction) HomogeneityExact(m, maxNodes int) (*ExactReport, error) {
 	key := func(v int) group.Elem { return mElems[v] }
 	balls := make([]*order.Ball, n)
 	errs := make([]error, n)
-	par.For(n, func(i int) {
-		b, err := order.CanonicalBallImplicitBy[int, group.Elem](md, key, u.Less, mIndex[nodes[i]], c.R)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		balls[i] = in.Canon(b)
-	})
+	par.ForScratch(n,
+		digraph.NewBallScratch[int],
+		func(i int, bs *digraph.BallScratch[int]) {
+			b, err := order.CanonicalBallImplicitByWith[int, group.Elem](bs, md, key, u.Less, mIndex[nodes[i]], c.R)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			balls[i] = in.Canon(b)
+		})
 	types := make(map[*order.Ball]int)
 	tau := 0
 	for i := 0; i < n; i++ {

@@ -13,9 +13,10 @@ import (
 // resolved through its incident arcs, and the solution is the union
 // over all nodes (the paper's Ω = {0,1}^Δ convention).
 func RunPO(h *Host, alg PO, kind Kind) (*Solution, error) {
+	bs := view.NewBuildScratch()
 	sol := NewSolution(kind, h.G.N())
 	for v := 0; v < h.G.N(); v++ {
-		t := view.Build[int](h.D, v, alg.Radius())
+		t := view.BuildWith[int](bs, h.D, v, alg.Radius())
 		out := alg.EvalPO(t)
 		if kind == VertexKind {
 			sol.Vertices[v] = out.Member
@@ -33,14 +34,17 @@ func RunPO(h *Host, alg PO, kind Kind) (*Solution, error) {
 }
 
 // RunOI executes an OI algorithm on every node of the ordered host
-// (h.G, rank).
+// (h.G, rank). Balls are extracted through one sweeper and interned,
+// so the algorithm sees each canonical type as one stable *Ball and
+// repeated types cost no allocation.
 func RunOI(h *Host, rank order.Rank, alg OI, kind Kind) (*Solution, error) {
 	if err := rank.Validate(h.G.N()); err != nil {
 		return nil, fmt.Errorf("model: RunOI: %w", err)
 	}
+	sw, in := order.NewSweeper(), order.NewInterner()
 	sol := NewSolution(kind, h.G.N())
 	for v := 0; v < h.G.N(); v++ {
-		ball, verts := order.CanonicalBallVerts(h.G, rank, v, alg.Radius())
+		ball, verts := sw.CanonicalBallVerts(h.G, rank, v, alg.Radius(), in)
 		out := alg.EvalOI(ball)
 		if err := applyLocal(sol, v, ball.G, ball.Root, verts, out); err != nil {
 			return nil, err
@@ -59,9 +63,12 @@ func RunID(h *Host, ids []int, alg ID, kind Kind) (*Solution, error) {
 	if err != nil {
 		return nil, fmt.Errorf("model: RunID: %w", err)
 	}
+	sw, in := order.NewSweeper(), order.NewInterner()
 	sol := NewSolution(kind, h.G.N())
 	for v := 0; v < h.G.N(); v++ {
-		ball, verts := order.CanonicalBallVerts(h.G, rank, v, alg.Radius())
+		ball, verts := sw.CanonicalBallVerts(h.G, rank, v, alg.Radius(), in)
+		// ballIDs is handed to the algorithm, which may retain it, so
+		// it is a fresh slice rather than sweeper scratch.
 		ballIDs := make([]int, len(verts))
 		for i, u := range verts {
 			ballIDs[i] = ids[u]
@@ -119,9 +126,10 @@ type LocalOutputs struct {
 
 // POOutputs collects normalised per-node outputs of a PO algorithm.
 func POOutputs(h *Host, alg PO, kind Kind) (*LocalOutputs, error) {
+	bs := view.NewBuildScratch()
 	lo := newLocalOutputs(kind, h.G.N())
 	for v := 0; v < h.G.N(); v++ {
-		t := view.Build[int](h.D, v, alg.Radius())
+		t := view.BuildWith[int](bs, h.D, v, alg.Radius())
 		out := alg.EvalPO(t)
 		if kind == VertexKind {
 			lo.Member[v] = out.Member
@@ -142,9 +150,10 @@ func POOutputs(h *Host, alg PO, kind Kind) (*LocalOutputs, error) {
 
 // OIOutputs collects normalised per-node outputs of an OI algorithm.
 func OIOutputs(h *Host, rank order.Rank, alg OI, kind Kind) (*LocalOutputs, error) {
+	sw, in := order.NewSweeper(), order.NewInterner()
 	lo := newLocalOutputs(kind, h.G.N())
 	for v := 0; v < h.G.N(); v++ {
-		ball, verts := order.CanonicalBallVerts(h.G, rank, v, alg.Radius())
+		ball, verts := sw.CanonicalBallVerts(h.G, rank, v, alg.Radius(), in)
 		out := alg.EvalOI(ball)
 		if kind == VertexKind {
 			lo.Member[v] = out.Member

@@ -190,15 +190,25 @@ func pruneChild(t *view.Tree, drop view.Letter) *view.Tree {
 	return view.NewTree(kids)
 }
 
+// gatherScratch is the worker-local assembly state of GatheredTrees:
+// one buffer for the node under assembly and one for the pruned
+// neighbour views, both interned copy-on-miss so repeated view types
+// cost no allocation.
+type gatherScratch struct {
+	kids   []view.Child
+	pruned []view.Child
+}
+
 // GatheredTrees returns each node's radius-r view tree, computed by
 // the level-synchronous assembly that GatherViews performs by message
 // passing: after round t every node's tree is assembled from its
 // neighbours' round-(t-1) trees with the backtracking child pruned.
 // Rounds are barriers; within a round the per-node assembly is
-// data-parallel (each node writes only its own slot, and the interned
-// constructors are concurrency-safe), so the result is byte-identical
-// to the sequential simulation — a property the differential tests
-// pin down against both RunRoundsStates and per-node view.Build.
+// data-parallel with worker-local scratch (each node writes only its
+// own slot, and the interned constructors are concurrency-safe), so
+// the result is byte-identical to the sequential simulation — a
+// property the differential tests pin down against both
+// RunRoundsStates and per-node view.Build.
 func GatheredTrees(h *Host, r int) ([]*view.Tree, error) {
 	n := h.G.N()
 	cur := make([]*view.Tree, n)
@@ -206,21 +216,41 @@ func GatheredTrees(h *Host, r int) ([]*view.Tree, error) {
 		cur[v] = view.Leaf()
 	}
 	for round := 1; round <= r; round++ {
-		cur = par.Map(n, func(v int) *view.Tree {
-			outArcs, inArcs := h.D.Out(v), h.D.In(v)
-			kids := make([]view.Child, 0, len(outArcs)+len(inArcs))
-			for _, a := range outArcs {
-				l := view.Letter{Label: a.Label}
-				kids = append(kids, view.Child{L: l, T: pruneChild(cur[a.To], l.Inv())})
-			}
-			for _, a := range inArcs {
-				l := view.Letter{Label: a.Label, In: true}
-				kids = append(kids, view.Child{L: l, T: pruneChild(cur[a.To], l.Inv())})
-			}
-			return view.NewTree(kids)
-		})
+		nxt := make([]*view.Tree, n)
+		par.ForScratch(n,
+			func() *gatherScratch { return &gatherScratch{} },
+			func(v int, s *gatherScratch) {
+				kids := s.kids[:0]
+				for _, a := range h.D.Out(v) {
+					l := view.Letter{Label: a.Label}
+					kids = append(kids, view.Child{L: l, T: pruneChildWith(s, cur[a.To], l.Inv())})
+				}
+				for _, a := range h.D.In(v) {
+					l := view.Letter{Label: a.Label, In: true}
+					kids = append(kids, view.Child{L: l, T: pruneChildWith(s, cur[a.To], l.Inv())})
+				}
+				s.kids = kids
+				nxt[v] = view.NewTreeScratch(kids)
+			})
+		cur = nxt
 	}
 	return cur, nil
+}
+
+// pruneChildWith is pruneChild assembling into the worker's scratch
+// buffer (interned copy-on-miss).
+func pruneChildWith(s *gatherScratch, t *view.Tree, drop view.Letter) *view.Tree {
+	if _, ok := t.Child(drop); !ok {
+		return t
+	}
+	kids := s.pruned[:0]
+	for _, c := range t.Children() {
+		if c.L != drop {
+			kids = append(kids, c)
+		}
+	}
+	s.pruned = kids
+	return view.NewTreeScratch(kids)
 }
 
 // SimulatePO runs any PO algorithm operationally: gather the radius-r

@@ -1,6 +1,11 @@
 package order
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
 
 // Interner hash-conses canonical ordered balls: Canon maps every ball
 // that is isomorphic as an ordered rooted graph (same size, same root
@@ -43,21 +48,90 @@ func (in *Interner) Canon(b *Ball) *Ball {
 	return b
 }
 
+// canonScratch probes the interner with a ball assembled in scratch
+// CSR form (root position plus sorted adjacency rows): on a hit the
+// existing representative is returned and nothing is allocated; only
+// on a miss is the scratch copied to the heap and registered — the
+// copy-on-miss discipline of the sweep engine. h must be the ball's
+// type hash, normally accumulated during assembly via typeHashBegin /
+// typeHashEdge; taking it as a parameter keeps the probe single-pass
+// and lets the collision tests force equal hashes for distinct balls.
+func (in *Interner) canonScratch(h uint64, root int, off, nbr []int32) *Ball {
+	shard := &in.shards[h&(ballShards-1)]
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if shard.buckets == nil {
+		shard.buckets = make(map[uint64][]*Ball)
+	}
+	for _, cand := range shard.buckets[h] {
+		if cand.sameTypeCSR(root, off, nbr) {
+			return cand
+		}
+	}
+	g, err := graph.FromCSR(
+		append([]int32(nil), off...),
+		append([]int32(nil), nbr...),
+	)
+	if err != nil {
+		panic(fmt.Sprintf("order: scratch ball is not a valid canonical form: %v", err))
+	}
+	b := &Ball{G: g, Root: root}
+	shard.buckets[h] = append(shard.buckets[h], b)
+	return b
+}
+
+// typeHashBegin opens the incremental form of hashType: vertex count
+// and root position first, then one typeHashEdge per edge u < v in
+// u-major, neighbour-sorted order. The sweep engine hashes the
+// candidate ball with these while assembling its scratch CSR, so no
+// second pass over the finished form is needed; hashType remains the
+// whole-ball spelling and the differential tests pin the two equal.
+func typeHashBegin(n, root int) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(n))
+	return mix64(h ^ uint64(root))
+}
+
+// typeHashEdge folds the edge {u, v} (u < v) into an incremental type
+// hash.
+func typeHashEdge(h uint64, u, v int) uint64 {
+	return mix64(h ^ (uint64(u)<<32 | uint64(v)))
+}
+
 // hashType hashes the canonical form: vertex count, root position and
 // the edge set (adjacency is iterated in deterministic sorted order).
 func (b *Ball) hashType() uint64 {
-	h := uint64(0x9e3779b97f4a7c15)
-	h = mix64(h ^ uint64(b.G.N()))
-	h = mix64(h ^ uint64(b.Root))
 	n := b.G.N()
+	h := typeHashBegin(n, b.Root)
 	for u := 0; u < n; u++ {
 		for _, v := range b.G.Neighbors(u) {
 			if int32(u) < v {
-				h = mix64(h ^ (uint64(u)<<32 | uint64(v)))
+				h = typeHashEdge(h, u, int(v))
 			}
 		}
 	}
 	return h
+}
+
+// sameTypeCSR reports whether the canonical ball equals a scratch CSR
+// form: same order, same root, same adjacency rows.
+func (b *Ball) sameTypeCSR(root int, off, nbr []int32) bool {
+	n := len(off) - 1
+	if b.G.N() != n || b.Root != root || 2*b.G.M() != len(nbr) {
+		return false
+	}
+	for u := 0; u < n; u++ {
+		bu, row := b.G.Neighbors(u), nbr[off[u]:off[u+1]]
+		if len(bu) != len(row) {
+			return false
+		}
+		for i := range bu {
+			if bu[i] != row[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // sameType reports whether two canonical balls are identical: same

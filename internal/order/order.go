@@ -143,41 +143,35 @@ type Homogeneity struct {
 	Counts map[*Ball]int
 }
 
-// Measure computes the homogeneity of (g, rank) at radius r by scanning
-// every vertex. The scan is data-parallel (see internal/par): each
-// worker canonicalises balls into a shared interner, and the counts are
-// merged in vertex order, so the result is independent of the
-// parallelism level. Types are compared by interned pointer — no
-// Encode() strings on the hot path; the single majority encoding is
-// rendered at the end.
+// Measure computes the homogeneity of (g, rank) at radius r by
+// scanning every vertex. It is the batched sweep SweepMeasure: each
+// parallel worker canonicalises balls through its own Sweeper scratch
+// into a shared interner, and the counts are merged in vertex order,
+// so the result is independent of the parallelism level. Types are
+// compared by interned pointer — no Encode() strings on the hot path;
+// the single majority encoding is rendered at the end.
 func Measure(g *graph.Graph, rank Rank, r int) Homogeneity {
-	n := g.N()
-	in := NewInterner()
-	balls := par.Map(n, func(v int) *Ball {
+	return SweepMeasure(g, rank, r)
+}
+
+// MeasureReference is the retained per-vertex reference measurement:
+// one independently allocated CanonicalBall per vertex, interned after
+// the fact. It computes exactly what SweepMeasure computes — the
+// differential tests hold the two to identical results — and exists as
+// the plainly-auditable spelling of Definition 3.1; hot paths use
+// Measure/SweepMeasure.
+func MeasureReference(g *graph.Graph, rank Rank, r int) Homogeneity {
+	return measureReferenceInto(NewInterner(), g, rank, r)
+}
+
+// measureReferenceInto is MeasureReference over a caller-supplied
+// interner, so tests can compare interned pointers across measurement
+// strategies.
+func measureReferenceInto(in *Interner, g *graph.Graph, rank Rank, r int) Homogeneity {
+	balls := par.Map(g.N(), func(v int) *Ball {
 		return in.Canon(CanonicalBall(g, rank, v, r))
 	})
-	counts := make(map[*Ball]int)
-	for _, b := range balls {
-		counts[b]++
-	}
-	h := Homogeneity{N: n, Counts: counts}
-	for b, c := range counts {
-		if c > h.Count {
-			h.Count = c
-			h.Majority = b
-		} else if c == h.Count && h.Majority != nil && b.Encode() < h.Majority.Encode() {
-			// Deterministic tie-break on the canonical encoding (ties
-			// are rare; both encodings are computed only then).
-			h.Majority = b
-		}
-	}
-	if h.Majority != nil {
-		h.Type = h.Majority.Encode()
-	}
-	if n > 0 {
-		h.Alpha = float64(h.Count) / float64(n)
-	}
-	return h
+	return tally(balls)
 }
 
 // CanonicalBallImplicit extracts the radius-r ball around v in an
@@ -194,7 +188,15 @@ func CanonicalBallImplicit[V comparable](g digraph.Implicit[V], less func(a, b V
 // instead of inside every comparison. The Cayley-graph scans use this
 // to decode each node's group element a single time.
 func CanonicalBallImplicitBy[V comparable, K any](g digraph.Implicit[V], key func(V) K, less func(a, b K) bool, v V, r int) (*Ball, error) {
-	ball := digraph.Ball(g, v, r)
+	return CanonicalBallImplicitByWith(digraph.NewBallScratch[V](), g, key, less, v, r)
+}
+
+// CanonicalBallImplicitByWith is CanonicalBallImplicitBy over
+// caller-owned ball-extraction scratch, for whole-host scans that
+// extract one ball per vertex (each parallel worker reuses its own
+// scratch via par.ForScratch).
+func CanonicalBallImplicitByWith[V comparable, K any](bs *digraph.BallScratch[V], g digraph.Implicit[V], key func(V) K, less func(a, b K) bool, v V, r int) (*Ball, error) {
+	ball := digraph.BallWith(bs, g, v, r)
 	und, err := ball.D.Underlying()
 	if err != nil {
 		return nil, fmt.Errorf("order: ball at radius %d: %w", r, err)

@@ -1,0 +1,161 @@
+package order
+
+import (
+	"slices"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Sweeper is the worker-local scratch of the ball-sweep engine: the
+// reusable state one goroutine needs to extract canonical ordered
+// balls over a whole host. The visited set is an epoch-stamped array —
+// reset is an epoch bump, not a clear — the BFS queue, rank-sorted
+// vertex list and candidate CSR are grown once and reused, and the
+// candidate is hashed during assembly and resolved against an
+// Interner in scratch form. On an interner hit (the steady state of a
+// homogeneous host, where few distinct types exist) an extraction
+// performs no heap allocation at all; only a miss copies the ball out
+// of the scratch and registers it.
+//
+// A Sweeper belongs to one goroutine. Whole-host scans hand each
+// worker its own via par.ForScratch; see SweepMeasure.
+type Sweeper struct {
+	seen  graph.VisitStamp // visited set; slot = canonical ball index
+	queue []int32          // ball vertices in BFS order (host ids)
+	depth []int32          // parallel to queue: BFS distance from the centre
+	verts []int32          // ball vertices sorted by rank (host ids)
+	ints  []int            // verts as []int, for CanonicalBallVerts callers
+	off   []int32          // candidate CSR row offsets
+	nbr   []int32          // candidate CSR adjacency
+}
+
+// NewSweeper returns an empty sweeper; its buffers are sized on first
+// use and grow to the largest host swept.
+func NewSweeper() *Sweeper { return &Sweeper{} }
+
+// CanonicalBall extracts the canonical ordered neighbourhood
+// τ(g, <, v) of radius r into the sweeper's scratch and resolves it
+// against the interner, returning the canonical representative. The
+// result is pointer-identical to in.Canon(CanonicalBall(g, rank, v, r))
+// and, on an interner hit, is produced without allocating.
+func (s *Sweeper) CanonicalBall(g *graph.Graph, rank Rank, v, r int, in *Interner) *Ball {
+	s.sweep(g, rank, v, r)
+	root := int(s.seen.Slot(int32(v)))
+	s.off = append(s.off[:0], 0)
+	s.nbr = s.nbr[:0]
+	h := typeHashBegin(len(s.verts), root)
+	for i, u := range s.verts {
+		start := len(s.nbr)
+		for _, w := range g.Neighbors(int(u)) {
+			if s.seen.Visited(w) {
+				s.nbr = append(s.nbr, s.seen.Slot(w))
+			}
+		}
+		row := s.nbr[start:]
+		slices.Sort(row)
+		for _, j := range row {
+			if int32(i) < j {
+				h = typeHashEdge(h, i, int(j))
+			}
+		}
+		s.off = append(s.off, int32(len(s.nbr)))
+	}
+	return in.canonScratch(h, root, s.off, s.nbr)
+}
+
+// CanonicalBallVerts is CanonicalBall additionally returning the host
+// vertex named by each canonical ball index (verts[i] is the host
+// vertex of ball vertex i). The slice is the sweeper's scratch: it is
+// valid until the next extraction on this sweeper and must be copied
+// if retained.
+func (s *Sweeper) CanonicalBallVerts(g *graph.Graph, rank Rank, v, r int, in *Interner) (*Ball, []int) {
+	b := s.CanonicalBall(g, rank, v, r, in)
+	s.ints = s.ints[:0]
+	for _, u := range s.verts {
+		s.ints = append(s.ints, int(u))
+	}
+	return b, s.ints
+}
+
+// sweep runs the radius-r BFS from v, leaving the ball's vertices
+// rank-sorted in s.verts and each one's canonical index in the
+// visited set's slot.
+func (s *Sweeper) sweep(g *graph.Graph, rank Rank, v, r int) {
+	s.seen.Reset(g.N())
+	s.queue = append(s.queue[:0], int32(v))
+	s.depth = append(s.depth[:0], 0)
+	s.seen.Visit(int32(v), 0)
+	for head := 0; head < len(s.queue); head++ {
+		u, du := s.queue[head], s.depth[head]
+		if int(du) == r {
+			continue
+		}
+		for _, w := range g.Neighbors(int(u)) {
+			if !s.seen.Visited(w) {
+				s.seen.Visit(w, 0) // slot assigned after the sort
+				s.queue = append(s.queue, w)
+				s.depth = append(s.depth, du+1)
+			}
+		}
+	}
+	s.verts = append(s.verts[:0], s.queue...)
+	slices.SortFunc(s.verts, func(a, b int32) int { return rank[a] - rank[b] })
+	for i, u := range s.verts {
+		s.seen.SetSlot(u, int32(i))
+	}
+}
+
+// SweepMeasure computes the homogeneity of (g, rank) at radius r by a
+// batched whole-host sweep: each parallel worker owns one Sweeper
+// (par.ForScratch), every vertex's ball is assembled in scratch and
+// resolved against one shared interner copy-on-miss, and the counts
+// are merged in vertex order. The result is identical to the retained
+// per-vertex reference MeasureReference at every parallelism level —
+// a property the differential tests pin down — while the steady-state
+// per-vertex allocation count is zero.
+func SweepMeasure(g *graph.Graph, rank Rank, r int) Homogeneity {
+	return sweepMeasureInto(NewInterner(), g, rank, r)
+}
+
+// sweepMeasureInto is SweepMeasure over a caller-supplied interner, so
+// tests can compare interned pointers across measurement strategies.
+func sweepMeasureInto(in *Interner, g *graph.Graph, rank Rank, r int) Homogeneity {
+	n := g.N()
+	balls := make([]*Ball, n)
+	par.ForScratch(n,
+		NewSweeper,
+		func(v int, s *Sweeper) {
+			balls[v] = s.CanonicalBall(g, rank, v, r, in)
+		})
+	return tally(balls)
+}
+
+// tally merges a vertex-ordered slice of canonical balls into the
+// Homogeneity result (shared by the sweep engine and the reference
+// measurement).
+func tally(balls []*Ball) Homogeneity {
+	n := len(balls)
+	counts := make(map[*Ball]int)
+	for _, b := range balls {
+		counts[b]++
+	}
+	h := Homogeneity{N: n, Counts: counts}
+	for b, c := range counts {
+		if c > h.Count {
+			h.Count = c
+			h.Majority = b
+		} else if c == h.Count && h.Majority != nil && b.Encode() < h.Majority.Encode() {
+			// Deterministic tie-break on the canonical encoding (ties
+			// are rare; both encodings are computed only then).
+			h.Majority = b
+		}
+	}
+	if h.Majority != nil {
+		h.Type = h.Majority.Encode()
+	}
+	if n > 0 {
+		h.Alpha = float64(h.Count) / float64(n)
+	}
+	return h
+}

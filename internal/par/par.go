@@ -64,14 +64,30 @@ func N() int { return int(limit.Load()) }
 // A panic in any fn is re-raised on the calling goroutine after all
 // workers have stopped.
 func For(n int, fn func(i int)) {
+	ForScratch(n,
+		func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) { fn(i) })
+}
+
+// ForScratch is For with worker-local scratch state: mk runs once on
+// every participating goroutine (the caller included) and fn receives
+// that goroutine's scratch value alongside the index. Expensive
+// reusable buffers — ball sweepers, view-build scratch — are thereby
+// allocated once per worker instead of once per index. The ownership
+// rule extends naturally: fn(i, s) may touch s and state owned by
+// index i, nothing else; a scratch value is never shared between two
+// goroutines. Scheduling, the worker budget, determinism and panic
+// propagation are exactly as in For.
+func ForScratch[S any](n int, mk func() S, fn func(i int, s S)) {
 	want := int(limit.Load()) - 1
 	if want > n-1 {
 		want = n - 1
 	}
 	spawn := reserve(want)
 	if spawn <= 0 {
+		s := mk()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, s)
 		}
 		return
 	}
@@ -92,12 +108,13 @@ func For(n int, fn func(i int)) {
 				panicMu.Unlock()
 			}
 		}()
+		s := mk()
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			fn(i)
+			fn(i, s)
 		}
 	}
 	wg.Add(spawn)

@@ -1,9 +1,6 @@
 package view
 
-import (
-	"sort"
-	"sync"
-)
+import "sync"
 
 // Interner hash-conses view trees: structurally identical subtrees are
 // represented by one canonical *Tree, so tree equality is pointer
@@ -49,17 +46,32 @@ func (in *Interner) Leaf() *Tree { return in.leaf }
 // interner. See (*Interner).Node for the contract on kids.
 func NewTree(kids []Child) *Tree { return defaultInterner.Node(kids) }
 
+// NewTreeScratch interns a node assembled in a caller-owned scratch
+// buffer in the default interner. See (*Interner).NodeScratch.
+func NewTreeScratch(kids []Child) *Tree { return defaultInterner.NodeScratch(kids) }
+
 // Node returns the canonical tree with the given children. Letters
 // must be distinct (the proper-labelling invariant); kids need not be
 // sorted. Node takes ownership of the slice — callers must not reuse
 // it afterwards. Child trees should come from the same interner for
 // sharing to occur (correctness does not depend on it).
-func (in *Interner) Node(kids []Child) *Tree {
+func (in *Interner) Node(kids []Child) *Tree { return in.intern(kids, false) }
+
+// NodeScratch is Node for callers that keep ownership of kids — a
+// reusable assembly buffer. The interner never retains the slice, but
+// may sort it in place (letter order); when the node is already
+// interned nothing is allocated, and only a new node copies the
+// children to the heap (copy-on-miss). This is the view-side hot path
+// of the sweep engine: on hosts whose view types repeat, builds after
+// the first intern every level without allocating.
+func (in *Interner) NodeScratch(kids []Child) *Tree { return in.intern(kids, true) }
+
+func (in *Interner) intern(kids []Child, copyOnMiss bool) *Tree {
 	if len(kids) == 0 {
 		return in.leaf
 	}
 	if !childrenSorted(kids) {
-		sort.Slice(kids, func(i, j int) bool { return kids[i].L.Less(kids[j].L) })
+		sortChildren(kids)
 	}
 	h := hashKids(kids)
 	shard := &in.shards[h&(internShards-1)]
@@ -83,6 +95,9 @@ func (in *Interner) Node(kids []Child) *Tree {
 			depth = d
 		}
 	}
+	if copyOnMiss {
+		kids = append([]Child(nil), kids...)
+	}
 	t := &Tree{kids: kids, hash: h, size: size, depth: depth}
 	shard.buckets[h] = append(shard.buckets[h], t)
 	return t
@@ -95,6 +110,18 @@ func childrenSorted(kids []Child) bool {
 		}
 	}
 	return true
+}
+
+// sortChildren is an insertion sort on the letter order: child counts
+// are bounded by 2|L| and inputs are nearly sorted (arc rows arrive
+// label-sorted), so this beats the reflection-based sort.Slice that
+// used to sit on the view-build hot path.
+func sortChildren(kids []Child) {
+	for i := 1; i < len(kids); i++ {
+		for j := i; j > 0 && kids[j].L.Less(kids[j-1].L); j-- {
+			kids[j], kids[j-1] = kids[j-1], kids[j]
+		}
+	}
 }
 
 // sameKids reports slice equality of children: same letters and the

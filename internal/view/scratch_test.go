@@ -1,0 +1,75 @@
+package view
+
+import (
+	"testing"
+
+	"repro/internal/digraph"
+)
+
+func scratchTestDigraph() *digraph.Digraph {
+	b := digraph.NewBuilder(9, 2)
+	for i := 0; i < 9; i++ {
+		b.MustAddArc(i, (i+1)%9, 0)
+	}
+	for i := 0; i < 9; i += 3 {
+		b.MustAddArc(i, (i+4)%9, 1)
+	}
+	return b.Build()
+}
+
+// TestBuildWithMatchesBuild reuses one scratch across all vertices and
+// radii: interning makes equality pointer identity, so the scratch
+// path must return the very same trees as the fresh path.
+func TestBuildWithMatchesBuild(t *testing.T) {
+	d := scratchTestDigraph()
+	s := NewBuildScratch()
+	for r := 0; r <= 3; r++ {
+		for v := 0; v < d.N(); v++ {
+			if got, want := BuildWith[int](s, d, v, r), Build[int](d, v, r); got != want {
+				t.Fatalf("v=%d r=%d: BuildWith %p != Build %p", v, r, got, want)
+			}
+		}
+	}
+}
+
+// TestNodeScratchCopyOnMiss pins the ownership contract: the interner
+// only reads the caller's buffer, a miss copies it, and later mutation
+// of the buffer cannot reach the interned tree.
+func TestNodeScratchCopyOnMiss(t *testing.T) {
+	in := NewInterner()
+	buf := []Child{
+		{L: Letter{Label: 1}, T: in.Leaf()},
+		{L: Letter{Label: 0}, T: in.Leaf()},
+	}
+	a := in.NodeScratch(buf) // sorts in place, copies on miss
+	if a.NumChildren() != 2 || !a.Children()[0].L.Less(a.Children()[1].L) {
+		t.Fatalf("NodeScratch mis-assembled: %v", a.Encode())
+	}
+	hit := in.NodeScratch(buf)
+	if hit != a {
+		t.Fatalf("re-interning the same buffer missed: %p != %p", hit, a)
+	}
+	buf[0] = Child{L: Letter{Label: 7}, T: a} // clobber the caller buffer
+	if a.Children()[0].L != (Letter{Label: 0}) || a.Children()[1].L != (Letter{Label: 1}) {
+		t.Error("interned tree aliases the caller's scratch buffer")
+	}
+}
+
+// TestBuildWithZeroAllocOnRepeat asserts the view-side steady state:
+// rebuilding an already-interned view through a scratch allocates
+// nothing.
+func TestBuildWithZeroAllocOnRepeat(t *testing.T) {
+	d := scratchTestDigraph()
+	s := NewBuildScratch()
+	for v := 0; v < d.N(); v++ {
+		BuildWith[int](s, d, v, 2) // intern every view
+	}
+	v := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		BuildWith[int](s, d, v, 2)
+		v = (v + 1) % d.N()
+	})
+	if allocs != 0 {
+		t.Errorf("repeat BuildWith allocates %v times, want 0", allocs)
+	}
+}

@@ -117,31 +117,59 @@ func (t *Tree) Letters() []Letter {
 	return ls
 }
 
+// BuildScratch holds the per-depth child buffers of repeated Build
+// calls. Assembly at depth d only ever recurses into strictly deeper
+// buffers, so one buffer per level suffices; the assembled level is
+// interned through the copy-on-miss path (NodeScratch), which means a
+// view whose subtrees are already interned — every view after the
+// first on a host whose types repeat — is built without allocating.
+// A scratch belongs to one goroutine.
+type BuildScratch struct {
+	kids [][]Child
+}
+
+// NewBuildScratch returns an empty scratch; level buffers are sized on
+// first use and keep their grown capacity.
+func NewBuildScratch() *BuildScratch { return &BuildScratch{} }
+
 // Build returns the radius-r truncation of the view T(g, root):
-// τ(T(G, v)) in the paper's notation.
+// τ(T(G, v)) in the paper's notation. Scans that build many views
+// should reuse a BuildScratch via BuildWith.
 func Build[V comparable](g digraph.Implicit[V], root V, r int) *Tree {
-	var build func(at V, arrived Letter, hasArrived bool, depth int) *Tree
-	build = func(at V, arrived Letter, hasArrived bool, depth int) *Tree {
-		if depth == r {
-			return Leaf()
-		}
-		out, in := g.Out(at), g.In(at)
-		kids := make([]Child, 0, len(out)+len(in))
-		expand := func(to V, l Letter) {
-			if hasArrived && l == arrived.Inv() {
-				return // non-backtracking
-			}
-			kids = append(kids, Child{L: l, T: build(to, l, true, depth+1)})
-		}
-		for _, a := range out {
-			expand(a.To, Letter{Label: a.Label})
-		}
-		for _, a := range in {
-			expand(a.To, Letter{Label: a.Label, In: true})
-		}
-		return NewTree(kids)
+	return BuildWith(NewBuildScratch(), g, root, r)
+}
+
+// BuildWith is Build over caller-owned scratch: the per-level child
+// buffers are reused across calls and every level is interned
+// copy-on-miss, so repeated views cost no allocation.
+func BuildWith[V comparable](s *BuildScratch, g digraph.Implicit[V], root V, r int) *Tree {
+	for len(s.kids) < r {
+		s.kids = append(s.kids, nil)
 	}
-	return build(root, Letter{}, false, 0)
+	return buildWith(s, g, root, Letter{}, false, 0, r)
+}
+
+func buildWith[V comparable](s *BuildScratch, g digraph.Implicit[V], at V, arrived Letter, hasArrived bool, depth, r int) *Tree {
+	if depth == r {
+		return Leaf()
+	}
+	kids := s.kids[depth][:0]
+	for _, a := range g.Out(at) {
+		l := Letter{Label: a.Label}
+		if hasArrived && l == arrived.Inv() {
+			continue // non-backtracking
+		}
+		kids = append(kids, Child{L: l, T: buildWith(s, g, a.To, l, true, depth+1, r)})
+	}
+	for _, a := range g.In(at) {
+		l := Letter{Label: a.Label, In: true}
+		if hasArrived && l == arrived.Inv() {
+			continue // non-backtracking
+		}
+		kids = append(kids, Child{L: l, T: buildWith(s, g, a.To, l, true, depth+1, r)})
+	}
+	s.kids[depth] = kids // keep the grown capacity for the next call
+	return NewTreeScratch(kids)
 }
 
 // BuildWithEndpoints additionally returns the covering map ϕ restricted

@@ -73,6 +73,10 @@ type (
 	Table = experiments.Table
 	// Rank is a linear order on vertices (the OI model's structure).
 	Rank = order.Rank
+	// Homogeneity is a Definition 3.1 measurement result.
+	Homogeneity = order.Homogeneity
+	// Sweeper is the worker-local scratch of the ball-sweep engine.
+	Sweeper = order.Sweeper
 	// SearchOptions bounds the homogeneous-construction search.
 	SearchOptions = homog.SearchOptions
 )
@@ -124,6 +128,18 @@ var (
 	RunOI         = model.RunOI
 	RunID         = model.RunID
 	RunRounds     = model.RunRounds
+)
+
+// Homogeneity measurement (Definition 3.1). MeasureHomogeneity scans
+// through the batched ball-sweep engine (worker-local sweepers,
+// copy-on-miss interning; see DESIGN.md §5); SweepMeasure is the same
+// entry under its engine name, and NewSweeper exposes the per-worker
+// scratch for custom scan loops.
+var (
+	MeasureHomogeneity = order.Measure
+	SweepMeasure       = order.SweepMeasure
+	NewSweeper         = order.NewSweeper
+	NewBallInterner    = order.NewInterner
 )
 
 // Algorithms.

@@ -12,18 +12,30 @@ Modes:
       hardware-dependent, so each watched benchmark's ratio is
       normalised by the median ratio across *all* shared benchmarks
       (the calibration set cancels uniform machine-speed differences).
-      Exit 1 if any watched benchmark regresses by more than the
-      threshold after normalisation.
+      For the watched benchmarks allocs/op is also compared raw: an
+      alloc count growing by more than the threshold fails (a
+      zero-alloc baseline therefore tolerates no allocation at all —
+      this is how the sweep engine's 0 allocs/op promise is pinned).
+      Every watched benchmark must be serial (BenchmarkSweepMeasure
+      pins par.Set(1) itself): a parallel benchmark's ns/op and
+      allocs/op both scale with the runner's core count, which would
+      break the uniform-machine-speed normalisation and the raw alloc
+      comparison alike. Exit 1 on any regression.
 
-Watched benchmarks (the CSR/interner hot paths the repo promises not
-to regress): ViewEncode, CanonicalBall, E14Views.
+Watched benchmarks (the CSR/interner/sweep hot paths the repo promises
+not to regress): ViewEncode, CanonicalBall, SweepMeasure, E14Views.
 """
 import json
 import re
 import statistics
 import sys
 
-WATCHED = ["BenchmarkViewEncode", "BenchmarkCanonicalBall", "BenchmarkE14Views"]
+WATCHED = [
+    "BenchmarkViewEncode",
+    "BenchmarkCanonicalBall",
+    "BenchmarkSweepMeasure",
+    "BenchmarkE14Views",
+]
 
 LINE = re.compile(
     r"(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
@@ -84,9 +96,21 @@ def check(bench_path, baseline_path, threshold):
             f"  {name}: {base[name]['ns_op']:.0f} -> {cur[name]['ns_op']:.0f} ns/op"
             f" (normalised x{norm:.3f}) {status}"
         )
+        base_a = base[name].get("allocs_op")
+        cur_a = cur[name].get("allocs_op")
+        if base_a is None or cur_a is None:
+            continue
+        # allocs/op is deterministic (watched benchmarks are serial):
+        # no machine normalisation. A baseline of 0 tolerates no
+        # allocation at all.
+        astatus = "ok"
+        if cur_a > base_a * (1 + threshold) and cur_a > base_a:
+            astatus = "ALLOC REGRESSION"
+            failed.append(name + " (allocs)")
+        print(f"  {name}: {base_a} -> {cur_a} allocs/op {astatus}")
     if failed:
         sys.exit(
-            f"benchdelta: normalised regression above {threshold:.0%} in: "
+            f"benchdelta: regression above {threshold:.0%} in: "
             + ", ".join(failed)
         )
     print("benchdelta: within budget")
