@@ -10,6 +10,7 @@ package localapprox
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/algorithms"
@@ -160,6 +161,49 @@ func BenchmarkSweepMeasure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = order.SweepMeasure(g, rank, 2)
 	}
+}
+
+func BenchmarkSweepMeasureAll(b *testing.B) {
+	// The layered multi-radius sweep: homogeneity at radii 1..3 of the
+	// 24×24 torus from ONE whole-host pass (one BFS per vertex,
+	// canonicalised at each layer boundary, worker-local tallies).
+	// Pinned to the sequential fallback like BenchmarkSweepMeasure —
+	// both are CI-gated against BENCH_ci.json.
+	defer par.Set(par.Set(1))
+	g := graph.Torus(24, 24)
+	rank := order.Identity(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = order.SweepMeasureAll(g, rank, 3)
+	}
+}
+
+func BenchmarkCanonicalBallParallel(b *testing.B) {
+	// Interner-hit contention: several goroutines hammering one shared
+	// interner whose types are all registered, so every probe takes
+	// the lock-free read path. GOMAXPROCS is pinned so the goroutine
+	// count does not follow the runner's core count; on machines with
+	// fewer cores the goroutines timeshare and the ns/op gate is
+	// simply conservative. Steady state must stay 0 allocs/op.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	g := graph.Torus(8, 8)
+	rank := order.Identity(g.N())
+	in := order.NewInterner()
+	warm := order.NewSweeper()
+	for v := 0; v < g.N(); v++ {
+		_ = warm.CanonicalBall(g, rank, v, 2, in)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := order.NewSweeper()
+		v := 0
+		for pb.Next() {
+			_ = s.CanonicalBall(g, rank, v, 2, in)
+			v = (v + 1) % g.N()
+		}
+	})
 }
 
 func BenchmarkHomogeneitySample(b *testing.B) {

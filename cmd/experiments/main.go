@@ -10,11 +10,13 @@
 // With -host <descriptor> the host-parameterisable experiments (E1,
 // E5, E12, E13) run on any family registered in internal/host, e.g.
 // -host torus:12x12 or -host random-regular:d=4,n=512,seed=7; an
-// unknown descriptor lists the registry.
+// unknown descriptor lists the registry. -rmax sets the radius
+// ceiling of the homogeneity measurement (E5): one layered sweep
+// (order.SweepMeasureAll) emits a row per radius 1..rmax.
 //
 // Usage:
 //
-//	experiments [-markdown] [-only E10] [-p N] [-host DESC]
+//	experiments [-markdown] [-only E10] [-p N] [-host DESC] [-rmax R]
 package main
 
 import (
@@ -27,22 +29,32 @@ import (
 	"repro/internal/par"
 )
 
+// maxRmax caps the per-radius homogeneity sweep: balls at larger
+// radii than this swallow whole registry hosts and the table stops
+// saying anything.
+const maxRmax = 8
+
 func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E10)")
 	hostDesc := flag.String("host", "", "run the host-parameterisable experiments on this host family (e.g. torus:12x12)")
+	rmax := flag.Int("rmax", experiments.DefaultRmax, "radius ceiling of the per-radius homogeneity table (E5); one layered sweep covers radii 1..rmax")
 	parallelism := flag.Int("p", 0, "worker-pool width (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 	par.Set(*parallelism)
-	if err := run(*markdown, *only, *hostDesc); err != nil {
+	if *rmax < 1 || *rmax > maxRmax {
+		fmt.Fprintf(os.Stderr, "experiments: -rmax %d out of range (valid radii: 1..%d)\n", *rmax, maxRmax)
+		os.Exit(1)
+	}
+	if err := run(*markdown, *only, *hostDesc, *rmax); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(markdown bool, only, hostDesc string) error {
+func run(markdown bool, only, hostDesc string, rmax int) error {
 	if hostDesc != "" {
-		return runHosted(markdown, only, hostDesc)
+		return runHosted(markdown, only, hostDesc, rmax)
 	}
 	if only == "" {
 		for _, res := range experiments.RunAll() {
@@ -69,13 +81,13 @@ func run(markdown bool, only, hostDesc string) error {
 
 // runHosted resolves the descriptor once and runs the host experiments
 // on it (all of them, or the one selected by -only).
-func runHosted(markdown bool, only, hostDesc string) error {
+func runHosted(markdown bool, only, hostDesc string, rmax int) error {
 	h, err := host.Parse(hostDesc)
 	if err != nil {
 		return err
 	}
 	if only != "" {
-		tbl, err := experiments.RunHosted(only, h)
+		tbl, err := experiments.RunHosted(only, h, rmax)
 		if err != nil {
 			return err
 		}
@@ -83,7 +95,7 @@ func runHosted(markdown bool, only, hostDesc string) error {
 		return nil
 	}
 	for _, e := range experiments.HostExperiments() {
-		tbl, err := e.Run(h)
+		tbl, err := e.Run(h, rmax)
 		if err != nil {
 			return fmt.Errorf("%s (%s) on %s: %w", e.ID, e.Name, hostDesc, err)
 		}

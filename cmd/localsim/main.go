@@ -11,6 +11,12 @@
 // grid3d:3x3x3, margulis-expander:n=6, lift:cycle:9,l=3); it overrides
 // -graph/-n/-d, and an unknown descriptor lists the registry.
 //
+// -rmax R additionally prints the instance's per-radius homogeneity
+// table (Def. 3.1) for radii 1..R, measured by ONE layered sweep
+// (order.SweepMeasureAll): a single BFS per vertex, canonicalised at
+// each layer boundary. A radius outside 1..8 is rejected with the
+// valid range.
+//
 // Algorithms: eds-one-out, eds-all, ec-one-edge, ds-all, vc-all,
 // vc-packing (round-based PO), id-greedy-eds, id-nonmin-vc,
 // oi-smallest-eds, oi-nonmin-vc, cole-vishkin (directed cycles only).
@@ -31,6 +37,9 @@ import (
 	"repro/internal/problems"
 )
 
+// maxRmax caps the homogeneity radius sweep (see cmd/experiments).
+const maxRmax = 8
+
 func main() {
 	alg := flag.String("alg", "eds-one-out", "algorithm name")
 	graphName := flag.String("graph", "cycle", "graph family: cycle|dcycle|petersen|torus|regular|circulant")
@@ -38,14 +47,25 @@ func main() {
 	n := flag.Int("n", 12, "instance size")
 	d := flag.Int("d", 3, "degree for -graph regular")
 	seed := flag.Int64("seed", 1, "seed for random graphs and identifiers")
+	rmax := flag.Int("rmax", 0, "also print the per-radius homogeneity table for radii 1..rmax (one layered sweep; unset = off)")
 	flag.Parse()
-	if err := run(*alg, *graphName, *hostDesc, *n, *d, *seed); err != nil {
+	rmaxSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "rmax" {
+			rmaxSet = true
+		}
+	})
+	if rmaxSet && (*rmax < 1 || *rmax > maxRmax) {
+		fmt.Fprintf(os.Stderr, "localsim: -rmax %d out of range (valid radii: 1..%d)\n", *rmax, maxRmax)
+		os.Exit(1)
+	}
+	if err := run(*alg, *graphName, *hostDesc, *n, *d, *seed, *rmax); err != nil {
 		fmt.Fprintln(os.Stderr, "localsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algName, graphName, hostDesc string, n, d int, seed int64) error {
+func run(algName, graphName, hostDesc string, n, d int, seed int64, rmax int) error {
 	rng := rand.New(rand.NewSource(seed))
 	var (
 		h   *model.Host
@@ -141,6 +161,13 @@ func run(algName, graphName, hostDesc string, n, d int, seed int64) error {
 	fmt.Printf("problem: %s   |solution| = %d   optimum = %d   ratio = %.4f\n",
 		prob.Name(), sol.Size(), opt, ratio)
 	fmt.Printf("locally verified (PO-checkable): %v\n", problems.VerifyLocally(prob, h.G, sol))
+	if rmax >= 1 {
+		fmt.Printf("homogeneity under the vertex-index order (one layered sweep, radii 1..%d):\n", rmax)
+		fmt.Printf("  %-3s %-10s %-7s %s\n", "r", "max α", "types", "majority count")
+		for r, hm := range order.SweepMeasureAll(h.G, rank, rmax) {
+			fmt.Printf("  %-3d %-10.4f %-7d %d/%d\n", r+1, hm.Alpha, len(hm.Counts), hm.Count, hm.N)
+		}
+	}
 	return nil
 }
 

@@ -68,17 +68,67 @@ func Ball[V comparable](g Implicit[V], centre V, r int) *BallOf[V] {
 // call on the same scratch.
 func BallWith[V comparable](s *BallScratch[V], g Implicit[V], centre V, r int) *BallOf[V] {
 	if d, ok := any(g).(*Digraph); ok {
-		b := ballDense(any(s).(*BallScratch[int]), d, any(centre).(int), r)
-		return any(b).(*BallOf[V])
+		si := any(s).(*BallScratch[int])
+		bfsDense(si, d, any(centre).(int), r)
+		return any(materialiseDense(si, d, len(si.nodes))).(*BallOf[V])
 	}
+	s.bfsGeneric(g, centre, r)
+	return s.materialiseGeneric(g, len(s.nodes))
+}
+
+// BallsWith is the layered form of BallWith: ONE radius-rmax BFS from
+// the centre, then the materialised ball at every radius r = 0..rmax
+// (result[r]), each structurally identical to BallWith(s, g, centre, r).
+// BFS order is by distance, so each inner ball is a prefix of the
+// outermost one: layer r is the prefix of nodes at distance <= r, and
+// only the per-layer arc materialisation is repeated — the traversal
+// (group multiplications, on lazy Cayley hosts) runs once. The growth
+// experiment's per-radius ball scan rides on this.
+//
+// All returned balls alias the scratch (valid until the next
+// extraction on s) and share the outermost ball's Index map: entries
+// with index >= len(Nodes) name vertices outside that layer.
+func BallsWith[V comparable](s *BallScratch[V], g Implicit[V], centre V, rmax int) []*BallOf[V] {
+	if rmax < 0 {
+		return nil
+	}
+	if d, ok := any(g).(*Digraph); ok {
+		si := any(s).(*BallScratch[int])
+		bfsDense(si, d, any(centre).(int), rmax)
+		out := make([]*BallOf[int], rmax+1)
+		k := 0
+		for r := 0; r <= rmax; r++ {
+			for k < len(si.nodes) && si.dist[k] <= r {
+				k++
+			}
+			out[r] = materialiseDense(si, d, k)
+		}
+		return any(out).([]*BallOf[V])
+	}
+	s.bfsGeneric(g, centre, rmax)
+	out := make([]*BallOf[V], rmax+1)
+	k := 0
+	for r := 0; r <= rmax; r++ {
+		for k < len(s.nodes) && s.dist[k] <= r {
+			k++
+		}
+		out[r] = s.materialiseGeneric(g, k)
+	}
+	return out
+}
+
+// bfsGeneric runs the radius-r undirected BFS from centre over an
+// implicit digraph, leaving the ball's vertices (BFS order), their
+// distances, indices and cached out-arc rows in the scratch. Each
+// vertex's out-arcs are fetched exactly once and kept for the
+// arc-building pass: for lazily evaluated hosts (Cayley graphs,
+// lifts) Out() is a group multiplication per neighbour, and the
+// homogeneity scans extract one ball per vertex.
+func (s *BallScratch[V]) bfsGeneric(g Implicit[V], centre V, r int) {
 	clear(s.index)
 	s.index[centre] = 0
 	s.nodes = append(s.nodes[:0], centre)
 	s.dist = append(s.dist[:0], 0)
-	// Each vertex's out-arcs are fetched exactly once and kept for the
-	// arc-building pass: for lazily evaluated hosts (Cayley graphs,
-	// lifts) Out() is a group multiplication per neighbour, and the
-	// homogeneity scans extract one ball per vertex.
 	s.outs = s.outs[:0]
 	for head := 0; head < len(s.nodes); head++ {
 		v := s.nodes[head]
@@ -102,25 +152,31 @@ func BallWith[V comparable](s *BallScratch[V], g Implicit[V], centre V, r int) *
 			}
 		}
 	}
-	b := NewBuilder(len(s.nodes), g.Alphabet())
-	for i := range s.nodes {
+}
+
+// materialiseGeneric builds the digraph on the first k BFS vertices
+// (a distance prefix), keeping every arc with both endpoints inside.
+func (s *BallScratch[V]) materialiseGeneric(g Implicit[V], k int) *BallOf[V] {
+	b := NewBuilder(k, g.Alphabet())
+	for i := 0; i < k; i++ {
 		for _, a := range s.outs[i] {
-			if j, in := s.index[a.To]; in {
+			if j, in := s.index[a.To]; in && j < k {
 				b.MustAddArc(i, j, a.Label)
 			}
 		}
 	}
-	return &BallOf[V]{D: b.Build(), Root: 0, Nodes: s.nodes, Index: s.index, Dist: s.dist}
+	return &BallOf[V]{D: b.Build(), Root: 0, Nodes: s.nodes[:k], Index: s.index, Dist: s.dist[:k]}
 }
 
-// ballDense is BallWith specialised to materialised digraphs: the
+// bfsDense is bfsGeneric specialised to materialised digraphs: the
 // visited set is the scratch's epoch-stamped dense array, so repeated
 // extractions touch only ball-sized state (no Θ(n) per-call clearing).
-func ballDense(s *BallScratch[int], d *Digraph, centre, r int) *BallOf[int] {
+func bfsDense(s *BallScratch[int], d *Digraph, centre, r int) {
 	s.seen.Reset(d.n)
 	s.nodes = append(s.nodes[:0], centre)
 	s.dist = append(s.dist[:0], 0)
 	s.seen.Visit(int32(centre), 0)
+	clear(s.index)
 	for head := 0; head < len(s.nodes); head++ {
 		v := s.nodes[head]
 		if s.dist[head] == r {
@@ -140,17 +196,24 @@ func ballDense(s *BallScratch[int], d *Digraph, centre, r int) *BallOf[int] {
 			visit(a.To)
 		}
 	}
-	b := NewBuilder(len(s.nodes), d.alphabet)
-	clear(s.index)
-	for i, v := range s.nodes {
+}
+
+// materialiseDense is materialiseGeneric over the dense visited set's
+// slots (slot = BFS index, so slot < k is the prefix test).
+func materialiseDense(s *BallScratch[int], d *Digraph, k int) *BallOf[int] {
+	b := NewBuilder(k, d.alphabet)
+	for i := 0; i < k; i++ {
+		v := s.nodes[i]
 		s.index[v] = i
 		for _, a := range d.Out(v) {
 			if s.seen.Visited(int32(a.To)) {
-				b.MustAddArc(i, int(s.seen.Slot(int32(a.To))), a.Label)
+				if j := s.seen.Slot(int32(a.To)); int(j) < k {
+					b.MustAddArc(i, int(j), a.Label)
+				}
 			}
 		}
 	}
-	return &BallOf[int]{D: b.Build(), Root: 0, Nodes: s.nodes, Index: s.index, Dist: s.dist}
+	return &BallOf[int]{D: b.Build(), Root: 0, Nodes: s.nodes[:k], Index: s.index, Dist: s.dist[:k]}
 }
 
 // Materialize explores everything reachable (in the undirected sense)

@@ -45,6 +45,69 @@ func TestBallWithMatchesBall(t *testing.T) {
 	}
 }
 
+// TestBallsWithMatchesBall holds the layered extraction to the
+// per-radius one: BallsWith(s, g, v, rmax)[r] must be structurally
+// identical to Ball(g, v, r) at every radius, on both the dense path
+// and the generic Implicit facade. (Index is shared across layers by
+// contract, so it is checked only on the outermost layer.)
+func TestBallsWithMatchesBall(t *testing.T) {
+	d := ringDigraph(12)
+	const rmax = 3
+	dense := NewBallScratch[int]()
+	lazy := lazyWrap{d}
+	gen := NewBallScratch[int]()
+	for v := 0; v < d.N(); v++ {
+		layersD := BallsWith(dense, d, v, rmax)
+		// Layers alias the scratch, so compare before the next
+		// extraction; capture what the comparison needs first.
+		for r := 0; r <= rmax; r++ {
+			want := Ball[int](d, v, r)
+			compareLayer(t, fmt.Sprintf("dense v=%d r=%d", v, r), layersD[r], want, r == rmax)
+		}
+		layersG := BallsWith(gen, lazy, v, rmax)
+		for r := 0; r <= rmax; r++ {
+			want := Ball[int](lazy, v, r)
+			compareLayer(t, fmt.Sprintf("generic v=%d r=%d", v, r), layersG[r], want, r == rmax)
+		}
+	}
+	if got := BallsWith(dense, d, 0, -1); got != nil {
+		t.Fatalf("rmax=-1 should yield nil, got %d layers", len(got))
+	}
+}
+
+// compareLayer is compareBalls without the Index check unless asked:
+// layered balls share the outermost layer's Index by contract.
+func compareLayer(t *testing.T, at string, got, want *BallOf[int], checkIndex bool) {
+	t.Helper()
+	if got.Root != want.Root || len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("%s: got %d nodes root %d, want %d nodes root %d",
+			at, len(got.Nodes), got.Root, len(want.Nodes), want.Root)
+	}
+	for i := range got.Nodes {
+		if got.Nodes[i] != want.Nodes[i] || got.Dist[i] != want.Dist[i] {
+			t.Fatalf("%s: node %d: (%d,d%d) != (%d,d%d)",
+				at, i, got.Nodes[i], got.Dist[i], want.Nodes[i], want.Dist[i])
+		}
+		if checkIndex && got.Index[got.Nodes[i]] != i {
+			t.Fatalf("%s: index of node %d is %d, want %d", at, got.Nodes[i], got.Index[got.Nodes[i]], i)
+		}
+	}
+	if got.D.N() != want.D.N() || got.D.Arcs() != want.D.Arcs() {
+		t.Fatalf("%s: ball digraph %v != %v", at, got.D, want.D)
+	}
+	for v := 0; v < got.D.N(); v++ {
+		g, w := got.D.Out(v), want.D.Out(v)
+		if len(g) != len(w) {
+			t.Fatalf("%s: out-degree of %d: %d != %d", at, v, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s: arc %d of %d: %v != %v", at, i, v, g[i], w[i])
+			}
+		}
+	}
+}
+
 func compareBalls(t *testing.T, at string, got, want *BallOf[int]) {
 	t.Helper()
 	if got.Root != want.Root || len(got.Nodes) != len(want.Nodes) {

@@ -55,11 +55,13 @@ func Growth() (*Table, error) {
 		u := group.U(c.Level)
 		cay := c.UCayley()
 		d := u.Dim()
+		// One layered BFS (group multiplications run once) yields all
+		// four radii; layer r is the distance-<=r prefix.
+		balls := digraph.BallsWith(digraph.NewBallScratch[string](), cay, cay.Node(u.Identity()), 4)
 		for _, r := range []int{1, 2, 3, 4} {
-			ball := digraph.Ball[string](cay, cay.Node(u.Identity()), r)
 			cube := pow(2*r+1, d)
 			free := view.Complete(k, r).Size()
-			t.AddRow(k, r, len(ball.Nodes), cube, free)
+			t.AddRow(k, r, len(balls[r].Nodes), cube, free)
 		}
 	}
 	t.Notes = append(t.Notes,

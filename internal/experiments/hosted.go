@@ -14,11 +14,18 @@ import (
 // family (the -host flag of cmd/experiments). The host variants are
 // summary tables — hosts can be large, so they aggregate per-type
 // instead of printing one row per node like their fixed-host originals.
+// Run receives the -rmax radius ceiling; experiments without a radius
+// sweep ignore it, the homogeneity measurement (E5) emits one row per
+// radius 1..rmax from a single layered pass.
 type HostExperiment struct {
 	ID   string
 	Name string
-	Run  func(h *host.Host) (*Table, error)
+	Run  func(h *host.Host, rmax int) (*Table, error)
 }
+
+// DefaultRmax is the radius ceiling the host experiments use when the
+// caller does not pick one (-rmax of cmd/experiments).
+const DefaultRmax = 2
 
 // HostExperiments returns the host-parameterisable experiments: the
 // model comparison (E1), homogeneity measurement (E5), ball growth
@@ -33,10 +40,10 @@ func HostExperiments() []HostExperiment {
 }
 
 // RunHosted runs one host experiment by id on the given host.
-func RunHosted(id string, h *host.Host) (*Table, error) {
+func RunHosted(id string, h *host.Host, rmax int) (*Table, error) {
 	for _, e := range HostExperiments() {
 		if e.ID == id {
-			return e.Run(h)
+			return e.Run(h, rmax)
 		}
 	}
 	return nil, fmt.Errorf("experiment %q is not host-parameterisable (available: E1, E5, E12, E13)", id)
@@ -56,7 +63,7 @@ func modelHost(h *host.Host) *model.Host {
 // from a fixed seed, the same probe order-invariantly, and the number
 // of PO view types (a PO algorithm cannot distinguish nodes of one
 // type, so its outputs are constant on each class).
-func ModelsOn(h *host.Host) (*Table, error) {
+func ModelsOn(h *host.Host, _ int) (*Table, error) {
 	mh := modelHost(h)
 	n := mh.G.N()
 	rng := rand.New(rand.NewSource(1))
@@ -107,10 +114,16 @@ func countBallTypes(mh *model.Host, rank order.Rank, r int) int {
 }
 
 // HomogeneityOn is E5 generalised: the homogeneity (Def. 3.1) of the
-// host under the identity (vertex-index) order, at radii 1 and 2.
-// This is a full scan — every vertex's ball is canonicalised — and is
-// intended for hosts up to roughly 10^5 vertices.
-func HomogeneityOn(h *host.Host) (*Table, error) {
+// host under the identity (vertex-index) order, at every radius
+// 1..rmax (rmax <= 0 means DefaultRmax) from ONE layered sweep —
+// SweepMeasureAll runs a single BFS per vertex and canonicalises at
+// each layer boundary. This is a full scan — every vertex's ball is
+// canonicalised — and is intended for hosts up to roughly 10^5
+// vertices.
+func HomogeneityOn(h *host.Host, rmax int) (*Table, error) {
+	if rmax <= 0 {
+		rmax = DefaultRmax
+	}
 	t := &Table{
 		ID:      "E5",
 		Title:   fmt.Sprintf("homogeneity of %s under the vertex-index order", h.Desc),
@@ -118,9 +131,8 @@ func HomogeneityOn(h *host.Host) (*Table, error) {
 		Columns: []string{"host", "r", "measured max α", "types"},
 	}
 	rank := order.Identity(h.G.N())
-	for _, r := range []int{1, 2} {
-		hm := order.SweepMeasure(h.G, rank, r)
-		t.AddRow(h.Desc, r, hm.Alpha, len(hm.Counts))
+	for r, hm := range order.SweepMeasureAll(h.G, rank, rmax) {
+		t.AddRow(h.Desc, r+1, hm.Alpha, len(hm.Counts))
 	}
 	t.Notes = append(t.Notes,
 		"α is the largest fraction of vertices sharing one ordered r-neighbourhood type; the paper's construction drives α → 1 with girth > 2r+1",
@@ -130,8 +142,10 @@ func HomogeneityOn(h *host.Host) (*Table, error) {
 
 // GrowthOn is E12 generalised: measured ball growth of the host
 // against the degree-Δ tree bound (the finite analogue of the free
-// bound that motivates polynomial-growth groups in §5.2).
-func GrowthOn(h *host.Host) (*Table, error) {
+// bound that motivates polynomial-growth groups in §5.2). All four
+// radii come from one layered BFS per vertex (graph.BallSizes), not
+// one traversal per (vertex, radius) pair.
+func GrowthOn(h *host.Host, _ int) (*Table, error) {
 	g := h.G
 	t := &Table{
 		ID:      "E12",
@@ -140,20 +154,22 @@ func GrowthOn(h *host.Host) (*Table, error) {
 		Columns: []string{"r", "max |B(v,r)|", "mean |B(v,r)|", "Δ-regular tree bound"},
 	}
 	delta := g.MaxDegree()
-	for r := 1; r <= 4; r++ {
-		maxB, sum := 0, 0
-		for v := 0; v < g.N(); v++ {
-			s := len(g.Ball(v, r))
-			sum += s
-			if s > maxB {
-				maxB = s
+	const rmax = 4
+	maxB, sum := make([]int, rmax+1), make([]int, rmax+1)
+	for v := 0; v < g.N(); v++ {
+		for r, s := range g.BallSizes(v, rmax) {
+			sum[r] += s
+			if s > maxB[r] {
+				maxB[r] = s
 			}
 		}
+	}
+	for r := 1; r <= rmax; r++ {
 		mean := 0.0
 		if g.N() > 0 {
-			mean = float64(sum) / float64(g.N())
+			mean = float64(sum[r]) / float64(g.N())
 		}
-		t.AddRow(r, maxB, mean, treeBound(delta, r))
+		t.AddRow(r, maxB[r], mean, treeBound(delta, r))
 	}
 	t.Notes = append(t.Notes,
 		"hosts with polynomial ball growth (tori, grids) stay far below the tree bound; expanders and random regular graphs track it until they saturate at n",
@@ -184,7 +200,7 @@ func treeBound(delta, r int) int {
 // exactly the classical orientation-free PN view). Fewer PN types
 // means less symmetry-breaking power — on vertex-transitive hosts PN
 // collapses to a single type while an orientation keeps classes apart.
-func PNSeparationOn(h *host.Host) (*Table, error) {
+func PNSeparationOn(h *host.Host, _ int) (*Table, error) {
 	// Both sides are built from the same canonical port numbering of
 	// the underlying graph (not the family's own labelling, which the
 	// PN side cannot reproduce): the comparison isolates the effect of

@@ -162,6 +162,27 @@ func TestBall(t *testing.T) {
 	}
 }
 
+// TestBallSizesMatchesBall holds the one-BFS layered size profile to
+// per-radius Ball calls, on the dense path and (via a circulant above
+// the threshold) the sparse-map path.
+func TestBallSizesMatchesBall(t *testing.T) {
+	hosts := []*Graph{Cycle(10), Petersen(), Torus(6, 6), Complete(6), Circulant(denseBallThreshold+100, 1, 7)}
+	for gi, g := range hosts {
+		verts := []int{0, 1, g.N() - 1}
+		for _, v := range verts {
+			sizes := g.BallSizes(v, 4)
+			if len(sizes) != 5 {
+				t.Fatalf("host %d: BallSizes returned %d entries, want 5", gi, len(sizes))
+			}
+			for r := 0; r <= 4; r++ {
+				if want := len(g.Ball(v, r)); sizes[r] != want {
+					t.Fatalf("host %d v=%d r=%d: BallSizes %d != |Ball| %d", gi, v, r, sizes[r], want)
+				}
+			}
+		}
+	}
+}
+
 func TestComponentsAndConnected(t *testing.T) {
 	g := Disjoint(Cycle(3), Path(2), Complete(4))
 	comps := g.Components()

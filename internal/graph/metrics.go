@@ -68,6 +68,62 @@ func (g *Graph) Ball(v, r int) []int {
 	return out
 }
 
+// BallSizes returns |B(v, r)| for every radius r = 0..rmax from a
+// single radius-rmax BFS: sizes[r] == len(Ball(v, r)) for every r,
+// without re-running the traversal per radius. The layered growth
+// scans (E12 and its host-parameterised variant) use this in place of
+// one Ball call per radius.
+func (g *Graph) BallSizes(v, rmax int) []int {
+	sizes := make([]int, rmax+1)
+	var dist map[int]int
+	var dense []int
+	if g.n > denseBallThreshold {
+		dist = map[int]int{v: 0}
+	} else {
+		dense = make([]int, g.n)
+		for i := range dense {
+			dense[i] = -1
+		}
+		dense[v] = 0
+	}
+	at := func(u int) int {
+		if dense != nil {
+			return dense[u]
+		}
+		if d, ok := dist[u]; ok {
+			return d
+		}
+		return -1
+	}
+	set := func(u, d int) {
+		if dense != nil {
+			dense[u] = d
+		} else {
+			dist[u] = d
+		}
+	}
+	queue := []int{v}
+	sizes[0] = 1
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := at(u)
+		if du == rmax {
+			continue
+		}
+		for _, x := range g.row(u) {
+			if w := int(x); at(w) == -1 {
+				set(w, du+1)
+				sizes[du+1]++
+				queue = append(queue, w)
+			}
+		}
+	}
+	for r := 1; r <= rmax; r++ {
+		sizes[r] += sizes[r-1]
+	}
+	return sizes
+}
+
 // ballSparse is Ball with a map visited set: work proportional to the
 // ball, not to n.
 func (g *Graph) ballSparse(v, r int) []int {

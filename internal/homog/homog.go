@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"repro/internal/digraph"
@@ -409,9 +410,12 @@ type ExactReport struct {
 
 // HomogeneityExact scans every element of H(m) (feasible only when
 // m^d <= maxNodes), classifying each vertex's ordered r-neighbourhood.
-// The scan is data-parallel: elements are enumerated by odometer up
-// front, classified concurrently into one ball interner, and the type
-// counts merged in element order — identical to the sequential scan.
+// The scan rides the ball-sweep engine: the finite Cayley graph is
+// materialised once, its underlying undirected host and the restricted
+// U-order (as a Rank) are handed to order.SweepMeasureInto, and the
+// worker-local tallies merge into counts keyed by interned *Ball —
+// identical to the sequential per-element classification at every
+// parallelism level.
 func (c *Construction) HomogeneityExact(m, maxNodes int) (*ExactReport, error) {
 	fam, err := group.NewFamily(c.Level, m)
 	if err != nil {
@@ -448,51 +452,48 @@ func (c *Construction) HomogeneityExact(m, maxNodes int) (*ExactReport, error) {
 		}
 	}
 	// The whole finite graph fits the scan budget, so materialise it
-	// once: the n per-element ball extractions then run over the dense
-	// integer digraph (no group multiplications or node decoding in the
-	// scan loop). Every element is a start vertex — C(H, S) may be
-	// disconnected when S does not generate.
-	md, mNodes, mIndex, err := digraph.Materialize[string](cay, nodes, n)
+	// once and hand the scan to the layered ball-sweep engine: the
+	// underlying undirected host is built wholesale, the restricted
+	// U-order becomes a Rank, and SweepMeasureInto counts every
+	// element's canonical ordered ball through worker-local sweepers
+	// and tallies into one shared interner — τ* occupancy is then one
+	// lookup of the interned τ* representative in the merged counts.
+	// Every element is a start vertex — C(H, S) may be disconnected
+	// when S does not generate.
+	md, mNodes, _, err := digraph.Materialize[string](cay, nodes, n)
 	if err != nil {
 		return nil, fmt.Errorf("homog: materialise C(H(%d), S): %w", m, err)
+	}
+	und, err := md.Underlying()
+	if err != nil {
+		// A parallel pair in the underlying graph is a 2-cycle, which
+		// the girth certificate excludes; reaching this indicates a
+		// degenerate generator set.
+		return nil, fmt.Errorf("homog: C(H(%d), S): %w", m, err)
 	}
 	mElems := make([]group.Elem, len(mNodes))
 	for i, s := range mNodes {
 		mElems[i] = cay.Elem(s)
 	}
 	u := group.U(c.Level)
-	key := func(v int) group.Elem { return mElems[v] }
-	balls := make([]*order.Ball, n)
-	errs := make([]error, n)
-	par.ForScratch(n,
-		digraph.NewBallScratch[int],
-		func(i int, bs *digraph.BallScratch[int]) {
-			b, err := order.CanonicalBallImplicitByWith[int, group.Elem](bs, md, key, u.Less, mIndex[nodes[i]], c.R)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			balls[i] = in.Canon(b)
-		})
-	types := make(map[*order.Ball]int)
-	tau := 0
-	for i := 0; i < n; i++ {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		types[balls[i]]++
-		if balls[i] == tauBall {
-			tau++
-		}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
 	}
+	sort.Slice(perm, func(a, b int) bool { return u.Less(mElems[perm[a]], mElems[perm[b]]) })
+	rank := make(order.Rank, n)
+	for pos, v := range perm {
+		rank[v] = pos
+	}
+	hm := order.SweepMeasureInto(in, und, rank, c.R)
 	girth := digraph.UndirectedGirth[string](cay, []string{cay.Node(fam.Identity())}, 2*c.R+2)
 	return &ExactReport{
 		M:          m,
 		N:          n,
-		TauCount:   tau,
-		Alpha:      float64(tau) / float64(n),
+		TauCount:   hm.Counts[tauBall],
+		Alpha:      float64(hm.Counts[tauBall]) / float64(n),
 		InnerBound: c.InnerFraction(m),
-		TypeCount:  len(types),
+		TypeCount:  len(hm.Counts),
 		Girth:      girth,
 	}, nil
 }

@@ -1,0 +1,95 @@
+// Package intern provides the lock-free-read shard that backs the
+// repo's hash-consing tables (order.Interner for canonical ordered
+// balls, view.Interner for view-tree nodes).
+//
+// A Shard publishes an immutable, hash-sorted entry slice through an
+// atomic pointer: readers binary-search the current slice with no
+// locking at all — the steady state of every interning hot path,
+// where the probed value is already registered. Writers serialise on
+// the shard mutex, re-probe, and republish the slice copy-on-write
+// with one insertion; a published slice is never mutated, which is
+// what makes the reader side safe. Collisions of the 64-bit hash are
+// resolved by the caller's full structural comparison over Run's
+// equal-hash run, so correctness never depends on hash quality.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Entry pairs a registered value with its structural hash.
+type Entry[V any] struct {
+	Hash uint64
+	Val  V
+}
+
+// Shard is one shard of a hash-consing table. The zero value is
+// ready to use.
+type Shard[V any] struct {
+	// entries is hash-sorted and immutable once published.
+	entries atomic.Pointer[[]Entry[V]]
+	mu      sync.Mutex // serialises writers (the miss path)
+	// Padding to a 64-byte cache line, so adjacent shards' write
+	// traffic (the mutex and the republished pointer) does not
+	// false-share. The header is one pointer plus one mutex — 16
+	// bytes on 64-bit platforms, padded to 64; on 32-bit the struct
+	// merely ends up a little over one line, which is still correct.
+	_ [48]byte
+}
+
+// Run returns the current entries with hash h, lock-free. Callers
+// scan the (typically zero- or one-element) run and compare
+// structurally.
+func (sh *Shard[V]) Run(h uint64) []Entry[V] {
+	p := sh.entries.Load()
+	if p == nil {
+		return nil
+	}
+	es := *p
+	lo := searchHash(es, h)
+	hi := lo
+	for hi < len(es) && es[hi].Hash == h {
+		hi++
+	}
+	return es[lo:hi]
+}
+
+// Lock takes the shard's writer lock. The miss-path protocol is:
+// Lock, Run again (another writer may have registered the value),
+// construct the representative only if still missing, Publish,
+// Unlock.
+func (sh *Shard[V]) Lock() { sh.mu.Lock() }
+
+// Unlock releases the shard's writer lock.
+func (sh *Shard[V]) Unlock() { sh.mu.Unlock() }
+
+// Publish registers v under h by republishing the entry slice with v
+// inserted at its hash position. The caller must hold the shard's
+// writer lock.
+func (sh *Shard[V]) Publish(h uint64, v V) {
+	var old []Entry[V]
+	if p := sh.entries.Load(); p != nil {
+		old = *p
+	}
+	i := searchHash(old, h)
+	next := make([]Entry[V], len(old)+1)
+	copy(next, old[:i])
+	next[i] = Entry[V]{Hash: h, Val: v}
+	copy(next[i+1:], old[i:])
+	sh.entries.Store(&next)
+}
+
+// searchHash returns the first index whose hash is >= h.
+func searchHash[V any](es []Entry[V], h uint64) int {
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if es[mid].Hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

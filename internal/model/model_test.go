@@ -261,6 +261,39 @@ func TestGatheredTreesMatchBuild(t *testing.T) {
 	}
 }
 
+// TestGatheredTreesAllLayers: every level of the one-pass layered
+// gather is pointer-identical (default interner) to the single-radius
+// gather at that radius.
+func TestGatheredTreesAllLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hosts := []*Host{
+		cycleHost(9),
+		HostFromGraph(graph.Petersen()),
+		HostFromGraph(graph.RandomRegular(12, 3, rng)),
+	}
+	const rmax = 3
+	for _, h := range hosts {
+		levels, err := GatheredTreesAll(h, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(levels) != rmax+1 {
+			t.Fatalf("%d levels, want %d", len(levels), rmax+1)
+		}
+		for r := 0; r <= rmax; r++ {
+			single, err := GatheredTrees(h, r)
+			if err != nil {
+				t.Fatalf("r=%d: %v", r, err)
+			}
+			for v := 0; v < h.G.N(); v++ {
+				if levels[r][v] != single[v] {
+					t.Fatalf("r=%d node %d: layered level differs from single-radius gather", r, v)
+				}
+			}
+		}
+	}
+}
+
 func TestSimulatePOMatchesRunPO(t *testing.T) {
 	h := HostFromGraph(graph.Petersen())
 	alg := selectAllPO(2)

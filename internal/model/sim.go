@@ -210,12 +210,28 @@ type gatherScratch struct {
 // property the differential tests pin down against both
 // RunRoundsStates and per-node view.Build.
 func GatheredTrees(h *Host, r int) ([]*view.Tree, error) {
+	levels, err := GatheredTreesAll(h, r)
+	if err != nil {
+		return nil, err
+	}
+	return levels[r], nil
+}
+
+// GatheredTreesAll is the layered form of GatheredTrees: every node's
+// view tree at every radius t = 0..rmax (result[t][v]), from the one
+// level-synchronous pass. The per-round levels are exactly the
+// intermediate states of the gathering algorithm, so the multi-radius
+// gather costs the same single pass the deepest radius alone does —
+// the view-side analogue of order.SweepMeasureAll.
+func GatheredTreesAll(h *Host, rmax int) ([][]*view.Tree, error) {
 	n := h.G.N()
 	cur := make([]*view.Tree, n)
 	for v := range cur {
 		cur[v] = view.Leaf()
 	}
-	for round := 1; round <= r; round++ {
+	levels := make([][]*view.Tree, rmax+1)
+	levels[0] = cur
+	for round := 1; round <= rmax; round++ {
 		nxt := make([]*view.Tree, n)
 		par.ForScratch(n,
 			func() *gatherScratch { return &gatherScratch{} },
@@ -232,9 +248,10 @@ func GatheredTrees(h *Host, r int) ([]*view.Tree, error) {
 				s.kids = kids
 				nxt[v] = view.NewTreeScratch(kids)
 			})
+		levels[round] = nxt
 		cur = nxt
 	}
-	return cur, nil
+	return levels, nil
 }
 
 // pruneChildWith is pruneChild assembling into the worker's scratch

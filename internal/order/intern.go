@@ -2,9 +2,9 @@ package order
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/intern"
 )
 
 // Interner hash-conses canonical ordered balls: Canon maps every ball
@@ -15,57 +15,69 @@ import (
 // the measurement hot loops. Collisions of the 64-bit structural hash
 // are resolved by full comparison, so correctness does not depend on
 // hash quality. Safe for concurrent use from the parallel scan layer.
+//
+// The hit path is lock-free: each shard (intern.Shard) publishes an
+// immutable, hash-sorted entry slice through an atomic pointer, so a
+// probe that finds its type already registered (the steady state of a
+// homogeneous host) does a binary search and no locking at all. Only
+// a miss takes the shard mutex, re-probes and republishes the slice
+// copy-on-write — misses are as rare as genuinely new types, so the
+// one-allocation copy is off the hot path by construction. Shards are
+// cache-line padded so concurrent writers on adjacent shards do not
+// false-share.
 type Interner struct {
-	shards [ballShards]ballShard
+	shards [ballShards]intern.Shard[*Ball]
 }
 
 const ballShards = 64 // power of two
-
-type ballShard struct {
-	mu      sync.Mutex
-	buckets map[uint64][]*Ball
-}
 
 // NewInterner returns an empty ball interner.
 func NewInterner() *Interner { return &Interner{} }
 
 // Canon returns the canonical representative of b's isomorphism type,
-// registering b if the type is new.
+// registering b if the type is new. A hit takes no lock.
 func (in *Interner) Canon(b *Ball) *Ball {
 	h := b.hashType()
 	shard := &in.shards[h&(ballShards-1)]
-	shard.mu.Lock()
-	defer shard.mu.Unlock()
-	if shard.buckets == nil {
-		shard.buckets = make(map[uint64][]*Ball)
-	}
-	for _, cand := range shard.buckets[h] {
-		if cand.sameType(b) {
-			return cand
+	for _, e := range shard.Run(h) {
+		if e.Val.sameType(b) {
+			return e.Val
 		}
 	}
-	shard.buckets[h] = append(shard.buckets[h], b)
+	shard.Lock()
+	defer shard.Unlock()
+	// Re-probe under the writer lock: another goroutine may have
+	// registered the type between the lock-free miss and here.
+	for _, e := range shard.Run(h) {
+		if e.Val.sameType(b) {
+			return e.Val
+		}
+	}
+	shard.Publish(h, b)
 	return b
 }
 
 // canonScratch probes the interner with a ball assembled in scratch
 // CSR form (root position plus sorted adjacency rows): on a hit the
-// existing representative is returned and nothing is allocated; only
-// on a miss is the scratch copied to the heap and registered — the
-// copy-on-miss discipline of the sweep engine. h must be the ball's
-// type hash, normally accumulated during assembly via typeHashBegin /
-// typeHashEdge; taking it as a parameter keeps the probe single-pass
-// and lets the collision tests force equal hashes for distinct balls.
+// existing representative is returned without locking or allocating;
+// only on a miss is the scratch copied to the heap and registered —
+// the copy-on-miss discipline of the sweep engine. h must be the
+// ball's type hash, normally accumulated during assembly via
+// typeHashBegin / typeHashEdge; taking it as a parameter keeps the
+// probe single-pass and lets the collision tests force equal hashes
+// for distinct balls.
 func (in *Interner) canonScratch(h uint64, root int, off, nbr []int32) *Ball {
 	shard := &in.shards[h&(ballShards-1)]
-	shard.mu.Lock()
-	defer shard.mu.Unlock()
-	if shard.buckets == nil {
-		shard.buckets = make(map[uint64][]*Ball)
+	for _, e := range shard.Run(h) {
+		if e.Val.sameTypeCSR(root, off, nbr) {
+			return e.Val
+		}
 	}
-	for _, cand := range shard.buckets[h] {
-		if cand.sameTypeCSR(root, off, nbr) {
-			return cand
+	shard.Lock()
+	defer shard.Unlock()
+	for _, e := range shard.Run(h) {
+		if e.Val.sameTypeCSR(root, off, nbr) {
+			return e.Val
 		}
 	}
 	g, err := graph.FromCSR(
@@ -76,7 +88,7 @@ func (in *Interner) canonScratch(h uint64, root int, off, nbr []int32) *Ball {
 		panic(fmt.Sprintf("order: scratch ball is not a valid canonical form: %v", err))
 	}
 	b := &Ball{G: g, Root: root}
-	shard.buckets[h] = append(shard.buckets[h], b)
+	shard.Publish(h, b)
 	return b
 }
 

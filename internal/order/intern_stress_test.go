@@ -1,0 +1,137 @@
+package order
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestInternerShardStress hammers a single shard from many goroutines:
+// every probe carries the same forced hash, so all traffic — lock-free
+// hit reads, copy-on-write publishes, the under-lock re-probe — lands
+// on one bucket chain. Each goroutine alternates between a fixed pool
+// of structurally distinct balls (forced hash collisions included) and
+// checks that the representative it gets back is stable; under -race
+// this pins the immutable-republish discipline of the lock-free read
+// path.
+func TestInternerShardStress(t *testing.T) {
+	const (
+		workers = 16
+		rounds  = 400
+		hash    = uint64(0xfeedface) // same shard, same bucket, for every probe
+	)
+	// pool[k] is the path P_{k+2} rooted at 0: structurally distinct
+	// canonical forms that the forced hash crams into one bucket.
+	type form struct {
+		off, nbr []int32
+	}
+	pool := make([]form, 8)
+	for k := range pool {
+		n := k + 2
+		var f form
+		f.off = append(f.off, 0)
+		for v := 0; v < n; v++ {
+			if v > 0 {
+				f.nbr = append(f.nbr, int32(v-1))
+			}
+			if v < n-1 {
+				f.nbr = append(f.nbr, int32(v+1))
+			}
+			f.off = append(f.off, int32(len(f.nbr)))
+		}
+		pool[k] = f
+	}
+	in := NewInterner()
+	reps := make([][]*Ball, workers) // worker -> per-form representative seen
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]*Ball, len(pool))
+			for round := 0; round < rounds; round++ {
+				k := (round + w) % len(pool)
+				got := in.canonScratch(hash, 0, pool[k].off, pool[k].nbr)
+				if mine[k] == nil {
+					mine[k] = got
+				} else if mine[k] != got {
+					t.Errorf("worker %d: form %d changed representative", w, k)
+					return
+				}
+			}
+			reps[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// All workers must have converged on the same representative per
+	// form, and distinct forms must have stayed apart.
+	for w := 1; w < workers; w++ {
+		for k := range pool {
+			if reps[w][k] != reps[0][k] {
+				t.Fatalf("workers 0 and %d disagree on form %d", w, k)
+			}
+		}
+	}
+	seen := map[*Ball]bool{}
+	for k := range pool {
+		b := reps[0][k]
+		if seen[b] {
+			t.Fatalf("two distinct forms share representative %p", b)
+		}
+		seen[b] = true
+		if b.G.N() != k+2 {
+			t.Fatalf("form %d: representative has %d vertices, want %d", k, b.G.N(), k+2)
+		}
+	}
+}
+
+// TestInternerCanonStress is the Canon-side stress: concurrent
+// interning of freshly allocated but structurally identical balls
+// (mixed with distinct ones across many shards) must converge on one
+// representative per type.
+func TestInternerCanonStress(t *testing.T) {
+	const workers = 16
+	mk := func(n int) *Ball {
+		b := graph.NewBuilder(n)
+		for v := 0; v+1 < n; v++ {
+			b.MustAddEdge(v, v+1)
+		}
+		return &Ball{G: b.Build(), Root: 0}
+	}
+	in := NewInterner()
+	reps := make([][]*Ball, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]*Ball, 6)
+			for round := 0; round < 200; round++ {
+				n := 2 + (round+w)%6
+				got := in.Canon(mk(n)) // fresh allocation every time
+				if mine[n-2] == nil {
+					mine[n-2] = got
+				} else if mine[n-2] != got {
+					t.Errorf("worker %d: P_%d changed representative", w, n)
+					return
+				}
+			}
+			reps[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 1; w < workers; w++ {
+		for k := range reps[0] {
+			if reps[w][k] != reps[0][k] {
+				t.Fatalf("workers 0 and %d disagree on P_%d", w, k+2)
+			}
+		}
+	}
+}

@@ -146,10 +146,13 @@ type Homogeneity struct {
 // Measure computes the homogeneity of (g, rank) at radius r by
 // scanning every vertex. It is the batched sweep SweepMeasure: each
 // parallel worker canonicalises balls through its own Sweeper scratch
-// into a shared interner, and the counts are merged in vertex order,
+// into a shared interner and tallies into its own count map, and the
+// per-worker counts are summed after the join (a commutative merge),
 // so the result is independent of the parallelism level. Types are
 // compared by interned pointer — no Encode() strings on the hot path;
-// the single majority encoding is rendered at the end.
+// the single majority encoding is rendered at the end. For
+// homogeneity at several radii at once, SweepMeasureAll measures
+// radii 1..rmax in one layered whole-host pass.
 func Measure(g *graph.Graph, rank Rank, r int) Homogeneity {
 	return SweepMeasure(g, rank, r)
 }

@@ -19,7 +19,8 @@ import (
 // of the scratch and registers it.
 //
 // A Sweeper belongs to one goroutine. Whole-host scans hand each
-// worker its own via par.ForScratch; see SweepMeasure.
+// worker its own via par.ForScratch; see SweepMeasure and
+// SweepMeasureAll.
 type Sweeper struct {
 	seen  graph.VisitStamp // visited set; slot = canonical ball index
 	queue []int32          // ball vertices in BFS order (host ids)
@@ -28,6 +29,54 @@ type Sweeper struct {
 	ints  []int            // verts as []int, for CanonicalBallVerts callers
 	off   []int32          // candidate CSR row offsets
 	nbr   []int32          // candidate CSR adjacency
+
+	// Layered-sweep scratch (CanonicalBalls). The outermost ball is
+	// described in BFS space — depths, adjacency over BFS indices, and
+	// the rank permutation of the BFS indices — which is enough to
+	// determine the canonical ball at every radius, yet is assembled
+	// without any per-row sorting (host rows arrive in a fixed order)
+	// and with one packed-integer sort for the permutation.
+	keys  []uint64 // packed (rank << 21 | BFS index) sort keys
+	perm  []int32  // rank position -> BFS index
+	pos   []int32  // BFS index -> rank position (miss path)
+	boff  []int32  // BFS-space adjacency row offsets
+	bnbr  []int32  // BFS-space adjacency
+	dpt   []int32  // depth of rank position p (miss path)
+	lslot []int32  // rank position -> layer slot (-1 = outside)
+	loff  []int32  // layer CSR row offsets
+	lnbr  []int32  // layer CSR adjacency
+
+	// Worker-local bundle cache: the BFS-space structure plus the rank
+	// permutation determines the canonical ball at every radius, so
+	// repeated local structures — almost every vertex of a homogeneous
+	// host — resolve all rmax layers with one probe of this
+	// goroutine-private map, no interner traffic at all. The cache is
+	// keyed on structure only, so it survives host and rank changes;
+	// it is flushed when the interner or rmax changes, since the
+	// cached *Ball pointers belong to one interner. Size is capped at
+	// maxBundles: on a heterogeneous host where nearly every vertex
+	// has a unique layered neighbourhood a full cache stops admitting
+	// entries (extractions stay correct, they just canonicalise each
+	// time), bounding memory at O(maxBundles × ball footprint)
+	// instead of O(host).
+	bundles map[uint64][]*ballBundle
+	nbund   int
+	bin     *Interner
+	brmax   int
+}
+
+// maxBundles caps the worker-local bundle cache of CanonicalBalls.
+const maxBundles = 1 << 12
+
+// ballBundle is one cached layered structure (in BFS space, exactly
+// the fields the probe compares) and its per-radius canonical balls
+// (balls[r-1] is the radius-r representative).
+type ballBundle struct {
+	depth []int32
+	boff  []int32
+	bnbr  []int32
+	perm  []int32
+	balls []*Ball
 }
 
 // NewSweeper returns an empty sweeper; its buffers are sized on first
@@ -62,6 +111,200 @@ func (s *Sweeper) CanonicalBall(g *graph.Graph, rank Rank, v, r int, in *Interne
 		s.off = append(s.off, int32(len(s.nbr)))
 	}
 	return in.canonScratch(h, root, s.off, s.nbr)
+}
+
+// bundleFold is the cheap polynomial fold of the bundle hash (FNV
+// prime); the bucket compare verifies the full structure, so hash
+// quality only affects chain length, and the per-entry cost matters
+// more than avalanche.
+const bundleFold = 0x100000001b3
+
+// maxBallBits bounds the BFS index in the packed rank-sort keys: a
+// single ball may hold at most 2^21 vertices, far beyond any
+// feasible whole-host sweep.
+const maxBallBits = 21
+
+// CanonicalBalls is the layered multi-radius extraction: ONE radius-
+// rmax BFS from v, then the canonical ordered ball at every radius
+// r = 1..rmax (result[r-1]), each pointer-identical to what
+// CanonicalBall(g, rank, v, r, in) returns.
+//
+// The extraction describes the outermost ball in BFS space: the depth
+// vector, the adjacency over BFS indices (host rows arrive in a fixed
+// deterministic order, so no per-row sorting happens here), and the
+// rank permutation of the BFS indices, obtained by one packed-integer
+// sort with no comparator closure. That triple determines the
+// canonical ball at every radius r — layer membership from the
+// depths, vertex order from the permutation, edges from the adjacency
+// — and is hashed during assembly and resolved against a worker-local
+// bundle cache. A vertex whose layered neighbourhood was seen before
+// (the steady state of a homogeneous host) therefore gets all rmax
+// representatives back with one map probe: no locking, no interner
+// traffic, no allocation, and none of the canonical-form sorting the
+// single-radius path pays. Only a new structure converts to rank
+// space and canonicalises its layers against the interner
+// (copy-on-miss, as CanonicalBall).
+//
+// The returned slice is shared cache state: callers must not modify
+// it, but unlike the sweeper's other outputs it remains valid across
+// extractions. rmax must be >= 1.
+func (s *Sweeper) CanonicalBalls(g *graph.Graph, rank Rank, v, rmax int, in *Interner) []*Ball {
+	if rmax < 1 {
+		return nil
+	}
+	if s.bundles == nil || s.bin != in || s.brmax != rmax {
+		s.bundles = make(map[uint64][]*ballBundle)
+		s.nbund = 0
+		s.bin, s.brmax = in, rmax
+	}
+	// Radius-rmax BFS; the visit slot is the BFS index.
+	s.seen.Reset(g.N())
+	s.queue = append(s.queue[:0], int32(v))
+	s.depth = append(s.depth[:0], 0)
+	s.seen.Visit(int32(v), 0)
+	for head := 0; head < len(s.queue); head++ {
+		u, du := s.queue[head], s.depth[head]
+		if int(du) == rmax {
+			continue
+		}
+		for _, w := range g.Neighbors(int(u)) {
+			if !s.seen.Visited(w) {
+				s.seen.Visit(w, int32(len(s.queue)))
+				s.queue = append(s.queue, w)
+				s.depth = append(s.depth, du+1)
+			}
+		}
+	}
+	k := len(s.queue)
+	h := uint64(k)*bundleFold + uint64(rmax)
+	for _, d := range s.depth {
+		h = h*bundleFold + uint64(d)
+	}
+	// BFS-space adjacency: row qi lists the BFS indices of the in-ball
+	// neighbours of queue[qi], in host-row order.
+	s.boff = append(s.boff[:0], 0)
+	s.bnbr = s.bnbr[:0]
+	for qi := 0; qi < k; qi++ {
+		for _, w := range g.Neighbors(int(s.queue[qi])) {
+			if s.seen.Visited(w) {
+				j := s.seen.Slot(w)
+				s.bnbr = append(s.bnbr, j)
+				h = h*bundleFold + uint64(qi)<<32 + uint64(j)
+			}
+		}
+		s.boff = append(s.boff, int32(len(s.bnbr)))
+	}
+	if k >= 1<<maxBallBits {
+		// The packed sort key below would overflow silently; no
+		// feasible whole-host sweep extracts 2M-vertex balls.
+		panic("order: CanonicalBalls ball exceeds 2^21 vertices")
+	}
+	// Rank permutation of the BFS indices, by packed-integer sort.
+	s.keys = s.keys[:0]
+	for qi, u := range s.queue {
+		s.keys = append(s.keys, uint64(rank[u])<<maxBallBits|uint64(qi))
+	}
+	slices.Sort(s.keys)
+	s.perm = s.perm[:0]
+	for _, key := range s.keys {
+		qi := int32(key & (1<<maxBallBits - 1))
+		s.perm = append(s.perm, qi)
+		h = h*bundleFold + uint64(qi)
+	}
+	h = mix64(h)
+	for _, b := range s.bundles[h] {
+		if slices.Equal(b.depth, s.depth) && slices.Equal(b.boff, s.boff) &&
+			slices.Equal(b.bnbr, s.bnbr) && slices.Equal(b.perm, s.perm) {
+			return b.balls
+		}
+	}
+	balls := s.layerBalls(in, rmax)
+	if s.nbund < maxBundles {
+		s.bundles[h] = append(s.bundles[h], &ballBundle{
+			depth: slices.Clone(s.depth),
+			boff:  slices.Clone(s.boff),
+			bnbr:  slices.Clone(s.bnbr),
+			perm:  slices.Clone(s.perm),
+			balls: balls,
+		})
+		s.nbund++
+	}
+	return balls
+}
+
+// layerBalls converts the BFS-space structure to rank space (the
+// canonical vertex order) and canonicalises every layer 1..rmax
+// against the interner. This is the bundle-miss path — it runs once
+// per distinct layered structure.
+func (s *Sweeper) layerBalls(in *Interner, rmax int) []*Ball {
+	k := len(s.queue)
+	if cap(s.pos) < k {
+		s.pos = make([]int32, k)
+	}
+	s.pos = s.pos[:k]
+	for p, qi := range s.perm {
+		s.pos[qi] = int32(p)
+	}
+	s.dpt = s.dpt[:0]
+	s.off = append(s.off[:0], 0)
+	s.nbr = s.nbr[:0]
+	for p := 0; p < k; p++ {
+		qi := s.perm[p]
+		s.dpt = append(s.dpt, s.depth[qi])
+		start := len(s.nbr)
+		for _, j := range s.bnbr[s.boff[qi]:s.boff[qi+1]] {
+			s.nbr = append(s.nbr, s.pos[j])
+		}
+		slices.Sort(s.nbr[start:])
+		s.off = append(s.off, int32(len(s.nbr)))
+	}
+	root := int(s.pos[0])
+	balls := make([]*Ball, rmax)
+	for r := 1; r <= rmax; r++ {
+		balls[r-1] = s.layerBall(in, root, r)
+	}
+	return balls
+}
+
+// layerBall canonicalises the depth<=r layer of the rank-space
+// structure layerBalls assembled: rank positions are re-numbered
+// monotonically (so rows stay sorted), the layer CSR is assembled in
+// scratch with the incremental type hash, and the interner is probed
+// in scratch form — exactly the spelling CanonicalBall uses, which is
+// what makes the two paths pointer-identical.
+func (s *Sweeper) layerBall(in *Interner, root, r int) *Ball {
+	s.lslot = s.lslot[:0]
+	n := 0
+	for _, d := range s.dpt {
+		if int(d) <= r {
+			s.lslot = append(s.lslot, int32(n))
+			n++
+		} else {
+			s.lslot = append(s.lslot, -1)
+		}
+	}
+	lroot := int(s.lslot[root])
+	h := typeHashBegin(n, lroot)
+	s.loff = append(s.loff[:0], 0)
+	s.lnbr = s.lnbr[:0]
+	for i := range s.dpt {
+		li := s.lslot[i]
+		if li < 0 {
+			continue
+		}
+		for _, j := range s.nbr[s.off[i]:s.off[i+1]] {
+			lj := s.lslot[j]
+			if lj < 0 {
+				continue
+			}
+			s.lnbr = append(s.lnbr, lj)
+			if li < lj {
+				h = typeHashEdge(h, int(li), int(lj))
+			}
+		}
+		s.loff = append(s.loff, int32(len(s.lnbr)))
+	}
+	return in.canonScratch(h, lroot, s.loff, s.lnbr)
 }
 
 // CanonicalBallVerts is CanonicalBall additionally returning the host
@@ -107,52 +350,142 @@ func (s *Sweeper) sweep(g *graph.Graph, rank Rank, v, r int) {
 }
 
 // SweepMeasure computes the homogeneity of (g, rank) at radius r by a
-// batched whole-host sweep: each parallel worker owns one Sweeper
-// (par.ForScratch), every vertex's ball is assembled in scratch and
-// resolved against one shared interner copy-on-miss, and the counts
-// are merged in vertex order. The result is identical to the retained
-// per-vertex reference MeasureReference at every parallelism level —
-// a property the differential tests pin down — while the steady-state
-// per-vertex allocation count is zero.
+// batched whole-host sweep: each parallel worker owns one Sweeper and
+// one local count map (par.ForScratchMerge), every vertex's ball is
+// assembled in scratch and resolved against one shared interner
+// copy-on-miss, and the per-worker counts are merged after the join —
+// no per-vertex result slots, no O(n) sequential tally pass. The
+// result is identical to the retained per-vertex reference
+// MeasureReference at every parallelism level — a property the
+// differential tests pin down — while the steady-state per-vertex
+// allocation count is zero.
 func SweepMeasure(g *graph.Graph, rank Rank, r int) Homogeneity {
-	return sweepMeasureInto(NewInterner(), g, rank, r)
+	return SweepMeasureInto(NewInterner(), g, rank, r)
 }
 
-// sweepMeasureInto is SweepMeasure over a caller-supplied interner, so
-// tests can compare interned pointers across measurement strategies.
-func sweepMeasureInto(in *Interner, g *graph.Graph, rank Rank, r int) Homogeneity {
+// radiusTally is the worker-local tallying scratch of SweepMeasure:
+// one sweeper and one count map per worker.
+type radiusTally struct {
+	sw     *Sweeper
+	counts map[*Ball]int
+}
+
+// SweepMeasureInto is SweepMeasure over a caller-supplied interner, so
+// callers (and tests) can compare interned pointers across measurement
+// strategies — homog's exact scan counts its τ* ball this way.
+func SweepMeasureInto(in *Interner, g *graph.Graph, rank Rank, r int) Homogeneity {
 	n := g.N()
-	balls := make([]*Ball, n)
-	par.ForScratch(n,
-		NewSweeper,
-		func(v int, s *Sweeper) {
-			balls[v] = s.CanonicalBall(g, rank, v, r, in)
+	merged := make(map[*Ball]int)
+	par.ForScratchMerge(n,
+		func() *radiusTally {
+			return &radiusTally{sw: NewSweeper(), counts: make(map[*Ball]int)}
+		},
+		func(v int, t *radiusTally) {
+			t.counts[t.sw.CanonicalBall(g, rank, v, r, in)]++
+		},
+		func(t *radiusTally) {
+			for b, c := range t.counts {
+				merged[b] += c
+			}
 		})
-	return tally(balls)
+	return tallyCounts(n, merged)
+}
+
+// SweepMeasureAll computes the homogeneity of (g, rank) at every
+// radius r = 1..rmax (result[r-1]) in a single whole-host pass: one
+// BFS per vertex (Sweeper.CanonicalBalls), one shared interner, and
+// worker-local count maps per radius merged after the join. Each
+// entry is identical — same counts, and the same interned majority
+// *Ball when probed through a shared interner — to a separate
+// SweepMeasure call at that radius, which is what the differential
+// tests pin down; the layered pass just stops paying for rmax
+// redundant BFS traversals and rank sorts per vertex.
+func SweepMeasureAll(g *graph.Graph, rank Rank, rmax int) []Homogeneity {
+	return SweepMeasureAllInto(NewInterner(), g, rank, rmax)
+}
+
+// sweepTally is the worker-local tallying scratch of SweepMeasureAll:
+// one sweeper and one count map per radius per worker.
+type sweepTally struct {
+	sw     *Sweeper
+	counts []map[*Ball]int
+}
+
+// SweepMeasureAllInto is SweepMeasureAll over a caller-supplied
+// interner (see SweepMeasureInto). rmax < 1 yields nil.
+func SweepMeasureAllInto(in *Interner, g *graph.Graph, rank Rank, rmax int) []Homogeneity {
+	if rmax < 1 {
+		return nil
+	}
+	n := g.N()
+	merged := make([]map[*Ball]int, rmax)
+	for r := range merged {
+		merged[r] = make(map[*Ball]int)
+	}
+	par.ForScratchMerge(n,
+		func() *sweepTally {
+			t := &sweepTally{sw: NewSweeper(), counts: make([]map[*Ball]int, rmax)}
+			for r := range t.counts {
+				t.counts[r] = make(map[*Ball]int)
+			}
+			return t
+		},
+		func(v int, t *sweepTally) {
+			for r, b := range t.sw.CanonicalBalls(g, rank, v, rmax, in) {
+				t.counts[r][b]++
+			}
+		},
+		func(t *sweepTally) {
+			for r, counts := range t.counts {
+				for b, c := range counts {
+					merged[r][b] += c
+				}
+			}
+		})
+	out := make([]Homogeneity, rmax)
+	for r := range out {
+		out[r] = tallyCounts(n, merged[r])
+	}
+	return out
 }
 
 // tally merges a vertex-ordered slice of canonical balls into the
-// Homogeneity result (shared by the sweep engine and the reference
-// measurement).
+// Homogeneity result (the spelling the per-vertex reference
+// measurement uses; the sweep entries tally worker-locally and merge).
 func tally(balls []*Ball) Homogeneity {
-	n := len(balls)
 	counts := make(map[*Ball]int)
 	for _, b := range balls {
 		counts[b]++
 	}
+	return tallyCounts(len(balls), counts)
+}
+
+// tallyCounts selects the majority type from a merged count map. Ties
+// break deterministically on the canonical encoding; the running
+// majority's encoding is cached across the scan, so each tie costs one
+// Encode (the candidate's), not two, and the winning encoding is
+// reused for the Type field instead of being rendered again.
+func tallyCounts(n int, counts map[*Ball]int) Homogeneity {
 	h := Homogeneity{N: n, Counts: counts}
+	majEnc := ""
 	for b, c := range counts {
-		if c > h.Count {
-			h.Count = c
-			h.Majority = b
-		} else if c == h.Count && h.Majority != nil && b.Encode() < h.Majority.Encode() {
-			// Deterministic tie-break on the canonical encoding (ties
-			// are rare; both encodings are computed only then).
-			h.Majority = b
+		switch {
+		case c > h.Count:
+			h.Count, h.Majority, majEnc = c, b, ""
+		case c == h.Count && h.Majority != nil:
+			if majEnc == "" {
+				majEnc = h.Majority.Encode()
+			}
+			if e := b.Encode(); e < majEnc {
+				h.Majority, majEnc = b, e
+			}
 		}
 	}
 	if h.Majority != nil {
-		h.Type = h.Majority.Encode()
+		if majEnc == "" {
+			majEnc = h.Majority.Encode()
+		}
+		h.Type = majEnc
 	}
 	if n > 0 {
 		h.Alpha = float64(h.Count) / float64(n)

@@ -34,7 +34,7 @@ func TestSweepMeasureDifferential(t *testing.T) {
 		for r := 0; r <= 2; r++ {
 			in := NewInterner()
 			ref := measureReferenceInto(in, g, rank, r)
-			got := sweepMeasureInto(in, g, rank, r)
+			got := SweepMeasureInto(in, g, rank, r)
 			if got.Alpha != ref.Alpha || got.Count != ref.Count || got.N != ref.N {
 				t.Errorf("%s r=%d: sweep (α=%v c=%d) != reference (α=%v c=%d)",
 					name, r, got.Alpha, got.Count, ref.Alpha, ref.Count)
@@ -110,6 +110,142 @@ func TestSweepMeasureParallelism(t *testing.T) {
 		if b == nil {
 			t.Fatalf("vertex %d: nil ball from pooled sweep", v)
 		}
+	}
+}
+
+// layeredHosts are the hosts the layered multi-radius sweep is held
+// to the per-radius engine on: the sweepHosts set plus the 24×24
+// torus the acceptance benchmark runs on.
+func layeredHosts(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	hosts := sweepHosts(t)
+	hosts["torus24"] = graph.Torus(24, 24)
+	return hosts
+}
+
+// TestSweepMeasureAllDifferential holds the layered single-pass
+// measurement to the per-radius engine: through a shared interner,
+// SweepMeasureAll(g, rank, rmax)[r-1] must carry the pointer-identical
+// majority *Ball and the identical count multiset (same interned
+// keys) as SweepMeasure at radius r — on every host, at parallelism
+// 1 and 8 (the latter exercising the worker-local tally merge and,
+// under -race, the lock-free interner reads).
+func TestSweepMeasureAllDifferential(t *testing.T) {
+	const rmax = 3
+	for name, g := range layeredHosts(t) {
+		rank := Identity(g.N())
+		for _, p := range []int{1, 8} {
+			defer par.Set(par.Set(p))
+			in := NewInterner()
+			refs := make([]Homogeneity, rmax)
+			for r := 1; r <= rmax; r++ {
+				refs[r-1] = SweepMeasureInto(in, g, rank, r)
+			}
+			all := SweepMeasureAllInto(in, g, rank, rmax)
+			if len(all) != rmax {
+				t.Fatalf("%s p=%d: SweepMeasureAll returned %d radii, want %d", name, p, len(all), rmax)
+			}
+			for r := 1; r <= rmax; r++ {
+				got, ref := all[r-1], refs[r-1]
+				if got.Majority != ref.Majority {
+					t.Errorf("%s p=%d r=%d: majority ball pointers differ", name, p, r)
+				}
+				if got.Alpha != ref.Alpha || got.Count != ref.Count || got.N != ref.N || got.Type != ref.Type {
+					t.Errorf("%s p=%d r=%d: layered (α=%v c=%d %q) != per-radius (α=%v c=%d %q)",
+						name, p, r, got.Alpha, got.Count, got.Type, ref.Alpha, ref.Count, ref.Type)
+				}
+				if len(got.Counts) != len(ref.Counts) {
+					t.Fatalf("%s p=%d r=%d: %d types != %d types", name, p, r, len(got.Counts), len(ref.Counts))
+				}
+				for b, c := range ref.Counts {
+					if got.Counts[b] != c {
+						t.Errorf("%s p=%d r=%d: count of %p: %d != %d", name, p, r, b, got.Counts[b], c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalBallsMatchesCanonicalBall pins the per-vertex layered
+// contract: each layer of one CanonicalBalls extraction is
+// pointer-identical to the corresponding single-radius CanonicalBall
+// through a shared interner — including after the host changes under
+// the same sweeper (the structural bundle cache must carry over
+// safely) and for rmax exceeding the host's eccentricity.
+func TestCanonicalBallsMatchesCanonicalBall(t *testing.T) {
+	in := NewInterner()
+	s := NewSweeper()
+	single := NewSweeper()
+	for name, g := range layeredHosts(t) {
+		rank := Identity(g.N())
+		for v := 0; v < g.N(); v++ {
+			const rmax = 3
+			balls := s.CanonicalBalls(g, rank, v, rmax, in)
+			if len(balls) != rmax {
+				t.Fatalf("%s v=%d: %d layers, want %d", name, v, len(balls), rmax)
+			}
+			for r := 1; r <= rmax; r++ {
+				if ref := single.CanonicalBall(g, rank, v, r, in); balls[r-1] != ref {
+					t.Fatalf("%s v=%d r=%d: layered ball %p != single-radius %p", name, v, r, balls[r-1], ref)
+				}
+			}
+		}
+	}
+	// rmax beyond the eccentricity: layers stop growing but must stay
+	// correct.
+	g := graph.Petersen() // diameter 2
+	rank := Identity(g.N())
+	balls := s.CanonicalBalls(g, rank, 0, 5, in)
+	for r := 1; r <= 5; r++ {
+		if ref := single.CanonicalBall(g, rank, 0, r, in); balls[r-1] != ref {
+			t.Fatalf("petersen r=%d beyond eccentricity: layered %p != single %p", r, balls[r-1], ref)
+		}
+	}
+	if got := s.CanonicalBalls(g, rank, 0, 0, in); got != nil {
+		t.Fatalf("rmax=0 should yield nil, got %d layers", len(got))
+	}
+}
+
+// TestCanonicalBallsInternerSwitch: the worker-local bundle cache
+// stores *Ball pointers belonging to one interner, so handing the
+// same sweeper a different interner must not leak the old
+// representatives.
+func TestCanonicalBallsInternerSwitch(t *testing.T) {
+	g := graph.Torus(6, 6)
+	rank := Identity(g.N())
+	s := NewSweeper()
+	inA := NewInterner()
+	a := s.CanonicalBalls(g, rank, 0, 2, inA)
+	inB := NewInterner()
+	b := s.CanonicalBalls(g, rank, 0, 2, inB)
+	if a[0] == b[0] || a[1] == b[1] {
+		t.Fatal("bundle cache leaked representatives across interners")
+	}
+	if ref := NewSweeper().CanonicalBall(g, rank, 0, 2, inB); b[1] != ref {
+		t.Fatal("post-switch layered ball is not interned in the new interner")
+	}
+}
+
+// TestCanonicalBallsZeroAllocOnHit: once every layered structure is
+// in the worker-local bundle cache, a multi-radius extraction
+// allocates nothing — the layered analogue of the single-radius
+// zero-alloc promise.
+func TestCanonicalBallsZeroAllocOnHit(t *testing.T) {
+	g := graph.Torus(8, 8)
+	rank := Identity(g.N())
+	in := NewInterner()
+	s := NewSweeper()
+	for v := 0; v < g.N(); v++ {
+		s.CanonicalBalls(g, rank, v, 3, in) // register every bundle
+	}
+	v := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		s.CanonicalBalls(g, rank, v, 3, in)
+		v = (v + 1) % g.N()
+	})
+	if allocs != 0 {
+		t.Errorf("bundle-hit layered extraction allocates %v times, want 0", allocs)
 	}
 }
 

@@ -131,6 +131,39 @@ func ForScratch[S any](n int, mk func() S, fn func(i int, s S)) {
 	}
 }
 
+// ForScratchMerge is ForScratch with a post-join merge: after every
+// index is done, merge runs once per scratch value that participated,
+// sequentially on the calling goroutine. This is the worker-local
+// tallying idiom of the sweep engine — each worker accumulates counts
+// into its own scratch (no shared map, no locks on the scan path) and
+// the small per-worker results are combined after the join, replacing
+// an O(n) sequential pass over per-index result slots.
+//
+// Scratch values are merged in the order the workers registered,
+// which depends on goroutine scheduling: merge must therefore be
+// commutative and associative (count accumulation is) for the final
+// result to be deterministic. With N() == 1 exactly one scratch is
+// created and merged, so the sequential fallback is the plain loop
+// plus one merge call.
+func ForScratchMerge[S any](n int, mk func() S, fn func(i int, s S), merge func(s S)) {
+	var (
+		mu  sync.Mutex
+		all []S
+	)
+	ForScratch(n,
+		func() S {
+			s := mk()
+			mu.Lock()
+			all = append(all, s)
+			mu.Unlock()
+			return s
+		},
+		fn)
+	for _, s := range all {
+		merge(s)
+	}
+}
+
 // reserve claims up to want extra-worker slots from the global budget
 // of N()-1 and returns how many it got.
 func reserve(want int) int {

@@ -18,6 +18,39 @@ func TestForCoversAllIndices(t *testing.T) {
 	}
 }
 
+// TestForScratchMergeTallies pins the worker-local tallying contract:
+// every index is counted exactly once across all merged scratches, at
+// parallelism 1 and 8, and with p=1 exactly one scratch participates.
+func TestForScratchMergeTallies(t *testing.T) {
+	for _, p := range []int{1, 8} {
+		defer Set(Set(p))
+		for _, n := range []int{0, 1, 7, 500} {
+			total := 0
+			scratches := 0
+			ForScratchMerge(n,
+				func() *[]int { s := make([]int, 0, n); return &s },
+				func(i int, s *[]int) { *s = append(*s, i) },
+				func(s *[]int) {
+					scratches++
+					total += len(*s)
+					seen := make(map[int]bool)
+					for _, i := range *s {
+						if i < 0 || i >= n || seen[i] {
+							t.Fatalf("p=%d n=%d: bad or duplicate index %d in one scratch", p, n, i)
+						}
+						seen[i] = true
+					}
+				})
+			if total != n {
+				t.Fatalf("p=%d n=%d: merged %d indices", p, n, total)
+			}
+			if p == 1 && n > 0 && scratches != 1 {
+				t.Fatalf("sequential fallback used %d scratches", scratches)
+			}
+		}
+	}
+}
+
 func TestForSequentialFallback(t *testing.T) {
 	defer Set(Set(1))
 	// With parallelism 1 the indices must arrive in increasing order on

@@ -1,12 +1,19 @@
 package view
 
-import "sync"
+import "repro/internal/intern"
 
 // Interner hash-conses view trees: structurally identical subtrees are
 // represented by one canonical *Tree, so tree equality is pointer
 // identity and a map keyed by *Tree is a map keyed by isomorphism
-// type. The table is sharded by hash, making concurrent interning from
-// the parallel scan layer cheap.
+// type. The table is sharded by hash, and — like the ball interner on
+// the order side — the hit path is lock-free: each shard
+// (intern.Shard) publishes an immutable, hash-sorted entry slice
+// through an atomic pointer, so re-interning an already-known subtree
+// (the steady state of view gathering on hosts whose types repeat) is
+// a binary search with no lock. Only a genuinely new node takes the
+// shard mutex, republishes the slice copy-on-write with one
+// insertion, and returns. Shards are cache-line padded so adjacent
+// shards' write traffic does not false-share.
 //
 // Every constructor in this package (Build, Complete, NewTree, Leaf)
 // goes through the package-wide default interner, so trees obtained
@@ -15,16 +22,11 @@ import "sync"
 // isolating memory lifetimes; trees from different interners still
 // compare correctly via Equal, just not via ==.
 type Interner struct {
-	shards [internShards]internShard
+	shards [internShards]intern.Shard[*Tree]
 	leaf   *Tree
 }
 
 const internShards = 64 // power of two
-
-type internShard struct {
-	mu      sync.Mutex
-	buckets map[uint64][]*Tree
-}
 
 // NewInterner returns an empty interner with its own canonical leaf.
 func NewInterner() *Interner {
@@ -60,10 +62,10 @@ func (in *Interner) Node(kids []Child) *Tree { return in.intern(kids, false) }
 // NodeScratch is Node for callers that keep ownership of kids — a
 // reusable assembly buffer. The interner never retains the slice, but
 // may sort it in place (letter order); when the node is already
-// interned nothing is allocated, and only a new node copies the
-// children to the heap (copy-on-miss). This is the view-side hot path
-// of the sweep engine: on hosts whose view types repeat, builds after
-// the first intern every level without allocating.
+// interned nothing is locked or allocated, and only a new node copies
+// the children to the heap (copy-on-miss). This is the view-side hot
+// path of the sweep engine: on hosts whose view types repeat, builds
+// after the first intern every level without allocating.
 func (in *Interner) NodeScratch(kids []Child) *Tree { return in.intern(kids, true) }
 
 func (in *Interner) intern(kids []Child, copyOnMiss bool) *Tree {
@@ -75,14 +77,18 @@ func (in *Interner) intern(kids []Child, copyOnMiss bool) *Tree {
 	}
 	h := hashKids(kids)
 	shard := &in.shards[h&(internShards-1)]
-	shard.mu.Lock()
-	defer shard.mu.Unlock()
-	if shard.buckets == nil {
-		shard.buckets = make(map[uint64][]*Tree)
+	for _, e := range shard.Run(h) {
+		if sameKids(e.Val.kids, kids) {
+			return e.Val
+		}
 	}
-	for _, cand := range shard.buckets[h] {
-		if sameKids(cand.kids, kids) {
-			return cand
+	shard.Lock()
+	defer shard.Unlock()
+	// Re-probe under the writer lock: another goroutine may have
+	// interned the node between the lock-free miss and here.
+	for _, e := range shard.Run(h) {
+		if sameKids(e.Val.kids, kids) {
+			return e.Val
 		}
 	}
 	size, depth := int32(1), int32(0)
@@ -99,7 +105,7 @@ func (in *Interner) intern(kids []Child, copyOnMiss bool) *Tree {
 		kids = append([]Child(nil), kids...)
 	}
 	t := &Tree{kids: kids, hash: h, size: size, depth: depth}
-	shard.buckets[h] = append(shard.buckets[h], t)
+	shard.Publish(h, t)
 	return t
 }
 

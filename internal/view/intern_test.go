@@ -127,6 +127,52 @@ func TestChildLookup(t *testing.T) {
 	}
 }
 
+// TestNodeScratchConcurrentStress hammers a fresh interner's
+// copy-on-write publish path: many goroutines interning overlapping
+// node sets through their own scratch buffers, racing lock-free hit
+// reads against concurrent bucket republishes (run under -race in
+// CI). Every goroutine must converge on one representative per
+// structure, and scratch buffers must stay caller-owned.
+func TestNodeScratchConcurrentStress(t *testing.T) {
+	in := NewInterner()
+	const workers = 16
+	reps := make([][]*Tree, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kids := make([]Child, 0, 4) // worker-owned scratch
+			mine := make([]*Tree, 40)
+			for round := 0; round < 200; round++ {
+				label := (round + w) % len(mine)
+				kids = append(kids[:0],
+					Child{L: Letter{Label: label}, T: in.Leaf()},
+					Child{L: Letter{Label: label, In: true}, T: in.Leaf()})
+				got := in.NodeScratch(kids)
+				if mine[label] == nil {
+					mine[label] = got
+				} else if mine[label] != got {
+					t.Errorf("worker %d: label %d changed representative", w, label)
+					return
+				}
+			}
+			reps[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 1; w < workers; w++ {
+		for k := range reps[0] {
+			if reps[w][k] != nil && reps[0][k] != nil && reps[w][k] != reps[0][k] {
+				t.Fatalf("workers 0 and %d disagree on label %d", w, k)
+			}
+		}
+	}
+}
+
 // TestConcurrentInterning hammers one interner from many goroutines
 // and checks that all of them receive identical pointers (run under
 // -race in CI).

@@ -133,13 +133,29 @@ var (
 // Homogeneity measurement (Definition 3.1). MeasureHomogeneity scans
 // through the batched ball-sweep engine (worker-local sweepers,
 // copy-on-miss interning; see DESIGN.md §5); SweepMeasure is the same
-// entry under its engine name, and NewSweeper exposes the per-worker
-// scratch for custom scan loops.
+// entry under its engine name. SweepMeasureAll is the layered
+// multi-radius form (DESIGN.md §6): homogeneity at every radius
+// 1..rmax (result[r-1]) from ONE whole-host pass — one BFS per
+// vertex, canonicalised at each layer boundary, tallied by
+// worker-local count maps — with each entry identical to a separate
+// SweepMeasure call at that radius. NewSweeper exposes the per-worker
+// scratch (CanonicalBall and the layered CanonicalBalls) for custom
+// scan loops.
 var (
 	MeasureHomogeneity = order.Measure
 	SweepMeasure       = order.SweepMeasure
+	SweepMeasureAll    = order.SweepMeasureAll
 	NewSweeper         = order.NewSweeper
 	NewBallInterner    = order.NewInterner
+)
+
+// View gathering: each node's radius-r view tree by the
+// level-synchronous assembly; GatheredTreesAll keeps every
+// intermediate level — all radii 0..rmax from the single pass the
+// deepest radius alone costs.
+var (
+	GatheredTrees    = model.GatheredTrees
+	GatheredTreesAll = model.GatheredTreesAll
 )
 
 // Algorithms.

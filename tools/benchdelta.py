@@ -15,15 +15,21 @@ Modes:
       For the watched benchmarks allocs/op is also compared raw: an
       alloc count growing by more than the threshold fails (a
       zero-alloc baseline therefore tolerates no allocation at all —
-      this is how the sweep engine's 0 allocs/op promise is pinned).
-      Every watched benchmark must be serial (BenchmarkSweepMeasure
-      pins par.Set(1) itself): a parallel benchmark's ns/op and
-      allocs/op both scale with the runner's core count, which would
-      break the uniform-machine-speed normalisation and the raw alloc
-      comparison alike. Exit 1 on any regression.
+      this is how the sweep engine's 0 allocs/op promise is pinned,
+      for the serial hit path and the lock-free parallel hit path
+      alike).
+      Watched benchmarks must not scale with the runner's core count:
+      most are serial (BenchmarkSweepMeasure and SweepMeasureAll pin
+      par.Set(1) themselves), and BenchmarkCanonicalBallParallel pins
+      GOMAXPROCS so its goroutine count is fixed — on runners with
+      fewer cores its goroutines timeshare, which can only make the
+      measured ns/op worse than the baseline machine's, never
+      spuriously better, so the gate stays sound (merely
+      conservative). Exit 1 on any regression.
 
 Watched benchmarks (the CSR/interner/sweep hot paths the repo promises
-not to regress): ViewEncode, CanonicalBall, SweepMeasure, E14Views.
+not to regress): ViewEncode, CanonicalBall, CanonicalBallParallel,
+SweepMeasure, SweepMeasureAll, E14Views.
 """
 import json
 import re
@@ -33,7 +39,9 @@ import sys
 WATCHED = [
     "BenchmarkViewEncode",
     "BenchmarkCanonicalBall",
+    "BenchmarkCanonicalBallParallel",
     "BenchmarkSweepMeasure",
+    "BenchmarkSweepMeasureAll",
     "BenchmarkE14Views",
 ]
 
