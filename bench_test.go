@@ -11,6 +11,7 @@ package localapprox
 import (
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/algorithms"
@@ -204,6 +205,181 @@ func BenchmarkCanonicalBallParallel(b *testing.B) {
 			v = (v + 1) % g.N()
 		}
 	})
+}
+
+// --- round engine (model.Engine) ---
+
+// benchPulse is the steady-state round workload: every node
+// broadcasts a pre-boxed payload on all its letters each round, for a
+// caller-chosen number of rounds. One benchmark op is ONE ROUND: the
+// whole measured region is a single engine run of b.N rounds, so
+// per-run setup (Init, worker spawn) amortises to zero and allocs/op
+// is the genuine steady-state per-round allocation count.
+type benchPulse struct {
+	letters []view.Letter
+	left    int
+}
+
+// benchPulseAlgo is the engine-native form: states are pre-allocated
+// and handed out by the sequential Init; Step sends its own state
+// pointer, so a steady-state round performs no allocation at all.
+func benchPulseAlgo(states []benchPulse, rounds int) model.EngineAlgo {
+	next := 0
+	return model.EngineAlgo{
+		Init: func(info model.NodeInfo) any {
+			s := &states[next]
+			next++
+			s.letters = info.Letters
+			s.left = rounds
+			return s
+		},
+		Step: func(state any, round int, inbox []model.Msg, out *model.Outbox) (any, bool) {
+			s := state.(*benchPulse)
+			if s.left == 0 {
+				return s, true
+			}
+			s.left--
+			for _, l := range s.letters {
+				out.Send(l, s)
+			}
+			return s, false
+		},
+		Out: func(any) model.Output { return model.Output{} },
+	}
+}
+
+// benchPulseRoundAlgo is the identical workload in the classical
+// slice-returning form, for the retained reference loop.
+func benchPulseRoundAlgo(states []benchPulse, rounds int) model.RoundAlgo {
+	next := 0
+	return model.RoundAlgo{
+		Init: func(info model.NodeInfo) any {
+			s := &states[next]
+			next++
+			s.letters = info.Letters
+			s.left = rounds
+			return s
+		},
+		Step: func(state any, round int, inbox []model.Msg) (any, []model.Msg, bool) {
+			s := state.(*benchPulse)
+			if s.left == 0 {
+				return s, nil, true
+			}
+			s.left--
+			out := make([]model.Msg, 0, len(s.letters))
+			for _, l := range s.letters {
+				out = append(out, model.Msg{L: l, Data: s})
+			}
+			return s, out, false
+		},
+		Out: func(any) model.Output { return model.Output{} },
+	}
+}
+
+// benchTorusEngine caches the 4096-node torus host and its engine
+// across the benchmark's calibration calls.
+var benchTorusEngine struct {
+	sync.Once
+	h      *model.Host
+	e      *model.Engine
+	states []benchPulse
+}
+
+func torusEngine() (*model.Host, *model.Engine, []benchPulse) {
+	benchTorusEngine.Do(func() {
+		benchTorusEngine.h = model.HostFromGraph(graph.Torus(64, 64))
+		benchTorusEngine.e = model.NewEngine(benchTorusEngine.h)
+		benchTorusEngine.states = make([]benchPulse, 4096)
+	})
+	return benchTorusEngine.h, benchTorusEngine.e, benchTorusEngine.states
+}
+
+func BenchmarkRunRounds(b *testing.B) {
+	// The engine on the 4096-node torus at parallelism 8, measured per
+	// round. CI-gated against BENCH_ci.json in ns/op and allocs/op:
+	// steady-state rounds must stay at 0 allocs/op. par.Set(8) fixes
+	// the worker count whatever the runner's core count; on smaller
+	// machines the workers timeshare, which only makes the measured
+	// ns/op conservative.
+	defer par.Set(par.Set(8))
+	_, e, states := torusEngine()
+	if _, _, err := e.RunStates(nil, benchPulseAlgo(states, 4), 8); err != nil {
+		b.Fatal(err) // warm-up: arenas, letter slices, worklists
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, _, err := e.RunStates(nil, benchPulseAlgo(states, b.N), b.N+2); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRunRoundsReference(b *testing.B) {
+	// The identical per-round workload through the retained reference
+	// loop (append-built [][]Msg inboxes, every node visited every
+	// round) — the denominator of the engine's speedup, recorded in
+	// BENCH_pr5.json.
+	defer par.Set(par.Set(8))
+	h, _, states := torusEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, _, err := model.RunRoundsReference(h, nil, benchPulseRoundAlgo(states, b.N), b.N+2); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchMillionEngine caches the 10^6-node cycle engine (the E16-scale
+// message plane) across calibration calls, including one persistent
+// algo value whose closures never reallocate between runs.
+var benchMillionEngine struct {
+	sync.Once
+	e      *model.Engine
+	states []benchPulse
+	algo   model.EngineAlgo
+	next   int
+	rounds int
+}
+
+func BenchmarkEngineMillionCycle(b *testing.B) {
+	// One round on a million-node cycle: the scale assertion of the
+	// operational layer. After the warm-up run the arena is sized and
+	// every state exists, so steady-state rounds report 0 allocs/op.
+	m := &benchMillionEngine
+	m.Do(func() {
+		h := model.HostFromGraph(graph.Cycle(1_000_000))
+		m.e = model.NewEngine(h)
+		m.states = make([]benchPulse, 1_000_000)
+		m.algo = model.EngineAlgo{
+			Init: func(info model.NodeInfo) any {
+				s := &m.states[m.next]
+				m.next++
+				s.letters = info.Letters
+				s.left = m.rounds
+				return s
+			},
+			Step: func(state any, round int, inbox []model.Msg, out *model.Outbox) (any, bool) {
+				s := state.(*benchPulse)
+				if s.left == 0 {
+					return s, true
+				}
+				s.left--
+				for _, l := range s.letters {
+					out.Send(l, s)
+				}
+				return s, false
+			},
+			Out: func(any) model.Output { return model.Output{} },
+		}
+	})
+	m.next, m.rounds = 0, 2
+	if _, _, err := m.e.RunStates(nil, m.algo, 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.next, m.rounds = 0, b.N
+	if _, _, err := m.e.RunStates(nil, m.algo, b.N+2); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func BenchmarkHomogeneitySample(b *testing.B) {

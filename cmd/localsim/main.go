@@ -20,6 +20,20 @@
 // Algorithms: eds-one-out, eds-all, ec-one-edge, ds-all, vc-all,
 // vc-packing (round-based PO), id-greedy-eds, id-nonmin-vc,
 // oi-smallest-eds, oi-nonmin-vc, cole-vishkin (directed cycles only).
+//
+// -algo switches to SCALE MODE: the named workload runs through the
+// batched round engine (model.Engine) on a host of -n nodes (or
+// -host), reporting rounds, solution size and wall time, and skipping
+// the exact optimum — the only super-linear step — so million-node
+// runs finish in seconds:
+//
+//	localsim -algo cole-vishkin -n 1000000
+//	localsim -algo matching -host torus:1000x1000
+//	localsim -algo gather -n 100000 -rmax 3
+//
+// Scale-mode workloads: cole-vishkin (ID MIS on the directed n-cycle),
+// matching (one round of §6.5 randomized mutual proposals), gather
+// (full-information view gathering, radius -rmax or 2).
 package main
 
 import (
@@ -27,6 +41,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/digraph"
@@ -35,6 +50,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/order"
 	"repro/internal/problems"
+	"repro/internal/view"
 )
 
 // maxRmax caps the homogeneity radius sweep (see cmd/experiments).
@@ -48,6 +64,7 @@ func main() {
 	d := flag.Int("d", 3, "degree for -graph regular")
 	seed := flag.Int64("seed", 1, "seed for random graphs and identifiers")
 	rmax := flag.Int("rmax", 0, "also print the per-radius homogeneity table for radii 1..rmax (one layered sweep; unset = off)")
+	algo := flag.String("algo", "", "scale mode: run this engine workload (cole-vishkin|matching|gather) at -n / -host, skipping exact optima")
 	flag.Parse()
 	rmaxSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -59,10 +76,102 @@ func main() {
 		fmt.Fprintf(os.Stderr, "localsim: -rmax %d out of range (valid radii: 1..%d)\n", *rmax, maxRmax)
 		os.Exit(1)
 	}
+	if *algo != "" {
+		if err := runScale(*algo, *hostDesc, *n, *seed, *rmax); err != nil {
+			fmt.Fprintln(os.Stderr, "localsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*alg, *graphName, *hostDesc, *n, *d, *seed, *rmax); err != nil {
 		fmt.Fprintln(os.Stderr, "localsim:", err)
 		os.Exit(1)
 	}
+}
+
+// resolveHost parses a registry descriptor into a model host (using
+// the family's own labelling when it has one).
+func resolveHost(hostDesc string) (*model.Host, string, error) {
+	rh, err := host.Parse(hostDesc)
+	if err != nil {
+		return nil, "", err
+	}
+	if rh.D != nil {
+		return &model.Host{D: rh.D, G: rh.G}, rh.Desc, nil
+	}
+	return model.HostFromGraph(rh.G), rh.Desc, nil
+}
+
+// runScale is the engine scale mode: workloads that stay linear in the
+// host size, so -n 1000000 is a routine run. Exact optima and global
+// ratio reporting are skipped; feasibility is still verified in full.
+func runScale(algo, hostDesc string, n int, seed int64, rmax int) error {
+	switch algo {
+	case "cole-vishkin", "matching", "gather":
+	default:
+		return fmt.Errorf("unknown scale workload %q (available: cole-vishkin, matching, gather)", algo)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		h    *model.Host
+		desc string
+		err  error
+	)
+	switch {
+	case hostDesc != "":
+		h, desc, err = resolveHost(hostDesc)
+	case algo == "cole-vishkin":
+		desc = "dcycle"
+		h, err = buildHost("dcycle", n, 0, rng)
+	default:
+		desc = "cycle"
+		h, err = buildHost("cycle", n, 0, rng)
+	}
+	if err != nil {
+		return err
+	}
+	n = h.G.N()
+	fmt.Printf("scale mode: %s on %s (n=%d, m=%d)\n", algo, desc, n, h.G.M())
+	start := time.Now()
+	switch algo {
+	case "cole-vishkin":
+		if !h.D.IsRegularDigraph(1) {
+			return fmt.Errorf("cole-vishkin needs a consistently oriented cycle host (out- and in-degree 1)")
+		}
+		ids := rng.Perm(8 * n)[:n]
+		res, err := algorithms.ColeVishkinMIS(h, ids)
+		if err != nil {
+			return err
+		}
+		if err := (problems.MaxIndependentSet{}).Feasible(h.G, res.MIS); err != nil {
+			return fmt.Errorf("solution infeasible: %w", err)
+		}
+		fmt.Printf("rounds: %d   |MIS| = %d   |MIS|/n = %.4f   feasible: yes   wall: %s\n",
+			res.Rounds, res.MIS.Size(), float64(res.MIS.Size())/float64(n), time.Since(start).Round(time.Millisecond))
+	case "matching":
+		sol := algorithms.RandomizedMatching(h, rng)
+		if err := (problems.MaxMatching{}).Feasible(h.G, sol); err != nil {
+			return fmt.Errorf("solution infeasible: %w", err)
+		}
+		fmt.Printf("rounds: 2   |M| = %d   |M|/n = %.4f   feasible: yes   wall: %s\n",
+			sol.Size(), float64(sol.Size())/float64(n), time.Since(start).Round(time.Millisecond))
+	case "gather":
+		r := 2
+		if rmax >= 1 {
+			r = rmax
+		}
+		states, rounds, err := model.RunRoundsStates(h, nil, model.GatherViews(r), r+2)
+		if err != nil {
+			return err
+		}
+		types := map[*view.Tree]bool{}
+		for _, st := range states {
+			types[st.(*model.GatherState).Tree] = true
+		}
+		fmt.Printf("rounds: %d   radius-%d view types: %d   wall: %s\n",
+			rounds, r, len(types), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
 }
 
 func run(algName, graphName, hostDesc string, n, d int, seed int64, rmax int) error {
@@ -72,17 +181,7 @@ func run(algName, graphName, hostDesc string, n, d int, seed int64, rmax int) er
 		err error
 	)
 	if hostDesc != "" {
-		var rh *host.Host
-		rh, err = host.Parse(hostDesc)
-		if err != nil {
-			return err
-		}
-		graphName = rh.Desc
-		if rh.D != nil {
-			h = &model.Host{D: rh.D, G: rh.G}
-		} else {
-			h = model.HostFromGraph(rh.G)
-		}
+		h, graphName, err = resolveHost(hostDesc)
 	} else {
 		h, err = buildHost(graphName, n, d, rng)
 	}

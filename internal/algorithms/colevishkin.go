@@ -68,11 +68,14 @@ func ColeVishkinMIS(h *model.Host, ids []int) (*ColeVishkinResult, error) {
 	//   rounds steps+4..steps+6  — MIS sweep for colour 0, then 1, then 2
 	last := steps + 6
 
-	algo := model.RoundAlgo{
+	// Engine-native form: the outbox is written straight into the
+	// message plane (no per-step slice), so a million-node cycle runs
+	// with no per-round allocation beyond the cvMsg payload boxing.
+	algo := model.EngineAlgo{
 		Init: func(info model.NodeInfo) any {
 			return &cvState{letters: info.Letters, color: info.ID}
 		},
-		Step: func(state any, round int, inbox []model.Msg) (any, []model.Msg, bool) {
+		Step: func(state any, round int, inbox []model.Msg, out *model.Outbox) (any, bool) {
 			s := state.(*cvState)
 			var pred, succ cvMsg
 			for _, m := range inbox {
@@ -104,20 +107,19 @@ func ColeVishkinMIS(h *model.Host, ids []int) (*ColeVishkinResult, error) {
 				}
 			}
 			if round == last {
-				return s, nil, true
+				return s, true
 			}
-			out := make([]model.Msg, 0, len(s.letters))
 			for _, l := range s.letters {
-				out = append(out, model.Msg{L: l, Data: cvMsg{color: s.color, inMIS: s.inMIS}})
+				out.Send(l, cvMsg{color: s.color, inMIS: s.inMIS})
 			}
-			return s, out, false
+			return s, false
 		},
 		Out: func(state any) model.Output {
 			return model.Output{Member: state.(*cvState).inMIS}
 		},
 	}
 
-	states, rounds, err := model.RunRoundsStates(h, ids, algo, last+2)
+	states, rounds, err := model.NewEngine(h).RunStates(ids, algo, last+2)
 	if err != nil {
 		return nil, fmt.Errorf("algorithms: Cole–Vishkin: %w", err)
 	}

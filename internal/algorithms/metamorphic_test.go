@@ -1,0 +1,175 @@
+package algorithms
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/order"
+)
+
+// oiAsID adapts an OI algorithm to the ID interface: the identified
+// ball's vertices are already in increasing-identifier order, so
+// forgetting the numeric values leaves exactly the ordered ball. Any
+// output difference between two id assignments inducing the same rank
+// is therefore a violation of order-invariance.
+func oiAsID(alg model.OI) model.ID {
+	return model.FuncID{R: alg.Radius(), Fn: func(b *model.IDBall) model.Output {
+		return alg.EvalOI(&order.Ball{G: b.G, Root: b.Root})
+	}}
+}
+
+// oiAlgos enumerates every OI algorithm the package ships, with its
+// solution kind.
+func oiAlgos() map[string]struct {
+	alg  model.OI
+	kind model.Kind
+} {
+	return map[string]struct {
+		alg  model.OI
+		kind model.Kind
+	}{
+		"oi-smallest-eds": {OISmallestNeighborEDS(), model.EdgeKind},
+		"oi-nonmin-vc":    {OILocalMinJoinsVC(), model.VertexKind},
+	}
+}
+
+// metamorphicHost draws a random host from a seeded generator.
+func metamorphicHost(rng *rand.Rand) *model.Host {
+	switch rng.Intn(3) {
+	case 0:
+		return model.HostFromGraph(graph.Cycle(5 + rng.Intn(20)))
+	case 1:
+		side := 3 + rng.Intn(3)
+		return model.HostFromGraph(graph.Torus(side, side))
+	default:
+		n := 2 * (5 + rng.Intn(8))
+		return model.HostFromGraph(graph.RandomRegular(n, 3, rng))
+	}
+}
+
+// monotoneIDs maps a rank to identifiers through a random strictly
+// increasing transformation: rank-preserving by construction.
+func monotoneIDs(rank order.Rank, rng *rand.Rand) []int {
+	n := len(rank)
+	// gaps[k] >= 1, so position k maps to a strictly increasing value.
+	val := make([]int, n)
+	cur := rng.Intn(10)
+	for k := 0; k < n; k++ {
+		cur += 1 + rng.Intn(50)
+		val[k] = cur
+	}
+	ids := make([]int, n)
+	for v, k := range rank {
+		ids[v] = val[k]
+	}
+	return ids
+}
+
+// solutionsEqual compares two solutions of one kind.
+func solutionsEqual(a, b *model.Solution) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == model.VertexKind {
+		return reflect.DeepEqual(a.Vertices, b.Vertices)
+	}
+	return reflect.DeepEqual(a.EdgeSet(), b.EdgeSet())
+}
+
+// TestMetamorphicOIInvariance: every OI algorithm's output is
+// invariant under rank-preserving relabelings of the identifiers —
+// RunOI on the rank and RunID under any two monotone id assignments
+// all coincide. Hosts and relabelings are drawn from a seeded
+// generator; a failure prints the reproducer seed.
+func TestMetamorphicOIInvariance(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := metamorphicHost(rng)
+		n := h.G.N()
+		rank := order.Rank(rng.Perm(n))
+		ids1 := monotoneIDs(rank, rng)
+		ids2 := monotoneIDs(rank, rng)
+		for name, a := range oiAlgos() {
+			base, err := model.RunOI(h, rank, a.alg, a.kind)
+			if err != nil {
+				t.Fatalf("seed %d %s: RunOI: %v", seed, name, err)
+			}
+			s1, err := model.RunID(h, ids1, oiAsID(a.alg), a.kind)
+			if err != nil {
+				t.Fatalf("seed %d %s: RunID(ids1): %v", seed, name, err)
+			}
+			s2, err := model.RunID(h, ids2, oiAsID(a.alg), a.kind)
+			if err != nil {
+				t.Fatalf("seed %d %s: RunID(ids2): %v", seed, name, err)
+			}
+			if !solutionsEqual(base, s1) || !solutionsEqual(s1, s2) {
+				t.Errorf("%s is not order-invariant on n=%d host — reproducer seed %d", name, n, seed)
+			}
+		}
+	}
+}
+
+// TestMetamorphicCVRoundsMaxID: Cole–Vishkin's measured round count
+// depends only on the maximum identifier, not on the assignment — two
+// id sets sharing a maximum always use the same number of rounds, and
+// the count matches the predicted horizon. Failures print the
+// reproducer seed.
+func TestMetamorphicCVRoundsMaxID(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(57)
+		h := dcycleHost(t, n)
+		ids1 := rng.Perm(8 * n)[:n]
+		maxID := 0
+		for _, id := range ids1 {
+			if id > maxID {
+				maxID = id
+			}
+		}
+		// ids2: a different assignment with the same maximum — shuffle
+		// ids1 and also remap all non-maximal values.
+		ids2 := append([]int(nil), ids1...)
+		rng.Shuffle(n, func(i, j int) { ids2[i], ids2[j] = ids2[j], ids2[i] })
+		for i, id := range ids2 {
+			if id != maxID {
+				ids2[i] = id / 2
+			}
+		}
+		// Halving may collide; fall back to a pure shuffle (still a
+		// different assignment with the same maximum) when it does.
+		if !uniqueInts(ids2) {
+			ids2 = append([]int(nil), ids1...)
+			rng.Shuffle(n, func(i, j int) { ids2[i], ids2[j] = ids2[j], ids2[i] })
+		}
+		r1, err := ColeVishkinMIS(h, ids1)
+		if err != nil {
+			t.Fatalf("seed %d: ids1: %v", seed, err)
+		}
+		r2, err := ColeVishkinMIS(h, ids2)
+		if err != nil {
+			t.Fatalf("seed %d: ids2: %v", seed, err)
+		}
+		if r1.Rounds != r2.Rounds {
+			t.Errorf("rounds %d vs %d for the same max id %d — reproducer seed %d",
+				r1.Rounds, r2.Rounds, maxID, seed)
+		}
+		if want := CVRounds(maxID) + 1; r1.Rounds != want {
+			t.Errorf("measured %d rounds, predicted horizon %d — reproducer seed %d",
+				r1.Rounds, want, seed)
+		}
+	}
+}
+
+func uniqueInts(xs []int) bool {
+	seen := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+	}
+	return true
+}

@@ -1,10 +1,12 @@
 package algorithms
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/view"
 )
 
 // RandomizedMatching is the Section 6.5 demonstration: equipping nodes
@@ -18,38 +20,114 @@ import (
 // neighbour, and an edge joins the matching when its endpoints propose
 // to each other.
 //
+// The execution is genuinely operational: the proposals are drawn
+// sequentially up front (so the rng stream is schedule-independent)
+// and then exchanged in one synchronous round on the message-plane
+// Engine — each node sends along the arc to its chosen neighbour and
+// an edge is matched exactly when both endpoints hear a proposal on
+// the arc they proposed along.
+//
 // The returned solution is a valid matching. Each edge {u, v} is
 // matched with probability 1/(deg(u)·deg(v)), so the expected size is
 // at least m/Δ²; on d-regular graphs E|M| >= n/(2d) against
 // ν(G) <= n/2 — expected ratio at most d, a constant for bounded
 // degree, which no deterministic local algorithm can achieve.
 func RandomizedMatching(h *model.Host, rng *rand.Rand) *model.Solution {
+	return randomizedMatchingOn(model.NewEngine(h), h, rng)
+}
+
+// proposeState is a node's state in the mutual-proposal round.
+type proposeState struct {
+	// letter names the arc to the proposed neighbour.
+	letter view.Letter
+	// propose is false on isolated nodes.
+	propose bool
+	// matched reports a mutual proposal.
+	matched bool
+}
+
+// randomizedMatchingOn is RandomizedMatching on a caller-provided
+// engine, so repeated trials reuse one message plane.
+func randomizedMatchingOn(e *model.Engine, h *model.Host, rng *rand.Rand) *model.Solution {
 	g := h.G
 	n := g.N()
 	proposal := make([]int, n)
+	states := make([]proposeState, n)
 	for v := 0; v < n; v++ {
 		proposal[v] = -1
 		if d := g.Degree(v); d > 0 {
 			proposal[v] = int(g.Neighbors(v)[rng.Intn(d)])
+			states[v] = proposeState{letter: letterTo(h, v, proposal[v]), propose: true}
 		}
+	}
+	nextInit := 0
+	algo := model.EngineAlgo{
+		// Init is called sequentially in node order: it hands out the
+		// pre-drawn states, keeping every random bit off the parallel
+		// rounds.
+		Init: func(model.NodeInfo) any {
+			s := &states[nextInit]
+			nextInit++
+			return s
+		},
+		Step: func(state any, round int, inbox []model.Msg, out *model.Outbox) (any, bool) {
+			s := state.(*proposeState)
+			if round == 0 {
+				if s.propose {
+					out.Send(s.letter, nil) // arrival alone carries "I propose to you"
+				}
+				return s, false
+			}
+			if s.propose {
+				for i := range inbox {
+					if inbox[i].L == s.letter {
+						s.matched = true
+					}
+				}
+			}
+			return s, true
+		},
+		Out: func(any) model.Output { return model.Output{} },
+	}
+	if _, _, err := e.RunStates(nil, algo, 3); err != nil {
+		// Unreachable: every letter was resolved from a real arc and
+		// each node sends at most once.
+		panic(fmt.Sprintf("algorithms: randomized matching round: %v", err))
 	}
 	sol := model.NewSolution(model.EdgeKind, n)
 	for v := 0; v < n; v++ {
-		u := proposal[v]
-		if u > v && proposal[u] == v {
-			sol.Edges[graph.NewEdge(v, u)] = true
+		if states[v].matched {
+			sol.Edges[graph.NewEdge(v, proposal[v])] = true
 		}
 	}
 	return sol
 }
 
+// letterTo returns the letter naming the arc between v and its
+// neighbour u at v.
+func letterTo(h *model.Host, v, u int) view.Letter {
+	for _, a := range h.D.Out(v) {
+		if a.To == u {
+			return view.Letter{Label: a.Label}
+		}
+	}
+	for _, a := range h.D.In(v) {
+		if a.To == u {
+			return view.Letter{Label: a.Label, In: true}
+		}
+	}
+	panic(fmt.Sprintf("algorithms: no arc between neighbours %d and %d", v, u))
+}
+
 // RandomizedMatchingTrials runs the one-round proposal matching many
 // times and reports the average matching size — the in-expectation
-// guarantee made measurable.
+// guarantee made measurable. All trials share one engine, so only the
+// first pays for the message plane.
 func RandomizedMatchingTrials(h *model.Host, trials int, rng *rand.Rand) float64 {
+	e := model.NewEngine(h)
 	total := 0
 	for i := 0; i < trials; i++ {
-		total += RandomizedMatching(h, rng).Size()
+		total += randomizedMatchingOn(e, h, rng).Size()
 	}
 	return float64(total) / float64(trials)
 }

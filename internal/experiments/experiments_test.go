@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/host"
 )
 
 // runExp runs one experiment and does generic sanity checks.
@@ -353,6 +355,62 @@ func TestRandomized(t *testing.T) {
 	}
 }
 
+func TestScaleRounds(t *testing.T) {
+	// The full E16 ladder reaches 10^6 nodes; the test runs the same
+	// code small. Fractions: an MIS on a cycle has between n/3 and n/2
+	// vertices; a matching selects at most n/2 edges.
+	tbl, err := scaleRounds([]int{64, 256}, []string{"cycle:128", "torus:8x8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "E16" {
+		t.Errorf("table id %q", tbl.ID)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 6) != "yes" {
+			t.Errorf("row %d: solution infeasible", i)
+		}
+		frac := cellFloat(t, tbl, i, 5)
+		if frac <= 0 || frac > 0.5+1e-9 {
+			t.Errorf("row %d: selected/n = %v out of (0, 1/2]", i, frac)
+		}
+		if r := cellFloat(t, tbl, i, 3); r < 1 || r > 25 {
+			t.Errorf("row %d: %v rounds — not log*-flat", i, r)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if f := cellFloat(t, tbl, i, 5); f < 1.0/3-1e-9 {
+			t.Errorf("CV row %d: MIS fraction %v below 1/3", i, f)
+		}
+	}
+}
+
+func TestRoundsOnHosted(t *testing.T) {
+	// A plain family host runs matching only; a consistently oriented
+	// cycle additionally runs Cole–Vishkin.
+	tbl, err := RunHosted("E16", host.MustParse("torus:6x6"), DefaultRmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || cell(t, tbl, 0, 0) != "randomized matching" {
+		t.Fatalf("torus rows: %v", tbl.Rows)
+	}
+	mh, err := directedCycle(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err = RoundsOn(&host.Host{Desc: "dcycle:12", G: mh.G, D: mh.D}, DefaultRmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || cell(t, tbl, 0, 0) != "Cole–Vishkin MIS (ID)" {
+		t.Fatalf("directed-cycle rows: %v", tbl.Rows)
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range All() {
@@ -364,8 +422,8 @@ func TestAllRegistry(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 15 {
-		t.Errorf("expected 15 experiments, got %d", len(seen))
+	if len(seen) != 16 {
+		t.Errorf("expected 16 experiments, got %d", len(seen))
 	}
 }
 

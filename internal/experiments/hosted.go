@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/algorithms"
 	"repro/internal/digraph"
 	"repro/internal/host"
 	"repro/internal/model"
@@ -29,13 +30,15 @@ const DefaultRmax = 2
 
 // HostExperiments returns the host-parameterisable experiments: the
 // model comparison (E1), homogeneity measurement (E5), ball growth
-// (E12) and PN-vs-PO symmetry breaking (E13).
+// (E12), PN-vs-PO symmetry breaking (E13) and operational round
+// workloads (E16).
 func HostExperiments() []HostExperiment {
 	return []HostExperiment{
 		{ID: "E1", Name: "three models", Run: ModelsOn},
 		{ID: "E5", Name: "host homogeneity", Run: HomogeneityOn},
 		{ID: "E12", Name: "ball growth", Run: GrowthOn},
 		{ID: "E13", Name: "PO vs PN separation", Run: PNSeparationOn},
+		{ID: "E16", Name: "operational rounds", Run: RoundsOn},
 	}
 }
 
@@ -46,7 +49,7 @@ func RunHosted(id string, h *host.Host, rmax int) (*Table, error) {
 			return e.Run(h, rmax)
 		}
 	}
-	return nil, fmt.Errorf("experiment %q is not host-parameterisable (available: E1, E5, E12, E13)", id)
+	return nil, fmt.Errorf("experiment %q is not host-parameterisable (available: E1, E5, E12, E13, E16)", id)
 }
 
 // modelHost equips a registry host with ports when its family did not
@@ -225,6 +228,39 @@ func PNSeparationOn(h *host.Host, _ int) (*Table, error) {
 	} else {
 		t.Notes = append(t.Notes, "the orientation does not refine the PN types on this host")
 	}
+	return t, nil
+}
+
+// RoundsOn is E16 generalised: the engine's operational workloads on
+// an arbitrary registry host. The randomized mutual-proposal matching
+// (§6.5) runs on every host; the Cole–Vishkin MIS additionally runs
+// when the family's own labelling is a consistently oriented cycle
+// (out- and in-degree 1 everywhere) — the shape the ID upper bound of
+// Fig. 2 needs.
+func RoundsOn(h *host.Host, _ int) (*Table, error) {
+	mh := modelHost(h)
+	n := mh.G.N()
+	t := &Table{
+		ID:      "E16",
+		Title:   fmt.Sprintf("operational rounds on %s (n=%d)", h.Desc, n),
+		Ref:     "Fig. 2, §6.5 (host-parameterised, engine)",
+		Columns: []string{"workload", "rounds", "selected", "selected/n"},
+	}
+	rng := rand.New(rand.NewSource(16))
+	if h.D != nil && h.D.IsRegularDigraph(1) {
+		ids := rng.Perm(8 * n)[:n]
+		res, err := algorithms.ColeVishkinMIS(mh, ids)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Cole–Vishkin MIS (ID)", res.Rounds, res.MIS.Size(),
+			float64(res.MIS.Size())/float64(n))
+	}
+	sol := algorithms.RandomizedMatching(mh, rng)
+	t.AddRow("randomized matching", 2, sol.Size(), float64(sol.Size())/float64(n))
+	t.Notes = append(t.Notes,
+		"one seeded engine trial per workload; Cole–Vishkin appears only when the host's own labelling is a consistently oriented cycle",
+	)
 	return t, nil
 }
 

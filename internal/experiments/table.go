@@ -16,6 +16,7 @@
 //	E13 §6.1         PO vs PN: orientations matter
 //	E14 Fig. 4/5     view trees and |T*|
 //	E15 §6.5         determinism vs randomness (matching)
+//	E16 Fig. 2, §6.5 million-node operational rounds (engine)
 //
 // Each experiment returns a Table that cmd/experiments prints and that
 // EXPERIMENTS.md records.
@@ -164,5 +165,6 @@ func All() []Experiment {
 		{ID: "E13", Name: "PO vs PN separation", Run: PNSeparation},
 		{ID: "E14", Name: "views and T*", Run: Views},
 		{ID: "E15", Name: "determinism vs randomness", Run: Randomized},
+		{ID: "E16", Name: "million-node operational rounds", Run: ScaleRounds},
 	}
 }

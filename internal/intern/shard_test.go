@@ -1,0 +1,222 @@
+package intern
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// publishMissing runs the documented miss-path protocol: probe
+// lock-free, lock, re-probe, publish only if still missing. It
+// returns the registered representative (structural equality here is
+// value equality).
+func publishMissing(sh *Shard[uint64], h, v uint64) uint64 {
+	for _, e := range sh.Run(h) {
+		if e.Val == v {
+			return e.Val
+		}
+	}
+	sh.Lock()
+	defer sh.Unlock()
+	for _, e := range sh.Run(h) {
+		if e.Val == v {
+			return e.Val
+		}
+	}
+	sh.Publish(h, v)
+	return v
+}
+
+func TestShardZeroValue(t *testing.T) {
+	var sh Shard[uint64]
+	if run := sh.Run(42); run != nil {
+		t.Errorf("zero-value shard returned %v", run)
+	}
+}
+
+// TestShardPublishOrder: after arbitrary interleaved publishes the
+// published slice is hash-sorted, and every hash's run is exactly the
+// values registered under it.
+func TestShardPublishOrder(t *testing.T) {
+	var sh Shard[uint64]
+	rng := rand.New(rand.NewSource(1))
+	want := map[uint64][]uint64{}
+	for i := 0; i < 200; i++ {
+		h := uint64(rng.Intn(40)) // force plenty of equal-hash runs
+		v := uint64(i)
+		sh.Lock()
+		sh.Publish(h, v)
+		sh.Unlock()
+		want[h] = append(want[h], v)
+	}
+	es := *sh.entries.Load()
+	if !sort.SliceIsSorted(es, func(i, j int) bool { return es[i].Hash < es[j].Hash }) {
+		t.Fatal("published entries not hash-sorted")
+	}
+	if len(es) != 200 {
+		t.Fatalf("%d entries, want 200", len(es))
+	}
+	for h, vals := range want {
+		run := sh.Run(h)
+		if len(run) != len(vals) {
+			t.Fatalf("hash %d: run has %d entries, want %d", h, len(run), len(vals))
+		}
+		got := map[uint64]bool{}
+		for _, e := range run {
+			if e.Hash != h {
+				t.Fatalf("hash %d run contains hash %d", h, e.Hash)
+			}
+			got[e.Val] = true
+		}
+		for _, v := range vals {
+			if !got[v] {
+				t.Fatalf("hash %d: value %d missing from run", h, v)
+			}
+		}
+	}
+	if got := sh.Run(999); len(got) != 0 {
+		t.Errorf("unregistered hash returned %v", got)
+	}
+}
+
+// TestShardCopyOnWrite: a slice handed out by Run is immutable — a
+// later Publish republishes a copy and never mutates what readers
+// already hold.
+func TestShardCopyOnWrite(t *testing.T) {
+	var sh Shard[uint64]
+	sh.Lock()
+	sh.Publish(10, 100)
+	sh.Publish(30, 300)
+	sh.Unlock()
+	held := sh.Run(10)
+	snapshot := append([]Entry[uint64](nil), held...)
+	before := *sh.entries.Load()
+
+	sh.Lock()
+	sh.Publish(10, 101) // lands inside the held run's hash
+	sh.Publish(20, 200) // lands between the existing hashes
+	sh.Unlock()
+
+	if len(held) != len(snapshot) {
+		t.Fatal("held run changed length")
+	}
+	for i := range held {
+		if held[i] != snapshot[i] {
+			t.Fatalf("held run mutated at %d: %v != %v", i, held[i], snapshot[i])
+		}
+	}
+	for i := range before {
+		if before[i].Hash == 20 {
+			t.Fatal("old published slice gained the new entry")
+		}
+	}
+	if run := sh.Run(10); len(run) != 2 {
+		t.Fatalf("republished run has %d entries, want 2", len(run))
+	}
+}
+
+// TestShardForcedCollisions: many values under ONE hash — the
+// caller-side structural comparison (here value equality) is the only
+// thing separating them, and every one stays reachable.
+func TestShardForcedCollisions(t *testing.T) {
+	var sh Shard[uint64]
+	const h = uint64(0xDEADBEEF)
+	for v := uint64(0); v < 64; v++ {
+		if got := publishMissing(&sh, h, v); got != v {
+			t.Fatalf("publish %d returned %d", v, got)
+		}
+	}
+	// Republishing every value must hit, not duplicate.
+	for v := uint64(0); v < 64; v++ {
+		publishMissing(&sh, h, v)
+	}
+	if run := sh.Run(h); len(run) != 64 {
+		t.Fatalf("collision run has %d entries, want 64", len(run))
+	}
+}
+
+// TestShardConcurrentStress: goroutines hammer one shard with a small
+// hash space (guaranteed hit/miss interleaving and forced collisions)
+// under -race. Afterwards every value is registered exactly once.
+func TestShardConcurrentStress(t *testing.T) {
+	var sh Shard[uint64]
+	const (
+		workers = 8
+		space   = 24 // values per worker round
+		rounds  = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < rounds*space; i++ {
+				v := uint64(rng.Intn(space))
+				h := v % 5 // heavy collisions
+				if got := publishMissing(&sh, h, v); got != v {
+					t.Errorf("worker %d: publish %d returned %d", w, v, got)
+					return
+				}
+				// Lock-free re-probe must hit.
+				found := false
+				for _, e := range sh.Run(h) {
+					if e.Val == v {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("worker %d: value %d vanished", w, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	es := *sh.entries.Load()
+	if len(es) != space {
+		t.Fatalf("%d entries, want %d (duplicate publish under contention)", len(es), space)
+	}
+	if !sort.SliceIsSorted(es, func(i, j int) bool { return es[i].Hash < es[j].Hash }) {
+		t.Fatal("entries not hash-sorted after concurrent publishes")
+	}
+}
+
+// FuzzShard model-checks the shard against a plain map: any sequence
+// of publishes leaves every hash's run equal to the reference.
+func FuzzShard(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sh Shard[uint64]
+		ref := map[uint64]map[uint64]bool{}
+		for len(data) >= 2 {
+			// One byte of hash space (forces runs), one byte of value.
+			h := uint64(data[0] % 16)
+			v := uint64(data[1])
+			data = data[2:]
+			if ref[h] == nil {
+				ref[h] = map[uint64]bool{}
+			}
+			publishMissing(&sh, h, v)
+			ref[h][v] = true
+		}
+		for h, vals := range ref {
+			run := sh.Run(h)
+			if len(run) != len(vals) {
+				t.Fatalf("hash %d: %d entries, want %d", h, len(run), len(vals))
+			}
+			for _, e := range run {
+				if !vals[e.Val] {
+					t.Fatalf("hash %d: unexpected value %d", h, e.Val)
+				}
+			}
+		}
+		if es := sh.entries.Load(); es != nil {
+			if !sort.SliceIsSorted(*es, func(i, j int) bool { return (*es)[i].Hash < (*es)[j].Hash }) {
+				t.Fatal("entries not hash-sorted")
+			}
+		}
+	})
+}

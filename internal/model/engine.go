@@ -1,0 +1,401 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/par"
+	"repro/internal/view"
+)
+
+// Engine is the batched worker-parallel round simulator behind
+// RunRounds: the operational analogue of the sweep engine. It sizes a
+// CSR message plane once from the host's arc structure and then
+// executes synchronous rounds with no per-round slice churn at all.
+//
+// Layout. Every incident (arc, direction) pair of every node is one
+// slot: node v's slots are off[v]:off[v+1], ordered by the letter
+// naming the arc at v (view.Letter.Less), so an inbox is always
+// delivered in the receiver's letter order regardless of worker
+// schedule. dest[s] maps a send on slot s's letter to the slot naming
+// the same arc by the inverse letter at the other endpoint.
+//
+// Double buffering. Messages for round r live in arena r&1 and the
+// outboxes of round r are written into arena (r+1)&1, so a slot is
+// written by exactly one sender and read by exactly one receiver and
+// no round ever races with the next. Slots carry monotone int64
+// stamps instead of being cleared: a slot holds a live message for
+// round r iff its stamp equals the run's base tick + r + 1, so
+// neither arena is ever zeroed, not even between runs.
+//
+// Worklist. Halted nodes leave the active list and cost nothing: each
+// round is a worker-sharded sweep of the active list only (dynamic
+// chunk handoff over a shared cursor, par.ForScratch-style), and the
+// workers are persistent for the whole run — spawned once against
+// par's global budget (par.Reserve), released at the end — so a
+// steady-state round performs no allocation and no goroutine churn.
+//
+// Determinism. Each node's Step writes only that node's state slot,
+// halt flag, dense-inbox region and outgoing message slots, so
+// parallel and sequential runs are byte-identical; any randomness
+// must be drawn before the run (Init is invoked sequentially in
+// increasing node order for exactly this reason).
+//
+// An Engine may be reused for any number of runs on its host (arenas
+// warm up once), but a single Engine must not execute two runs
+// concurrently.
+type Engine struct {
+	h *Host
+	n int
+
+	// Slot layout (see above).
+	off     []int32
+	letters []view.Letter
+	dest    []int32
+	// info holds every node's NodeInfo letters (out-arcs then in-arcs,
+	// as lettersOf produces) in one flat arena, sliced per node at
+	// Init time so a run performs no per-node letter allocation.
+	// Handed-out slices are shared: algorithms must treat them as
+	// read-only, which every RoundAlgo/EngineAlgo in the repo does.
+	info []view.Letter
+
+	// Message plane: double-buffered arenas with monotone stamps.
+	buf   [2][]Msg
+	stamp [2][]int64
+	tick  int64
+
+	// Run state, reused across runs.
+	states  []any
+	halted  []bool
+	active  []int32
+	spare   []int32
+	dense   []Msg
+	errs    []error
+	errFlag atomic.Bool
+}
+
+// EngineAlgo is the engine-native form of a round algorithm: Step
+// writes its outbox through the Outbox instead of returning a slice,
+// so a non-allocating Step makes the whole round allocation-free.
+// The inbox slice is valid only for the duration of the Step call
+// (it aliases the engine's dense arena); Step must not retain it.
+// At most one message may be sent per letter per round.
+type EngineAlgo struct {
+	// Init returns the initial state. It is called sequentially in
+	// increasing node order, so it may consume a shared RNG or a
+	// pre-drawn per-node table deterministically.
+	Init func(info NodeInfo) any
+	// Step consumes the inbox (in receiver letter order), emits
+	// messages for the next round through out, and returns the new
+	// state and whether the node halts.
+	Step func(state any, round int, inbox []Msg, out *Outbox) (any, bool)
+	// Out extracts the final output from a state.
+	Out func(state any) Output
+}
+
+// engine adapts the classical slice-returning RoundAlgo form.
+func (a RoundAlgo) engine() EngineAlgo {
+	return EngineAlgo{
+		Init: a.Init,
+		Step: func(state any, round int, inbox []Msg, out *Outbox) (any, bool) {
+			st, msgs, done := a.Step(state, round, inbox)
+			for _, m := range msgs {
+				out.Send(m.L, m.Data)
+			}
+			return st, done
+		},
+		Out: a.Out,
+	}
+}
+
+// NewEngine sizes a message plane for the host: one slot per incident
+// (arc, direction) pair, plus the dense-inbox arena, state, halt and
+// worklist arrays. Everything is allocated here; runs reuse it all.
+func NewEngine(h *Host) *Engine {
+	n := h.G.N()
+	e := &Engine{h: h, n: n}
+	e.off = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		e.off[v+1] = e.off[v] + int32(len(h.D.Out(v))+len(h.D.In(v)))
+	}
+	total := int(e.off[n])
+	e.letters = make([]view.Letter, total)
+	e.dest = make([]int32, total)
+	for v := 0; v < n; v++ {
+		// Merge the label-sorted out- and in-rows into letter order.
+		outs, ins := h.D.Out(v), h.D.In(v)
+		i, j := 0, 0
+		for s := e.off[v]; s < e.off[v+1]; s++ {
+			takeOut := i < len(outs) &&
+				(j >= len(ins) || outs[i].Label <= ins[j].Label)
+			if takeOut {
+				e.letters[s] = view.Letter{Label: outs[i].Label}
+				i++
+			} else {
+				e.letters[s] = view.Letter{Label: ins[j].Label, In: true}
+				j++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for s := e.off[v]; s < e.off[v+1]; s++ {
+			l := e.letters[s]
+			u, _ := resolveLetter(h, v, l)
+			e.dest[s] = e.slot(u, l.Inv())
+		}
+	}
+	e.info = make([]view.Letter, total)
+	for v := 0; v < n; v++ {
+		s := e.off[v]
+		for _, a := range h.D.Out(v) {
+			e.info[s] = view.Letter{Label: a.Label}
+			s++
+		}
+		for _, a := range h.D.In(v) {
+			e.info[s] = view.Letter{Label: a.Label, In: true}
+			s++
+		}
+	}
+	for a := 0; a < 2; a++ {
+		e.buf[a] = make([]Msg, total)
+		e.stamp[a] = make([]int64, total)
+		for s := range e.buf[a] {
+			// A slot's arrival letter never changes; senders only
+			// write Data and the stamp.
+			e.buf[a][s].L = e.letters[s]
+		}
+	}
+	e.dense = make([]Msg, total)
+	e.states = make([]any, n)
+	e.halted = make([]bool, n)
+	e.active = make([]int32, 0, n)
+	e.spare = make([]int32, 0, n)
+	e.errs = make([]error, n)
+	return e
+}
+
+// slot returns the index of v's slot for letter l, or off[v+1] when v
+// has no such letter (binary search over the letter-sorted slot row).
+func (e *Engine) slot(v int, l view.Letter) int32 {
+	lo, hi := e.off[v], e.off[v+1]
+	end := hi
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if e.letters[mid].Less(l) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < end && e.letters[lo] == l {
+		return lo
+	}
+	return end
+}
+
+// fail records v's first send error; the run surfaces the error of
+// the smallest failing node after the round's barrier.
+func (e *Engine) fail(v int, err error) {
+	if e.errs[v] == nil {
+		e.errs[v] = err
+		e.errFlag.Store(true)
+	}
+}
+
+// Outbox routes one node's outgoing messages straight into the next
+// round's arena. Each worker owns one Outbox for the whole run; the
+// engine repoints it at the current node before every Step.
+type Outbox struct {
+	e    *Engine
+	v    int32
+	nxt  int   // arena written this round
+	want int64 // stamp marking next-round messages
+}
+
+// Send emits a message on the arc named l at the sending node, to be
+// delivered next round. Sends on absent letters and second sends on
+// one letter in the same round are errors (reported by the run).
+func (ob *Outbox) Send(l view.Letter, data any) {
+	e := ob.e
+	v := int(ob.v)
+	s := e.slot(v, l)
+	if s == e.off[v+1] {
+		e.fail(v, fmt.Errorf("model: node %d sent on absent letter %v", v, l))
+		return
+	}
+	d := ob.e.dest[s]
+	st := e.stamp[ob.nxt]
+	if st[d] == ob.want {
+		e.fail(v, fmt.Errorf("model: node %d sent twice on letter %v", v, l))
+		return
+	}
+	e.buf[ob.nxt][d].Data = data
+	st[d] = ob.want
+}
+
+// Run executes an engine algorithm and extracts the per-node outputs.
+func (e *Engine) Run(ids []int, algo EngineAlgo, maxRounds int) ([]Output, int, error) {
+	states, rounds, err := e.RunStates(ids, algo, maxRounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	outs := make([]Output, len(states))
+	for v, st := range states {
+		outs[v] = algo.Out(st)
+	}
+	return outs, rounds, nil
+}
+
+// RunStates executes an engine algorithm on the host and returns the
+// final per-node states and the number of rounds, failing if some
+// node has not halted after maxRounds. The returned slice is owned by
+// the engine and is overwritten by its next run.
+func (e *Engine) RunStates(ids []int, algo EngineAlgo, maxRounds int) ([]any, int, error) {
+	if ids != nil && len(ids) != e.n {
+		return nil, 0, fmt.Errorf("model: RunRounds: %d ids for %d nodes", len(ids), e.n)
+	}
+	for v := 0; v < e.n; v++ {
+		info := NodeInfo{ID: -1, Letters: e.info[e.off[v]:e.off[v+1]:e.off[v+1]]}
+		if ids != nil {
+			info.ID = ids[v]
+		}
+		e.states[v] = algo.Init(info)
+		e.halted[v] = false
+		e.errs[v] = nil
+	}
+	e.errFlag.Store(false)
+	active := e.active[:0]
+	for v := 0; v < e.n; v++ {
+		active = append(active, int32(v))
+	}
+	base := e.tick
+
+	// Per-round fields shared with the workers. Writes happen between
+	// rounds on this goroutine; the start-channel send publishes them
+	// to the workers and wg.Wait closes the round barrier.
+	var (
+		curArena int
+		curWant  int64
+		round    int
+		chunk    int64
+		cursor   atomic.Int64
+
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	// Advance the tick past every stamp this run can have written, on
+	// every exit path (including errors and re-raised panics): a
+	// reused engine must never mistake a stale stamp for a live one.
+	defer func() {
+		e.tick = base + int64(round) + 2
+	}()
+
+	stepNode := func(v int, ob *Outbox) {
+		lo, hi := e.off[v], e.off[v+1]
+		st := e.stamp[curArena]
+		k := lo
+		for s := lo; s < hi; s++ {
+			if st[s] == curWant {
+				e.dense[k] = e.buf[curArena][s]
+				k++
+			}
+		}
+		ob.v = int32(v)
+		ns, done := algo.Step(e.states[v], round, e.dense[lo:k], ob)
+		e.states[v] = ns
+		e.halted[v] = done
+	}
+	roundWork := func(ob *Outbox) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for {
+			hi := cursor.Add(chunk)
+			lo := hi - chunk
+			if lo >= int64(len(active)) {
+				return
+			}
+			if hi > int64(len(active)) {
+				hi = int64(len(active))
+			}
+			for _, v := range active[lo:hi] {
+				stepNode(int(v), ob)
+			}
+		}
+	}
+
+	// Persistent workers: spawned once against par's global budget,
+	// released after the last round; each owns one Outbox for the run.
+	workers := 0
+	if e.n > 1 {
+		workers = par.Reserve(min(par.N()-1, e.n-1))
+	}
+	defer par.Release(workers)
+	start := make([]chan struct{}, workers)
+	for w := range start {
+		start[w] = make(chan struct{}, 1)
+		go func(ch chan struct{}) {
+			ob := &Outbox{e: e}
+			for range ch {
+				ob.nxt = curArena ^ 1
+				ob.want = curWant + 1
+				roundWork(ob)
+				wg.Done()
+			}
+		}(start[w])
+	}
+	defer func() {
+		for _, ch := range start {
+			close(ch)
+		}
+	}()
+	masterOb := &Outbox{e: e}
+
+	for ; round < maxRounds && len(active) > 0; round++ {
+		curArena = round & 1
+		curWant = base + int64(round) + 1
+		chunk = int64(len(active)/((workers+1)*4)) + 1
+		cursor.Store(0)
+		wg.Add(workers)
+		for _, ch := range start {
+			ch <- struct{}{}
+		}
+		masterOb.nxt = curArena ^ 1
+		masterOb.want = curWant + 1
+		roundWork(masterOb)
+		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
+		if e.errFlag.Load() {
+			for _, v := range active {
+				if err := e.errs[v]; err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		// Compact the active worklist; the spare buffer flips roles so
+		// neither list is reallocated.
+		nxt := e.spare[:0]
+		for _, v := range active {
+			if !e.halted[v] {
+				nxt = append(nxt, v)
+			}
+		}
+		e.spare = active[:0]
+		active = nxt
+	}
+	e.active = active[:0]
+	if len(active) > 0 {
+		return nil, 0, fmt.Errorf("model: node %d did not halt within %d rounds", active[0], maxRounds)
+	}
+	return e.states, round, nil
+}

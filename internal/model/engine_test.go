@@ -1,0 +1,369 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/host"
+	"repro/internal/par"
+	"repro/internal/view"
+)
+
+// engineHosts is the differential host set: the fixed hosts of the
+// paper plus a registry Cayley host (which carries its own labelling).
+func engineHosts(t *testing.T) map[string]*Host {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	hosts := map[string]*Host{
+		"petersen":      HostFromGraph(graph.Petersen()),
+		"torus6x6":      HostFromGraph(graph.Torus(6, 6)),
+		"randomregular": HostFromGraph(graph.RandomRegular(18, 3, rng)),
+	}
+	ch := host.MustParse("cayley:H,level=2,m=4,k=2,seed=1")
+	hosts["cayley"] = &Host{D: ch.D, G: ch.G}
+	return hosts
+}
+
+// floodMaxAlgo is a multi-round RoundAlgo exercising ids, letters and
+// staggered halting: every node floods the largest id it has heard for
+// a node-dependent number of rounds, then reports whether it ever
+// heard an id larger than its own.
+func floodMaxAlgo() RoundAlgo {
+	type st struct {
+		letters []view.Letter
+		id      int
+		best    int
+		ticks   int
+	}
+	return RoundAlgo{
+		Init: func(info NodeInfo) any {
+			return &st{letters: info.Letters, id: info.ID, best: info.ID, ticks: 1 + info.ID%4}
+		},
+		Step: func(state any, round int, inbox []Msg) (any, []Msg, bool) {
+			s := state.(*st)
+			for _, m := range inbox {
+				if v := m.Data.(int); v > s.best {
+					s.best = v
+				}
+			}
+			if s.ticks == 0 {
+				return s, nil, true
+			}
+			s.ticks--
+			out := make([]Msg, 0, len(s.letters))
+			for _, l := range s.letters {
+				out = append(out, Msg{L: l, Data: s.best})
+			}
+			return s, out, false
+		},
+		Out: func(state any) Output {
+			s := state.(*st)
+			return Output{Member: s.best > s.id}
+		},
+	}
+}
+
+// TestEngineDifferentialFlood pins RunRounds (engine) against
+// RunRoundsReference: outputs and round counts byte-identical on every
+// differential host, at parallelism 1 and 8.
+func TestEngineDifferentialFlood(t *testing.T) {
+	for name, h := range engineHosts(t) {
+		n := h.G.N()
+		rng := rand.New(rand.NewSource(int64(n)))
+		ids := rng.Perm(4 * n)[:n]
+		refStates, refRounds, err := RunRoundsReference(h, ids, floodMaxAlgo(), 16)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		refOuts := make([]Output, n)
+		for v, st := range refStates {
+			refOuts[v] = floodMaxAlgo().Out(st)
+		}
+		for _, p := range []int{1, 8} {
+			old := par.Set(p)
+			outs, rounds, err := RunRounds(h, ids, floodMaxAlgo(), 16)
+			par.Set(old)
+			if err != nil {
+				t.Fatalf("%s p=%d: engine: %v", name, p, err)
+			}
+			if rounds != refRounds {
+				t.Fatalf("%s p=%d: %d rounds, reference %d", name, p, rounds, refRounds)
+			}
+			if !reflect.DeepEqual(outs, refOuts) {
+				t.Fatalf("%s p=%d: outputs differ from reference", name, p)
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialGather pins the engine against the reference
+// on GatherViews: identical interned trees (pointer equality) and
+// identical round counts, across radii and parallelism.
+func TestEngineDifferentialGather(t *testing.T) {
+	for name, h := range engineHosts(t) {
+		for r := 0; r <= 2; r++ {
+			refStates, refRounds, err := RunRoundsReference(h, nil, GatherViews(r), r+2)
+			if err != nil {
+				t.Fatalf("%s r=%d: reference: %v", name, r, err)
+			}
+			for _, p := range []int{1, 8} {
+				old := par.Set(p)
+				states, rounds, err := RunRoundsStates(h, nil, GatherViews(r), r+2)
+				par.Set(old)
+				if err != nil {
+					t.Fatalf("%s r=%d p=%d: engine: %v", name, r, p, err)
+				}
+				if rounds != refRounds {
+					t.Fatalf("%s r=%d p=%d: %d rounds, reference %d", name, r, p, rounds, refRounds)
+				}
+				for v := range states {
+					if states[v].(*GatherState).Tree != refStates[v].(*GatherState).Tree {
+						t.Fatalf("%s r=%d p=%d node %d: gathered tree differs", name, r, p, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimulatePORoundsDifferential: the engine-driven operational PO
+// path coincides with SimulatePO and RunPO on every differential host.
+func TestSimulatePORoundsDifferential(t *testing.T) {
+	alg := FuncPO{R: 1, Fn: func(tr *view.Tree) Output {
+		return Output{Member: tr.NumChildren()%2 == 0, Letters: tr.Letters()}
+	}}
+	for name, h := range engineHosts(t) {
+		direct, err := RunPO(h, alg, EdgeKind)
+		if err != nil {
+			t.Fatalf("%s: RunPO: %v", name, err)
+		}
+		for _, p := range []int{1, 8} {
+			old := par.Set(p)
+			sim, err := SimulatePORounds(h, alg, EdgeKind)
+			par.Set(old)
+			if err != nil {
+				t.Fatalf("%s p=%d: SimulatePORounds: %v", name, p, err)
+			}
+			a, b := direct.EdgeSet(), sim.EdgeSet()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s p=%d: edge sets differ", name, p)
+			}
+		}
+	}
+}
+
+// TestEngineInboxLetterOrder: inboxes arrive sorted by the receiver's
+// letter order whatever the worker schedule.
+func TestEngineInboxLetterOrder(t *testing.T) {
+	defer par.Set(par.Set(8))
+	h := HostFromGraph(graph.Torus(6, 6))
+	ordered := RoundAlgo{
+		Init: func(info NodeInfo) any { ls := info.Letters; return &ls },
+		Step: func(state any, round int, inbox []Msg) (any, []Msg, bool) {
+			if round == 1 {
+				for i := 1; i < len(inbox); i++ {
+					if !inbox[i-1].L.Less(inbox[i].L) {
+						panic(fmt.Sprintf("inbox out of letter order: %v after %v", inbox[i].L, inbox[i-1].L))
+					}
+				}
+				return state, nil, true
+			}
+			out := make([]Msg, 0, 4)
+			for _, l := range *state.(*[]view.Letter) {
+				out = append(out, Msg{L: l, Data: round})
+			}
+			return state, out, false
+		},
+		Out: func(any) Output { return Output{} },
+	}
+	if _, _, err := RunRounds(h, nil, ordered, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineErrorsMatchReference: the error paths produce the
+// reference's exact messages, deterministically.
+func TestEngineErrorsMatchReference(t *testing.T) {
+	h := HostFromGraph(graph.Cycle(5))
+	badLetter := RoundAlgo{
+		Init: func(NodeInfo) any { return nil },
+		Step: func(st any, round int, inbox []Msg) (any, []Msg, bool) {
+			return st, []Msg{{L: view.Letter{Label: 99}}}, false
+		},
+		Out: func(any) Output { return Output{} },
+	}
+	_, _, errE := RunRounds(h, nil, badLetter, 3)
+	_, _, errR := RunRoundsReference(h, nil, badLetter, 3)
+	if errE == nil || errR == nil || errE.Error() != errR.Error() {
+		t.Errorf("absent-letter errors differ: %v vs %v", errE, errR)
+	}
+
+	never := RoundAlgo{
+		Init: func(NodeInfo) any { return nil },
+		Step: func(st any, round int, inbox []Msg) (any, []Msg, bool) { return st, nil, false },
+		Out:  func(any) Output { return Output{} },
+	}
+	_, _, errE = RunRounds(h, nil, never, 4)
+	_, _, errR = RunRoundsReference(h, nil, never, 4)
+	if errE == nil || errR == nil || errE.Error() != errR.Error() {
+		t.Errorf("non-halt errors differ: %v vs %v", errE, errR)
+	}
+}
+
+// TestEngineDuplicateSend: the engine's one-message-per-letter
+// contract is enforced with a clear error.
+func TestEngineDuplicateSend(t *testing.T) {
+	h := HostFromGraph(graph.Cycle(4))
+	dup := RoundAlgo{
+		Init: func(info NodeInfo) any { return info.Letters[0] },
+		Step: func(st any, round int, inbox []Msg) (any, []Msg, bool) {
+			l := st.(view.Letter)
+			return st, []Msg{{L: l, Data: 1}, {L: l, Data: 2}}, false
+		},
+		Out: func(any) Output { return Output{} },
+	}
+	if _, _, err := RunRounds(h, nil, dup, 3); err == nil {
+		t.Error("duplicate send accepted")
+	}
+}
+
+// pulseAlgo is the zero-allocation steady-state workload: every node
+// broadcasts a pre-boxed payload on all its letters for a fixed
+// number of rounds. States are pre-allocated and handed out by the
+// sequential Init, so steady-state rounds allocate nothing.
+type pulseState struct {
+	letters []view.Letter
+	left    int
+}
+
+func pulseAlgo(states []pulseState, rounds int) (EngineAlgo, func()) {
+	next := 0
+	reset := func() {
+		next = 0
+		for i := range states {
+			states[i].left = rounds
+		}
+	}
+	algo := EngineAlgo{
+		Init: func(info NodeInfo) any {
+			s := &states[next]
+			next++
+			s.letters = info.Letters
+			return s
+		},
+		Step: func(state any, round int, inbox []Msg, out *Outbox) (any, bool) {
+			s := state.(*pulseState)
+			if s.left == 0 {
+				return s, true
+			}
+			s.left--
+			for _, l := range s.letters {
+				out.Send(l, s)
+			}
+			return s, false
+		},
+		Out: func(any) Output { return Output{} },
+	}
+	return algo, reset
+}
+
+// TestEngineSteadyStateAllocs: after arena warm-up, a steady-state
+// round allocates nothing. Measured as the allocation difference
+// between a long run and a short run on one engine (per-run setup —
+// Init, letter slices — cancels exactly).
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	defer par.Set(par.Set(1))
+	h := HostFromGraph(graph.Cycle(512))
+	e := NewEngine(h)
+	states := make([]pulseState, h.G.N())
+	runFor := func(rounds int) func() {
+		return func() {
+			algo, reset := pulseAlgo(states, rounds)
+			reset()
+			if _, _, err := e.RunStates(nil, algo, rounds+2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	runFor(8)() // warm-up
+	short := testing.AllocsPerRun(3, runFor(8))
+	long := testing.AllocsPerRun(3, runFor(264))
+	if perRound := (long - short) / 256; perRound > 0.01 {
+		t.Errorf("steady-state round allocates: %.3f allocs/round (short run %.0f, long run %.0f)", perRound, short, long)
+	}
+}
+
+// TestEngineReuseAfterError: a run that fails mid-way (absent letter,
+// non-halt) must not poison the plane — the tick advances past every
+// stamp the failed run wrote, so the next run on the same engine
+// reads no stale messages.
+func TestEngineReuseAfterError(t *testing.T) {
+	h := HostFromGraph(graph.Cycle(6))
+	e := NewEngine(h)
+	bad := RoundAlgo{
+		Init: func(NodeInfo) any { return nil },
+		Step: func(st any, round int, inbox []Msg) (any, []Msg, bool) {
+			return st, []Msg{{L: view.Letter{Label: 99}}}, false
+		},
+		Out: func(any) Output { return Output{} },
+	}
+	never := RoundAlgo{
+		Init: func(NodeInfo) any { return nil },
+		Step: func(st any, round int, inbox []Msg) (any, []Msg, bool) {
+			return st, []Msg{{L: view.Letter{Label: 0}}}, false
+		},
+		Out: func(any) Output { return Output{} },
+	}
+	rng := rand.New(rand.NewSource(9))
+	ids := rng.Perm(24)[:6]
+	want, wantRounds, err := RunRounds(h, ids, floodMaxAlgo(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := e.RunStates(ids, bad.engine(), 4); err == nil {
+			t.Fatal("absent letter accepted")
+		}
+		if _, _, err := e.RunStates(ids, never.engine(), 4); err == nil {
+			t.Fatal("non-halting run accepted")
+		}
+		outs, rounds, err := e.Run(ids, floodMaxAlgo().engine(), 16)
+		if err != nil {
+			t.Fatalf("run after errors: %v", err)
+		}
+		if rounds != wantRounds || !reflect.DeepEqual(outs, want) {
+			t.Fatalf("iteration %d: results diverge after failed runs", i)
+		}
+	}
+}
+
+// TestEngineReuse: one engine executes many runs (stamps are monotone,
+// arenas are never cleared) with results identical to fresh engines.
+func TestEngineReuse(t *testing.T) {
+	h := HostFromGraph(graph.Petersen())
+	e := NewEngine(h)
+	rng := rand.New(rand.NewSource(3))
+	ids := rng.Perm(40)[:10]
+	var first []Output
+	for i := 0; i < 5; i++ {
+		outs, rounds, err := e.Run(ids, floodMaxAlgo().engine(), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, freshRounds, err := RunRounds(h, ids, floodMaxAlgo(), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != freshRounds || !reflect.DeepEqual(outs, fresh) {
+			t.Fatalf("run %d on reused engine differs from fresh engine", i)
+		}
+		if i == 0 {
+			first = append([]Output(nil), outs...)
+		} else if !reflect.DeepEqual(outs, first) {
+			t.Fatalf("run %d differs from run 0", i)
+		}
+	}
+}

@@ -46,6 +46,13 @@ type RoundAlgo struct {
 // pass per-node identifiers; pass nil for anonymous (PO) execution.
 // It returns the per-node outputs and the number of rounds executed,
 // failing if some node has not halted after maxRounds.
+//
+// Execution goes through the batched message-plane Engine (worker-
+// parallel, active-set worklist); outputs and round counts are
+// byte-identical to RunRoundsReference, which the differential tests
+// pin down. Two engine-contract differences from the reference loop:
+// the inbox slice handed to Step is only valid during the call, and a
+// node may send at most one message per letter per round.
 func RunRounds(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]Output, int, error) {
 	states, rounds, err := RunRoundsStates(h, ids, algo, maxRounds)
 	if err != nil {
@@ -61,6 +68,15 @@ func RunRounds(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]Output, int
 // RunRoundsStates is RunRounds exposing the final per-node states
 // instead of outputs.
 func RunRoundsStates(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]any, int, error) {
+	return NewEngine(h).RunStates(ids, algo.engine(), maxRounds)
+}
+
+// RunRoundsReference is the retained sequential reference loop: per-
+// round append-built inboxes, every node visited every round. It is
+// the executable specification the Engine is differentially tested
+// against (and, unlike the engine, it permits duplicate sends on one
+// letter and hands out retainable inbox slices).
+func RunRoundsReference(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]any, int, error) {
 	n := h.G.N()
 	if ids != nil && len(ids) != n {
 		return nil, 0, fmt.Errorf("model: RunRounds: %d ids for %d nodes", len(ids), n)
@@ -280,18 +296,47 @@ func SimulatePO(h *Host, alg PO, kind Kind) (*Solution, error) {
 	}
 	sol := NewSolution(kind, h.G.N())
 	for v, t := range trees {
-		out := alg.EvalPO(t)
-		if kind == VertexKind {
-			sol.Vertices[v] = out.Member
-			continue
-		}
-		for _, l := range out.Letters {
-			to, ok := resolveLetter(h, v, l)
-			if !ok {
-				return nil, fmt.Errorf("model: node %d selected absent letter %v", v, l)
-			}
-			sol.Edges[graph.NewEdge(v, to)] = true
+		if err := applyPOOut(sol, h, v, alg.EvalPO(t)); err != nil {
+			return nil, err
 		}
 	}
 	return sol, nil
+}
+
+// SimulatePORounds is SimulatePO driven end-to-end through the round
+// engine: the radius-r view is gathered by actual message passing
+// (GatherViews executing on the Engine's message plane) and the
+// algorithm's view function is applied to the final states. By
+// equation (1) the result coincides with RunPO and SimulatePO — the
+// operational PO path at engine speed, differentially tested against
+// both.
+func SimulatePORounds(h *Host, alg PO, kind Kind) (*Solution, error) {
+	r := alg.Radius()
+	states, _, err := RunRoundsStates(h, nil, GatherViews(r), r+2)
+	if err != nil {
+		return nil, err
+	}
+	sol := NewSolution(kind, h.G.N())
+	for v, st := range states {
+		if err := applyPOOut(sol, h, v, alg.EvalPO(st.(*GatherState).Tree)); err != nil {
+			return nil, err
+		}
+	}
+	return sol, nil
+}
+
+// applyPOOut merges one node's PO output into the solution.
+func applyPOOut(sol *Solution, h *Host, v int, out Output) error {
+	if sol.Kind == VertexKind {
+		sol.Vertices[v] = out.Member
+		return nil
+	}
+	for _, l := range out.Letters {
+		to, ok := resolveLetter(h, v, l)
+		if !ok {
+			return fmt.Errorf("model: node %d selected absent letter %v", v, l)
+		}
+		sol.Edges[graph.NewEdge(v, to)] = true
+	}
+	return nil
 }

@@ -164,6 +164,28 @@ func ForScratchMerge[S any](n int, mk func() S, fn func(i int, s S), merge func(
 	}
 }
 
+// Reserve claims up to want extra-worker slots from the process-wide
+// budget of N()-1 and returns how many it got; the caller must hand
+// every claimed slot back with Release. It exists for engines that
+// manage their own persistent workers (model.Engine keeps one
+// goroutine per slot alive across a whole run instead of forking per
+// round) while still respecting the global knob: For, ForScratch and
+// Reserve all draw from the one budget, so nested use degrades to
+// inline execution instead of oversubscribing.
+func Reserve(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	return reserve(want)
+}
+
+// Release returns n slots claimed by Reserve to the budget.
+func Release(n int) {
+	if n > 0 {
+		extra.Add(-int64(n))
+	}
+}
+
 // reserve claims up to want extra-worker slots from the global budget
 // of N()-1 and returns how many it got.
 func reserve(want int) int {

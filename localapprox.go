@@ -26,7 +26,7 @@
 //	internal/problems    the six problems of Example 1.1
 //	internal/solve       exact optimisation solvers
 //	internal/algorithms  local algorithms (upper bounds + adversaries)
-//	internal/experiments the E1–E14 experiment suite
+//	internal/experiments the E1–E16 experiment suite
 //
 // Quick start (see also examples/):
 //
@@ -79,6 +79,21 @@ type (
 	Sweeper = order.Sweeper
 	// SearchOptions bounds the homogeneous-construction search.
 	SearchOptions = homog.SearchOptions
+	// Engine is the batched worker-parallel round simulator: a CSR
+	// message plane sized once from the host's arcs, double-buffered
+	// arenas, an active-set worklist and persistent per-run workers.
+	Engine = model.Engine
+	// EngineAlgo is the engine-native round-algorithm form (Step
+	// writes its outbox straight into the message plane).
+	EngineAlgo = model.EngineAlgo
+	// RoundAlgo is the classical slice-returning round algorithm.
+	RoundAlgo = model.RoundAlgo
+	// Outbox routes a node's outgoing messages into the plane.
+	Outbox = model.Outbox
+	// Msg is one message on an incident arc.
+	Msg = model.Msg
+	// NodeInfo is a node's initial knowledge.
+	NodeInfo = model.NodeInfo
 )
 
 // Solution kinds.
@@ -120,14 +135,22 @@ var (
 	RegisterFamily = host.Register
 )
 
-// Hosts and runners.
+// Hosts and runners. RunRounds executes through the batched round
+// engine (NewEngine exposes it directly for arena reuse across runs);
+// RunRoundsReference is the retained sequential specification loop,
+// and SimulatePORounds drives a PO algorithm operationally through
+// the engine's message plane.
 var (
-	HostFromGraph = model.HostFromGraph
-	NewHost       = model.NewHost
-	RunPO         = model.RunPO
-	RunOI         = model.RunOI
-	RunID         = model.RunID
-	RunRounds     = model.RunRounds
+	HostFromGraph    = model.HostFromGraph
+	NewHost          = model.NewHost
+	RunPO            = model.RunPO
+	RunOI            = model.RunOI
+	RunID            = model.RunID
+	RunRounds        = model.RunRounds
+	NewEngine        = model.NewEngine
+	RunRoundsRef     = model.RunRoundsReference
+	SimulatePO       = model.SimulatePO
+	SimulatePORounds = model.SimulatePORounds
 )
 
 // Homogeneity measurement (Definition 3.1). MeasureHomogeneity scans
@@ -158,15 +181,17 @@ var (
 	GatheredTreesAll = model.GatheredTreesAll
 )
 
-// Algorithms.
+// Algorithms. RandomizedMatching runs the §6.5 one-round mutual
+// proposals operationally on the engine.
 var (
-	EDSOneOut     = algorithms.EDSOneOut
-	ECOneEdge     = algorithms.ECOneEdge
-	DSAll         = algorithms.DSAll
-	VCAll         = algorithms.VCAll
-	VCEdgePacking = algorithms.VCEdgePacking
-	ColeVishkin   = algorithms.ColeVishkinMIS
-	IDGreedyEDS   = algorithms.IDGreedyEDS
+	EDSOneOut          = algorithms.EDSOneOut
+	ECOneEdge          = algorithms.ECOneEdge
+	DSAll              = algorithms.DSAll
+	VCAll              = algorithms.VCAll
+	VCEdgePacking      = algorithms.VCEdgePacking
+	ColeVishkin        = algorithms.ColeVishkinMIS
+	IDGreedyEDS        = algorithms.IDGreedyEDS
+	RandomizedMatching = algorithms.RandomizedMatching
 )
 
 // Main-theorem machinery.

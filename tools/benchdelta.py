@@ -27,9 +27,14 @@ Modes:
       spuriously better, so the gate stays sound (merely
       conservative). Exit 1 on any regression.
 
-Watched benchmarks (the CSR/interner/sweep hot paths the repo promises
-not to regress): ViewEncode, CanonicalBall, CanonicalBallParallel,
-SweepMeasure, SweepMeasureAll, E14Views.
+Watched benchmarks (the CSR/interner/sweep/round-engine hot paths the
+repo promises not to regress): ViewEncode, CanonicalBall,
+CanonicalBallParallel, SweepMeasure, SweepMeasureAll, E14Views,
+RunRounds (the message-plane engine: one steady-state round on the
+4096-node torus at parallelism 8 — its 0 allocs/op baseline pins the
+zero-allocation round promise; par.Set(8) fixes the worker count, so
+on smaller runners the workers timeshare and the measured ns/op can
+only be conservative).
 """
 import json
 import re
@@ -43,6 +48,7 @@ WATCHED = [
     "BenchmarkSweepMeasure",
     "BenchmarkSweepMeasureAll",
     "BenchmarkE14Views",
+    "BenchmarkRunRounds",
 ]
 
 LINE = re.compile(

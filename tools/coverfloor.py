@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Per-package coverage floor gate for CI.
+
+Usage:
+
+  coverfloor.py <go-test-cover-output> <pkg>=<floor> [<pkg>=<floor> ...]
+
+Parses `go test -cover ./...` output lines like
+
+  ok  repro/internal/model  0.042s  coverage: 90.3% of statements
+
+and fails (exit 1) when a floored package's coverage falls below its
+floor, or when a floored package is missing from the output (a deleted
+or skipped test suite must not silently pass the gate). Packages
+without a floor are reported but never gate.
+
+The floors are set just below the measured post-PR coverage of the
+packages whose tests the repo explicitly promises to keep (the intern
+shard and the model layer with its round engine), so a PR that drops
+their tests or strands dead code regresses loudly.
+"""
+import re
+import sys
+
+LINE = re.compile(r"^ok\s+(\S+)\s+.*coverage:\s+([\d.]+)% of statements")
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    path, floors = sys.argv[1], {}
+    for spec in sys.argv[2:]:
+        pkg, _, floor = spec.partition("=")
+        if not floor:
+            sys.exit(f"coverfloor: malformed floor {spec!r} (want pkg=percent)")
+        floors[pkg] = float(floor)
+
+    measured = {}
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line.strip())
+            if m:
+                measured[m.group(1)] = float(m.group(2))
+
+    failed = False
+    for pkg, floor in sorted(floors.items()):
+        got = measured.get(pkg)
+        if got is None:
+            print(f"coverfloor: FAIL {pkg}: no coverage line in {path}")
+            failed = True
+        elif got < floor:
+            print(f"coverfloor: FAIL {pkg}: {got:.1f}% below floor {floor:.1f}%")
+            failed = True
+        else:
+            print(f"coverfloor: ok {pkg}: {got:.1f}% (floor {floor:.1f}%)")
+    if failed:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
