@@ -313,6 +313,26 @@ func BenchmarkRunRounds(b *testing.B) {
 	}
 }
 
+func BenchmarkRunRoundsFaulty(b *testing.B) {
+	// The identical 4096-node torus workload through the faulty step
+	// path under lossy:p=0.05 — prices the per-slot fate draws and the
+	// dense-inbox recompaction relative to BenchmarkRunRounds.
+	// CI-gated against BENCH_ci.json: fates are pure functions of
+	// (seed, round, slot), so after the warm-up run sizes the fault
+	// arena a steady-state round stays at 0 allocs/op.
+	defer par.Set(par.Set(8))
+	h, e, states := torusEngine()
+	sched := model.MustParseProfile("lossy:p=0.05").New(h, 11)
+	if _, _, _, err := e.RunStatesFaulty(nil, benchPulseAlgo(states, 4), 8, sched); err != nil {
+		b.Fatal(err) // warm-up: fault arena, crashed bitmap
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, _, _, err := e.RunStatesFaulty(nil, benchPulseAlgo(states, b.N), b.N+2, sched); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkRunRoundsReference(b *testing.B) {
 	// The identical per-round workload through the retained reference
 	// loop (append-built [][]Msg inboxes, every node visited every

@@ -34,6 +34,19 @@
 // Scale-mode workloads: cole-vishkin (ID MIS on the directed n-cycle),
 // matching (one round of §6.5 randomized mutual proposals), gather
 // (full-information view gathering, radius -rmax or 2).
+//
+// -faults runs the scale-mode workload under a fault schedule
+// (internal/model profiles): messages dropped/duplicated/reordered
+// and nodes crashed or churned, deterministically in -seed, with the
+// injected-fault counts and survivor-safety checks reported instead
+// of the clean feasibility guarantee:
+//
+//	localsim -algo cole-vishkin -n 100000 -faults lossy:p=0.05
+//	localsim -algo matching -host torus:400x250 -faults crash:f=100,by=8
+//
+// An unknown -faults descriptor lists the valid profile grammar, and
+// -faults without -algo is rejected (fault schedules run on the
+// engine's message plane only).
 package main
 
 import (
@@ -65,6 +78,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for random graphs and identifiers")
 	rmax := flag.Int("rmax", 0, "also print the per-radius homogeneity table for radii 1..rmax (one layered sweep; unset = off)")
 	algo := flag.String("algo", "", "scale mode: run this engine workload (cole-vishkin|matching|gather) at -n / -host, skipping exact optima")
+	faults := flag.String("faults", "", "scale mode: run under this fault profile (e.g. lossy:p=0.05, crash:f=100,by=8); unknown descriptors list the grammar")
 	flag.Parse()
 	rmaxSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -76,8 +90,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "localsim: -rmax %d out of range (valid radii: 1..%d)\n", *rmax, maxRmax)
 		os.Exit(1)
 	}
+	var prof *model.Profile
+	if *faults != "" {
+		if *algo == "" {
+			fmt.Fprintln(os.Stderr, "localsim: -faults needs -algo (fault schedules run on the engine's message plane; scale mode only)")
+			os.Exit(1)
+		}
+		var err error
+		prof, err = model.ParseProfile(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "localsim:", err)
+			os.Exit(1)
+		}
+	}
 	if *algo != "" {
-		if err := runScale(*algo, *hostDesc, *n, *seed, *rmax); err != nil {
+		if err := runScale(*algo, *hostDesc, *n, *seed, *rmax, prof); err != nil {
 			fmt.Fprintln(os.Stderr, "localsim:", err)
 			os.Exit(1)
 		}
@@ -105,7 +132,10 @@ func resolveHost(hostDesc string) (*model.Host, string, error) {
 // runScale is the engine scale mode: workloads that stay linear in the
 // host size, so -n 1000000 is a routine run. Exact optima and global
 // ratio reporting are skipped; feasibility is still verified in full.
-func runScale(algo, hostDesc string, n int, seed int64, rmax int) error {
+// With a fault profile the workload runs on the faulty message plane
+// instead, and the report swaps the feasibility guarantee for the
+// injected-fault counts and the survivor-safety checks.
+func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Profile) error {
 	switch algo {
 	case "cole-vishkin", "matching", "gather":
 	default:
@@ -131,7 +161,13 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int) error {
 		return err
 	}
 	n = h.G.N()
-	fmt.Printf("scale mode: %s on %s (n=%d, m=%d)\n", algo, desc, n, h.G.M())
+	var sched model.Schedule
+	if prof != nil {
+		sched = prof.New(h, seed)
+		fmt.Printf("scale mode: %s on %s (n=%d, m=%d) under faults %s\n", algo, desc, n, h.G.M(), prof.Desc)
+	} else {
+		fmt.Printf("scale mode: %s on %s (n=%d, m=%d)\n", algo, desc, n, h.G.M())
+	}
 	start := time.Now()
 	switch algo {
 	case "cole-vishkin":
@@ -139,6 +175,17 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int) error {
 			return fmt.Errorf("cole-vishkin needs a consistently oriented cycle host (out- and in-degree 1)")
 		}
 		ids := rng.Perm(8 * n)[:n]
+		if prof != nil {
+			res, err := algorithms.ColeVishkinMISFaulty(h, ids, sched)
+			if err != nil {
+				return err
+			}
+			rep := res.Report
+			fmt.Printf("rounds: %d   |MIS| = %d   crashed: %d   dropped: %d   violations: %d   uncovered: %d   wall: %s\n",
+				res.Rounds, res.MIS.Size(), rep.NumCrashed, rep.Dropped,
+				res.Violations, res.Uncovered, time.Since(start).Round(time.Millisecond))
+			return nil
+		}
 		res, err := algorithms.ColeVishkinMIS(h, ids)
 		if err != nil {
 			return err
@@ -149,6 +196,17 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int) error {
 		fmt.Printf("rounds: %d   |MIS| = %d   |MIS|/n = %.4f   feasible: yes   wall: %s\n",
 			res.Rounds, res.MIS.Size(), float64(res.MIS.Size())/float64(n), time.Since(start).Round(time.Millisecond))
 	case "matching":
+		if prof != nil {
+			res, err := algorithms.RandomizedMatchingFaulty(h, rng, sched)
+			if err != nil {
+				return err
+			}
+			rep := res.Report
+			fmt.Printf("rounds: 2   |M| = %d   crashed: %d   dropped: %d   conflicts: %d   wall: %s\n",
+				res.Matching.Size(), rep.NumCrashed, rep.Dropped, res.Conflicts,
+				time.Since(start).Round(time.Millisecond))
+			return nil
+		}
 		sol := algorithms.RandomizedMatching(h, rng)
 		if err := (problems.MaxMatching{}).Feasible(h.G, sol); err != nil {
 			return fmt.Errorf("solution infeasible: %w", err)
@@ -159,6 +217,22 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int) error {
 		r := 2
 		if rmax >= 1 {
 			r = rmax
+		}
+		if prof != nil {
+			states, rounds, rep, err := model.RunRoundsStatesFaulty(h, nil, model.GatherViews(r), r+2+256, sched)
+			if err != nil {
+				return err
+			}
+			types := map[*view.Tree]bool{}
+			for v, st := range states {
+				if rep.CrashedNode(v) {
+					continue
+				}
+				types[st.(*model.GatherState).Tree] = true
+			}
+			fmt.Printf("rounds: %d   radius-%d view types: %d   crashed: %d   dropped: %d   wall: %s\n",
+				rounds, r, len(types), rep.NumCrashed, rep.Dropped, time.Since(start).Round(time.Millisecond))
+			return nil
 		}
 		states, rounds, err := model.RunRoundsStates(h, nil, model.GatherViews(r), r+2)
 		if err != nil {

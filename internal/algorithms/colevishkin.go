@@ -61,17 +61,45 @@ func ColeVishkinMIS(h *model.Host, ids []int) (*ColeVishkinResult, error) {
 		}
 	}
 	steps := cvSteps(maxID)
-	// Round schedule (every live node broadcasts (color, inMIS) on
-	// both arcs every round):
-	//   rounds 1..steps          — CV recolour on the predecessor's colour
-	//   rounds steps+1..steps+3  — shift down colour 5, then 4, then 3
-	//   rounds steps+4..steps+6  — MIS sweep for colour 0, then 1, then 2
 	last := steps + 6
+	states, rounds, err := model.NewEngine(h).RunStates(ids, coleVishkinAlgo(steps, last), last+2)
+	if err != nil {
+		return nil, fmt.Errorf("algorithms: Cole–Vishkin: %w", err)
+	}
+	res := &ColeVishkinResult{
+		MIS:    model.NewSolution(model.VertexKind, h.G.N()),
+		Rounds: rounds,
+		Colors: make([]int, h.G.N()),
+	}
+	for v, st := range states {
+		s := st.(*cvState)
+		res.MIS.Vertices[v] = s.inMIS
+		res.Colors[v] = s.color
+		if s.color < 0 || s.color > 2 {
+			return nil, fmt.Errorf("algorithms: node %d ended with colour %d", v, s.color)
+		}
+	}
+	return res, nil
+}
 
-	// Engine-native form: the outbox is written straight into the
-	// message plane (no per-step slice), so a million-node cycle runs
-	// with no per-round allocation beyond the cvMsg payload boxing.
-	algo := model.EngineAlgo{
+// coleVishkinAlgo is the engine-native Cole–Vishkin pipeline, shared
+// by the clean run and the fault-schedule run. Round schedule (every
+// live node broadcasts (color, inMIS) on both arcs every round):
+//
+//	rounds 1..steps          — CV recolour on the predecessor's colour
+//	rounds steps+1..steps+3  — shift down colour 5, then 4, then 3
+//	rounds steps+4..steps+6  — MIS sweep for colour 0, then 1, then 2
+//
+// The outbox is written straight into the message plane (no per-step
+// slice), so a million-node cycle runs with no per-round allocation
+// beyond the cvMsg payload boxing. A dropped message leaves the zero
+// cvMsg in its place and a node transiently down resumes mid-schedule
+// — both degrade the colouring rather than crash it, which is exactly
+// what the fault experiments measure. Halting is round >= last so a
+// node that was down at the scheduled halting round still halts at
+// its next up round (identical to == on clean runs).
+func coleVishkinAlgo(steps, last int) model.EngineAlgo {
+	return model.EngineAlgo{
 		Init: func(info model.NodeInfo) any {
 			return &cvState{letters: info.Letters, color: info.ID}
 		},
@@ -106,7 +134,7 @@ func ColeVishkinMIS(h *model.Host, ids []int) (*ColeVishkinResult, error) {
 					s.inMIS = true
 				}
 			}
-			if round == last {
+			if round >= last {
 				return s, true
 			}
 			for _, l := range s.letters {
@@ -118,25 +146,6 @@ func ColeVishkinMIS(h *model.Host, ids []int) (*ColeVishkinResult, error) {
 			return model.Output{Member: state.(*cvState).inMIS}
 		},
 	}
-
-	states, rounds, err := model.NewEngine(h).RunStates(ids, algo, last+2)
-	if err != nil {
-		return nil, fmt.Errorf("algorithms: Cole–Vishkin: %w", err)
-	}
-	res := &ColeVishkinResult{
-		MIS:    model.NewSolution(model.VertexKind, h.G.N()),
-		Rounds: rounds,
-		Colors: make([]int, h.G.N()),
-	}
-	for v, st := range states {
-		s := st.(*cvState)
-		res.MIS.Vertices[v] = s.inMIS
-		res.Colors[v] = s.color
-		if s.color < 0 || s.color > 2 {
-			return nil, fmt.Errorf("algorithms: node %d ended with colour %d", v, s.color)
-		}
-	}
-	return res, nil
 }
 
 // CVRounds predicts the number of rounds ColeVishkinMIS uses for a

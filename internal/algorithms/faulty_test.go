@@ -1,0 +1,112 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/problems"
+)
+
+// TestRandomizedMatchingFaultyClean: a nil schedule reproduces the
+// clean matching for the same rng stream, with an all-zero report.
+func TestRandomizedMatchingFaultyClean(t *testing.T) {
+	h := model.HostFromGraph(graph.Torus(8, 8))
+	want := RandomizedMatching(h, rand.New(rand.NewSource(4)))
+	res, err := RandomizedMatchingFaulty(h, rand.New(rand.NewSource(4)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solutionsEqual(want, res.Matching) {
+		t.Error("clean faulty matching differs from RandomizedMatching")
+	}
+	if res.Report.Profile != "clean" || res.Report.Dropped != 0 || res.Conflicts != 0 {
+		t.Errorf("clean report: %+v conflicts=%d", res.Report, res.Conflicts)
+	}
+}
+
+// TestRandomizedMatchingFaultyDegrades: under every profile the output
+// stays a feasible matching — loss only shrinks it. Failures print
+// the reproducer (seed, profile).
+func TestRandomizedMatchingFaultyDegrades(t *testing.T) {
+	h := model.HostFromGraph(graph.Torus(10, 10))
+	clean := RandomizedMatching(h, rand.New(rand.NewSource(4)))
+	for _, profile := range []string{"lossy:p=0.3", "dup+reorder", "crash:f=10,by=1", "churn:p=0.3,window=1", "adversarial:p=0.2,f=5,by=1"} {
+		sched := model.MustParseProfile(profile).New(h, 6)
+		res, err := RandomizedMatchingFaulty(h, rand.New(rand.NewSource(4)), sched)
+		if err != nil {
+			t.Fatalf("%v — reproducer (seed 6, profile %q)", err, profile)
+		}
+		if res.Conflicts != 0 {
+			t.Errorf("%d conflicts — reproducer (seed 6, profile %q)", res.Conflicts, profile)
+		}
+		if err := (problems.MaxMatching{}).Feasible(h.G, res.Matching); err != nil {
+			t.Errorf("infeasible matching: %v — reproducer (seed 6, profile %q)", err, profile)
+		}
+		if res.Matching.Size() > clean.Size() {
+			t.Errorf("faulty matching larger than clean (%d > %d) — reproducer (seed 6, profile %q)",
+				res.Matching.Size(), clean.Size(), profile)
+		}
+	}
+	// Heavy loss must actually cost edges.
+	sched := model.MustParseProfile("lossy:p=0.5").New(h, 6)
+	res, err := RandomizedMatchingFaulty(h, rand.New(rand.NewSource(4)), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size() >= clean.Size() {
+		t.Errorf("p=0.5 loss kept the full matching (%d vs clean %d)", res.Matching.Size(), clean.Size())
+	}
+}
+
+// TestColeVishkinFaultyCleanAndCrash: a nil schedule reproduces the
+// clean MIS with zero safety counts; a crash schedule keeps the
+// survivor-induced output safe when the crashes happen after the
+// colour reduction cannot be disturbed (crash-stop loses messages,
+// but the survivors' sweep only ever abstains, never collides, on a
+// cycle with both neighbours reporting).
+func TestColeVishkinFaultyCleanAndCrash(t *testing.T) {
+	n := 64
+	h := dcycleHost(t, n)
+	ids := rand.New(rand.NewSource(1)).Perm(4 * n)[:n]
+	clean, err := ColeVishkinMIS(h, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ColeVishkinMISFaulty(h, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solutionsEqual(clean.MIS, res.MIS) || res.Violations != 0 || res.Uncovered != 0 {
+		t.Errorf("clean faulty CV differs: violations=%d uncovered=%d", res.Violations, res.Uncovered)
+	}
+	if res.Rounds != clean.Rounds {
+		t.Errorf("clean faulty CV rounds %d vs %d", res.Rounds, clean.Rounds)
+	}
+
+	crash, err := ColeVishkinMISFaulty(h, ids, model.MustParseProfile("crash:f=6,by=4").New(h, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crash.Report.NumCrashed != 6 {
+		t.Errorf("crashed %d nodes, want 6", crash.Report.NumCrashed)
+	}
+	for v := 0; v < n; v++ {
+		if crash.Report.CrashedNode(v) && crash.MIS.Vertices[v] {
+			t.Errorf("crashed node %d reported as MIS member", v)
+		}
+	}
+	// Heavy loss on the colour exchange must produce measurable safety
+	// degradation (that is the E17 curve).
+	lossy, err := ColeVishkinMISFaulty(h, ids, model.MustParseProfile("lossy:p=0.3").New(h, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Violations == 0 && lossy.Uncovered == 0 {
+		t.Error("p=0.3 loss left the MIS fully safe — degradation not observable")
+	}
+	if lossy.Report.Dropped == 0 {
+		t.Error("lossy run dropped nothing")
+	}
+}

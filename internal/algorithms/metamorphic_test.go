@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/order"
+	"repro/internal/view"
 )
 
 // oiAsID adapts an OI algorithm to the ID interface: the identified
@@ -159,6 +160,103 @@ func TestMetamorphicCVRoundsMaxID(t *testing.T) {
 		if want := CVRounds(maxID) + 1; r1.Rounds != want {
 			t.Errorf("measured %d rounds, predicted horizon %d — reproducer seed %d",
 				r1.Rounds, want, seed)
+		}
+		// The same property under a seeded lossy schedule: loss degrades
+		// colours, never the round count — no node is ever down, so the
+		// max-id horizon still decides when every node halts, for either
+		// id assignment.
+		const profile = "lossy:p=0.1"
+		sched := model.MustParseProfile(profile).New(h, seed)
+		f1, err := ColeVishkinMISFaulty(h, ids1, sched)
+		if err != nil {
+			t.Fatalf("faulty ids1: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+		}
+		f2, err := ColeVishkinMISFaulty(h, ids2, sched)
+		if err != nil {
+			t.Fatalf("faulty ids2: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+		}
+		if f1.Rounds != r1.Rounds || f2.Rounds != r1.Rounds {
+			t.Errorf("lossy rounds %d/%d differ from clean %d — reproducer (seed %d, profile %q)",
+				f1.Rounds, f2.Rounds, r1.Rounds, seed, profile)
+		}
+		again, err := ColeVishkinMISFaulty(h, ids1, model.MustParseProfile(profile).New(h, seed))
+		if err != nil {
+			t.Fatalf("faulty rerun: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+		}
+		if !solutionsEqual(f1.MIS, again.MIS) || f1.Violations != again.Violations || f1.Uncovered != again.Uncovered {
+			t.Errorf("faulty Cole–Vishkin not reproducible — reproducer (seed %d, profile %q)", seed, profile)
+		}
+	}
+}
+
+// floodRankAlgo is an order-invariant engine workload for the faulty
+// metamorphic legs: every node floods the largest identifier heard
+// for a fixed number of rounds and outputs whether it heard one
+// larger than its own. Both the message pattern and the output depend
+// on identifiers only through their relative order.
+func floodRankAlgo(rounds int) model.RoundAlgo {
+	type st struct {
+		letters []view.Letter
+		id      int
+		best    int
+	}
+	return model.RoundAlgo{
+		Init: func(info model.NodeInfo) any {
+			return &st{letters: info.Letters, id: info.ID, best: info.ID}
+		},
+		Step: func(state any, round int, inbox []model.Msg) (any, []model.Msg, bool) {
+			s := state.(*st)
+			for _, m := range inbox {
+				if v := m.Data.(int); v > s.best {
+					s.best = v
+				}
+			}
+			if round >= rounds {
+				return s, nil, true
+			}
+			out := make([]model.Msg, 0, len(s.letters))
+			for _, l := range s.letters {
+				out = append(out, model.Msg{L: l, Data: s.best})
+			}
+			return s, out, false
+		},
+		Out: func(state any) model.Output {
+			s := state.(*st)
+			return model.Output{Member: s.best > s.id}
+		},
+	}
+}
+
+// TestMetamorphicFaultyOIInvariance is the OI-invariance property on
+// the faulty message plane: fault decisions are pure functions of
+// (seed, round, slot/node) — of the topology, never of identifiers —
+// so a faulty execution of an order-invariant workload commutes with
+// rank-preserving relabelings. For every seeded host, two monotone id
+// assignments of one rank produce byte-identical outputs under the
+// same lossy (and churn) schedule. Failures print the reproducer
+// (seed, profile).
+func TestMetamorphicFaultyOIInvariance(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		for _, profile := range []string{"lossy:p=0.15", "churn:p=0.2,window=1"} {
+			rng := rand.New(rand.NewSource(seed))
+			h := metamorphicHost(rng)
+			n := h.G.N()
+			rank := order.Rank(rng.Perm(n))
+			ids1 := monotoneIDs(rank, rng)
+			ids2 := monotoneIDs(rank, rng)
+			sched := model.MustParseProfile(profile).New(h, seed)
+			o1, r1, rep1, err := model.RunRoundsFaulty(h, ids1, floodRankAlgo(3), 300, sched)
+			if err != nil {
+				t.Fatalf("ids1: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+			}
+			o2, r2, rep2, err := model.RunRoundsFaulty(h, ids2, floodRankAlgo(3), 300, sched)
+			if err != nil {
+				t.Fatalf("ids2: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+			}
+			if r1 != r2 || !reflect.DeepEqual(o1, o2) || !reflect.DeepEqual(rep1, rep2) {
+				t.Errorf("faulty execution not order-invariant on n=%d host — reproducer (seed %d, profile %q)",
+					n, seed, profile)
+			}
 		}
 	}
 }

@@ -42,13 +42,17 @@ type proposeState struct {
 	letter view.Letter
 	// propose is false on isolated nodes.
 	propose bool
+	// sent records that the proposal actually left the node (a node
+	// transiently down in round 0 never sends, so it cannot match).
+	sent bool
 	// matched reports a mutual proposal.
 	matched bool
 }
 
-// randomizedMatchingOn is RandomizedMatching on a caller-provided
-// engine, so repeated trials reuse one message plane.
-func randomizedMatchingOn(e *model.Engine, h *model.Host, rng *rand.Rand) *model.Solution {
+// drawProposals pre-draws every node's proposal sequentially, keeping
+// the rng stream off the parallel rounds (and off the fault schedule:
+// the same seed proposes identically under every profile).
+func drawProposals(h *model.Host, rng *rand.Rand) ([]int, []proposeState) {
 	g := h.G
 	n := g.N()
 	proposal := make([]int, n)
@@ -60,8 +64,17 @@ func randomizedMatchingOn(e *model.Engine, h *model.Host, rng *rand.Rand) *model
 			states[v] = proposeState{letter: letterTo(h, v, proposal[v]), propose: true}
 		}
 	}
+	return proposal, states
+}
+
+// proposalAlgo is the one-round mutual-proposal exchange over
+// pre-drawn states. A node matches when a proposal arrives on the arc
+// it itself proposed (and sent) along; on a faulty plane one or both
+// directions may be lost, but the selected edge set stays a matching
+// because each node only ever selects the single edge it proposed.
+func proposalAlgo(states []proposeState) model.EngineAlgo {
 	nextInit := 0
-	algo := model.EngineAlgo{
+	return model.EngineAlgo{
 		// Init is called sequentially in node order: it hands out the
 		// pre-drawn states, keeping every random bit off the parallel
 		// rounds.
@@ -75,10 +88,11 @@ func randomizedMatchingOn(e *model.Engine, h *model.Host, rng *rand.Rand) *model
 			if round == 0 {
 				if s.propose {
 					out.Send(s.letter, nil) // arrival alone carries "I propose to you"
+					s.sent = true
 				}
 				return s, false
 			}
-			if s.propose {
+			if s.propose && s.sent {
 				for i := range inbox {
 					if inbox[i].L == s.letter {
 						s.matched = true
@@ -89,7 +103,14 @@ func randomizedMatchingOn(e *model.Engine, h *model.Host, rng *rand.Rand) *model
 		},
 		Out: func(any) model.Output { return model.Output{} },
 	}
-	if _, _, err := e.RunStates(nil, algo, 3); err != nil {
+}
+
+// randomizedMatchingOn is RandomizedMatching on a caller-provided
+// engine, so repeated trials reuse one message plane.
+func randomizedMatchingOn(e *model.Engine, h *model.Host, rng *rand.Rand) *model.Solution {
+	n := h.G.N()
+	proposal, states := drawProposals(h, rng)
+	if _, _, err := e.RunStates(nil, proposalAlgo(states), 3); err != nil {
 		// Unreachable: every letter was resolved from a real arc and
 		// each node sends at most once.
 		panic(fmt.Sprintf("algorithms: randomized matching round: %v", err))

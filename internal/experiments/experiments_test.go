@@ -388,6 +388,64 @@ func TestScaleRounds(t *testing.T) {
 	}
 }
 
+func TestDegradation(t *testing.T) {
+	// The full E17 grid runs at 10^5 nodes; the test runs the same code
+	// small: one clean baseline plus a lossy and a crashing profile per
+	// workload.
+	tbl, err := degradation(256,
+		[]string{"clean", "lossy:p=0.1", "crash:f=8,by=4"},
+		[]string{"cycle:128", "torus:8x8"},
+		[]string{"clean", "lossy:p=0.2", "churn:p=0.2,window=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "E17" {
+		t.Errorf("table id %q", tbl.ID)
+	}
+	if len(tbl.Rows) != 3+2*3 {
+		t.Fatalf("expected 9 rows, got %d", len(tbl.Rows))
+	}
+	// Clean rows: no faults, safe, and identical selected counts to a
+	// rerun (determinism is asserted in bulk below).
+	for _, i := range []int{0, 3, 6} {
+		if cell(t, tbl, i, 2) != "clean" {
+			t.Fatalf("row %d: expected clean profile, got %q", i, cell(t, tbl, i, 2))
+		}
+		if cell(t, tbl, i, 9) != "yes" {
+			t.Errorf("clean row %d not safe", i)
+		}
+		if d := cellFloat(t, tbl, i, 6); d != 0 {
+			t.Errorf("clean row %d dropped %v messages", i, d)
+		}
+	}
+	// The lossy CV row must actually drop messages; the crash row must
+	// actually crash nodes; matching stays a matching under every
+	// profile.
+	if d := cellFloat(t, tbl, 1, 6); d <= 0 {
+		t.Errorf("lossy CV row dropped %v messages", d)
+	}
+	if c := cellFloat(t, tbl, 2, 5); c != 8 {
+		t.Errorf("crash CV row crashed %v nodes, want 8", c)
+	}
+	for i := 3; i < 9; i++ {
+		if cell(t, tbl, i, 9) != "yes" {
+			t.Errorf("matching row %d: conflicts under %s", i, cell(t, tbl, i, 2))
+		}
+	}
+	// Full-table determinism: the same seeds and profiles reproduce
+	// every cell.
+	again, err := degradation(256,
+		[]string{"clean", "lossy:p=0.1", "crash:f=8,by=4"},
+		[]string{"cycle:128", "torus:8x8"},
+		[]string{"clean", "lossy:p=0.2", "churn:p=0.2,window=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.String() != again.String() {
+		t.Errorf("E17 not reproducible from its seeds")
+	}
+}
+
 func TestRoundsOnHosted(t *testing.T) {
 	// A plain family host runs matching only; a consistently oriented
 	// cycle additionally runs Cole–Vishkin.
@@ -422,8 +480,8 @@ func TestAllRegistry(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 16 {
-		t.Errorf("expected 16 experiments, got %d", len(seen))
+	if len(seen) != 17 {
+		t.Errorf("expected 17 experiments, got %d", len(seen))
 	}
 }
 

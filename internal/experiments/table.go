@@ -17,6 +17,7 @@
 //	E14 Fig. 4/5     view trees and |T*|
 //	E15 §6.5         determinism vs randomness (matching)
 //	E16 Fig. 2, §6.5 million-node operational rounds (engine)
+//	E17 Fig. 2, §6.5 approximation degradation under fault schedules
 //
 // Each experiment returns a Table that cmd/experiments prints and that
 // EXPERIMENTS.md records.
@@ -166,5 +167,6 @@ func All() []Experiment {
 		{ID: "E14", Name: "views and T*", Run: Views},
 		{ID: "E15", Name: "determinism vs randomness", Run: Randomized},
 		{ID: "E16", Name: "million-node operational rounds", Run: ScaleRounds},
+		{ID: "E17", Name: "degradation under fault schedules", Run: Degradation},
 	}
 }

@@ -73,6 +73,13 @@ type Engine struct {
 	dense   []Msg
 	errs    []error
 	errFlag atomic.Bool
+
+	// Faulty-path state, lazily allocated on the first faulty run so
+	// clean engines pay nothing: fdense is the fault-schedule dense-
+	// inbox arena (two slots per plane slot, so duplicated deliveries
+	// fit), and crashed marks permanently crashed nodes.
+	fdense  []Msg
+	crashed []bool
 }
 
 // EngineAlgo is the engine-native form of a round algorithm: Step
@@ -211,6 +218,26 @@ type Outbox struct {
 	v    int32
 	nxt  int   // arena written this round
 	want int64 // stamp marking next-round messages
+
+	// round and prof contextualise error strings (prof is "" on clean
+	// runs; see errf), and the counters accumulate this worker's
+	// fault events for the run's FaultReport.
+	round     int
+	prof      string
+	dropped   int64
+	duped     int64
+	reordered int64
+	downSteps int64
+}
+
+// errf builds a run error carrying the round number and, on faulty
+// runs, the fault-profile descriptor.
+func (ob *Outbox) errf(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if ob.prof != "" {
+		return fmt.Errorf("model: round %d [%s]: %s", ob.round, ob.prof, msg)
+	}
+	return fmt.Errorf("model: round %d: %s", ob.round, msg)
 }
 
 // Send emits a message on the arc named l at the sending node, to be
@@ -221,13 +248,13 @@ func (ob *Outbox) Send(l view.Letter, data any) {
 	v := int(ob.v)
 	s := e.slot(v, l)
 	if s == e.off[v+1] {
-		e.fail(v, fmt.Errorf("model: node %d sent on absent letter %v", v, l))
+		e.fail(v, ob.errf("node %d sent on absent letter %v", v, l))
 		return
 	}
 	d := ob.e.dest[s]
 	st := e.stamp[ob.nxt]
 	if st[d] == ob.want {
-		e.fail(v, fmt.Errorf("model: node %d sent twice on letter %v", v, l))
+		e.fail(v, ob.errf("node %d sent twice on letter %v", v, l))
 		return
 	}
 	e.buf[ob.nxt][d].Data = data
@@ -252,8 +279,34 @@ func (e *Engine) Run(ids []int, algo EngineAlgo, maxRounds int) ([]Output, int, 
 // node has not halted after maxRounds. The returned slice is owned by
 // the engine and is overwritten by its next run.
 func (e *Engine) RunStates(ids []int, algo EngineAlgo, maxRounds int) ([]any, int, error) {
+	states, rounds, _, err := e.runStates(ids, algo, maxRounds, nil)
+	return states, rounds, err
+}
+
+// RunStatesFaulty is RunStates executing under a fault schedule: the
+// schedule's Fate is applied to every delivery at inbox-compaction
+// time (so drops, duplicates and reorderings happen between
+// Outbox.Send and the receiver's Step), its State gates which nodes
+// step each round (down nodes skip the round silently; crashed nodes
+// leave the worklist for good), and the returned FaultReport counts
+// what actually happened. A nil schedule is the clean profile: the
+// run takes the engine's exact clean path and the report is all-zero.
+// Crashed nodes keep the last state they reached; callers decide how
+// to treat their outputs (FaultReport.CrashedNode).
+func (e *Engine) RunStatesFaulty(ids []int, algo EngineAlgo, maxRounds int, sched Schedule) ([]any, int, *FaultReport, error) {
+	states, rounds, rep, err := e.runStates(ids, algo, maxRounds, sched)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if rep == nil {
+		rep = &FaultReport{Profile: "clean"}
+	}
+	return states, rounds, rep, nil
+}
+
+func (e *Engine) runStates(ids []int, algo EngineAlgo, maxRounds int, sched Schedule) ([]any, int, *FaultReport, error) {
 	if ids != nil && len(ids) != e.n {
-		return nil, 0, fmt.Errorf("model: RunRounds: %d ids for %d nodes", len(ids), e.n)
+		return nil, 0, nil, fmt.Errorf("model: RunRounds: %d ids for %d nodes", len(ids), e.n)
 	}
 	for v := 0; v < e.n; v++ {
 		info := NodeInfo{ID: -1, Letters: e.info[e.off[v]:e.off[v+1]:e.off[v+1]]}
@@ -264,9 +317,27 @@ func (e *Engine) RunStates(ids []int, algo EngineAlgo, maxRounds int) ([]any, in
 		e.halted[v] = false
 		e.errs[v] = nil
 	}
+	prof := ""
+	if sched != nil {
+		prof = sched.String()
+		if e.fdense == nil {
+			e.fdense = make([]Msg, 2*len(e.dense))
+		}
+		if e.crashed == nil {
+			e.crashed = make([]bool, e.n)
+		} else {
+			for v := range e.crashed {
+				e.crashed[v] = false
+			}
+		}
+	}
 	e.errFlag.Store(false)
 	active := e.active[:0]
 	for v := 0; v < e.n; v++ {
+		if sched != nil && sched.State(0, int32(v)) == StateCrashed {
+			e.crashed[v] = true
+			continue
+		}
 		active = append(active, int32(v))
 	}
 	base := e.tick
@@ -307,6 +378,51 @@ func (e *Engine) RunStates(ids []int, algo EngineAlgo, maxRounds int) ([]any, in
 		e.states[v] = ns
 		e.halted[v] = done
 	}
+	// stepFaulty is stepNode with the schedule interposed between the
+	// plane and the receiver: liveness gating, per-delivery fates
+	// (compacted into the double-width fdense arena so duplicates
+	// fit), and adversarial inbox permutation.
+	stepFaulty := func(v int, ob *Outbox) {
+		switch sched.State(round, int32(v)) {
+		case StateDown:
+			ob.downSteps++
+			return
+		case StateCrashed:
+			return
+		}
+		lo, hi := e.off[v], e.off[v+1]
+		st := e.stamp[curArena]
+		k := 2 * lo
+		for s := lo; s < hi; s++ {
+			if st[s] != curWant {
+				continue
+			}
+			switch sched.Fate(round, s) {
+			case Drop:
+				ob.dropped++
+				continue
+			case Duplicate:
+				ob.duped++
+				e.fdense[k] = e.buf[curArena][s]
+				k++
+			}
+			e.fdense[k] = e.buf[curArena][s]
+			k++
+		}
+		inbox := e.fdense[2*lo : k]
+		if seed := sched.Reorder(round, int32(v)); seed != 0 && len(inbox) > 1 {
+			shuffleMsgs(inbox, seed)
+			ob.reordered++
+		}
+		ob.v = int32(v)
+		ns, done := algo.Step(e.states[v], round, inbox, ob)
+		e.states[v] = ns
+		e.halted[v] = done
+	}
+	step := stepNode
+	if sched != nil {
+		step = stepFaulty
+	}
 	roundWork := func(ob *Outbox) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -327,7 +443,7 @@ func (e *Engine) RunStates(ids []int, algo EngineAlgo, maxRounds int) ([]any, in
 				hi = int64(len(active))
 			}
 			for _, v := range active[lo:hi] {
-				stepNode(int(v), ob)
+				step(int(v), ob)
 			}
 		}
 	}
@@ -339,25 +455,31 @@ func (e *Engine) RunStates(ids []int, algo EngineAlgo, maxRounds int) ([]any, in
 		workers = par.Reserve(min(par.N()-1, e.n-1))
 	}
 	defer par.Release(workers)
+	// Outboxes live outside the goroutines (master's is last) so the
+	// per-worker fault counters are collectable after the run.
+	obs := make([]*Outbox, workers+1)
+	for w := range obs {
+		obs[w] = &Outbox{e: e, prof: prof}
+	}
 	start := make([]chan struct{}, workers)
 	for w := range start {
 		start[w] = make(chan struct{}, 1)
-		go func(ch chan struct{}) {
-			ob := &Outbox{e: e}
+		go func(ch chan struct{}, ob *Outbox) {
 			for range ch {
 				ob.nxt = curArena ^ 1
 				ob.want = curWant + 1
+				ob.round = round
 				roundWork(ob)
 				wg.Done()
 			}
-		}(start[w])
+		}(start[w], obs[w])
 	}
 	defer func() {
 		for _, ch := range start {
 			close(ch)
 		}
 	}()
-	masterOb := &Outbox{e: e}
+	masterOb := obs[workers]
 
 	for ; round < maxRounds && len(active) > 0; round++ {
 		curArena = round & 1
@@ -370,6 +492,7 @@ func (e *Engine) RunStates(ids []int, algo EngineAlgo, maxRounds int) ([]any, in
 		}
 		masterOb.nxt = curArena ^ 1
 		masterOb.want = curWant + 1
+		masterOb.round = round
 		roundWork(masterOb)
 		wg.Wait()
 		if panicked != nil {
@@ -378,16 +501,30 @@ func (e *Engine) RunStates(ids []int, algo EngineAlgo, maxRounds int) ([]any, in
 		if e.errFlag.Load() {
 			for _, v := range active {
 				if err := e.errs[v]; err != nil {
-					return nil, 0, err
+					return nil, 0, nil, err
 				}
 			}
 		}
 		// Compact the active worklist; the spare buffer flips roles so
-		// neither list is reallocated.
+		// neither list is reallocated. On the faulty path nodes whose
+		// crash round has arrived leave the worklist permanently.
 		nxt := e.spare[:0]
-		for _, v := range active {
-			if !e.halted[v] {
+		if sched != nil {
+			for _, v := range active {
+				if e.halted[v] {
+					continue
+				}
+				if sched.State(round+1, v) == StateCrashed {
+					e.crashed[v] = true
+					continue
+				}
 				nxt = append(nxt, v)
+			}
+		} else {
+			for _, v := range active {
+				if !e.halted[v] {
+					nxt = append(nxt, v)
+				}
 			}
 		}
 		e.spare = active[:0]
@@ -395,7 +532,26 @@ func (e *Engine) RunStates(ids []int, algo EngineAlgo, maxRounds int) ([]any, in
 	}
 	e.active = active[:0]
 	if len(active) > 0 {
-		return nil, 0, fmt.Errorf("model: node %d did not halt within %d rounds", active[0], maxRounds)
+		if prof != "" {
+			return nil, 0, nil, fmt.Errorf("model: node %d did not halt within %d rounds [%s]", active[0], maxRounds, prof)
+		}
+		return nil, 0, nil, fmt.Errorf("model: node %d did not halt within %d rounds", active[0], maxRounds)
 	}
-	return e.states, round, nil
+	var rep *FaultReport
+	if sched != nil {
+		rep = &FaultReport{Profile: prof}
+		for _, ob := range obs {
+			rep.Dropped += ob.dropped
+			rep.Duplicated += ob.duped
+			rep.Reordered += ob.reordered
+			rep.DownSteps += ob.downSteps
+		}
+		rep.Crashed = append([]bool(nil), e.crashed...)
+		for _, c := range rep.Crashed {
+			if c {
+				rep.NumCrashed++
+			}
+		}
+	}
+	return e.states, round, rep, nil
 }

@@ -71,6 +71,32 @@ func RunRoundsStates(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]any, 
 	return NewEngine(h).RunStates(ids, algo.engine(), maxRounds)
 }
 
+// RunRoundsFaulty is RunRounds executing under a fault schedule (see
+// Schedule and ParseProfile): messages are dropped, duplicated and
+// reordered and nodes crashed or churned exactly as the schedule
+// decides, deterministically in (host, algo, seed, profile). The
+// FaultReport summarises the injected faults; crashed nodes'
+// outputs are extracted from the last state they reached, and
+// FaultReport.CrashedNode says which those are. A nil schedule runs
+// clean.
+func RunRoundsFaulty(h *Host, ids []int, algo RoundAlgo, maxRounds int, sched Schedule) ([]Output, int, *FaultReport, error) {
+	states, rounds, rep, err := NewEngine(h).RunStatesFaulty(ids, algo.engine(), maxRounds, sched)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	outs := make([]Output, len(states))
+	for v, st := range states {
+		outs[v] = algo.Out(st)
+	}
+	return outs, rounds, rep, nil
+}
+
+// RunRoundsStatesFaulty is RunRoundsFaulty exposing the final
+// per-node states instead of outputs.
+func RunRoundsStatesFaulty(h *Host, ids []int, algo RoundAlgo, maxRounds int, sched Schedule) ([]any, int, *FaultReport, error) {
+	return NewEngine(h).RunStatesFaulty(ids, algo.engine(), maxRounds, sched)
+}
+
 // RunRoundsReference is the retained sequential reference loop: per-
 // round append-built inboxes, every node visited every round. It is
 // the executable specification the Engine is differentially tested
@@ -115,7 +141,7 @@ func RunRoundsReference(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]an
 			for _, m := range outboxes[v] {
 				to, ok := resolveLetter(h, v, m.L)
 				if !ok {
-					return nil, 0, fmt.Errorf("model: node %d sent on absent letter %v", v, m.L)
+					return nil, 0, fmt.Errorf("model: round %d: node %d sent on absent letter %v", round, v, m.L)
 				}
 				// The receiver names the same arc by the inverse letter.
 				inboxes[to] = append(inboxes[to], Msg{L: m.L.Inv(), Data: m.Data})
@@ -164,20 +190,36 @@ func GatherViews(r int) RoundAlgo {
 		},
 		Step: func(state any, round int, inbox []Msg) (any, []Msg, bool) {
 			s := state.(*GatherState)
-			if round > 0 {
+			if round > 0 && len(inbox) > 0 {
 				// Assemble the depth-(round) view from the neighbours'
 				// depth-(round-1) views. A message that arrived on the
 				// arc we name L was sent by a neighbour that names the
 				// same arc L.Inv(); the neighbour's walk back across
 				// this arc starts with letter L.Inv() at the
 				// neighbour, so that child is pruned (non-backtracking).
+				// Faulty schedules may duplicate deliveries, so repeat
+				// letters keep only their first message (NewTree
+				// requires distinct letters); a fully starved inbox
+				// keeps the stale view instead of collapsing to a leaf.
+				// On a clean run neither case arises and the assembly
+				// is the classical one.
 				children := make([]view.Child, 0, len(inbox))
 				for _, m := range inbox {
+					dup := false
+					for _, c := range children {
+						if c.L == m.L {
+							dup = true
+							break
+						}
+					}
+					if dup {
+						continue
+					}
 					children = append(children, view.Child{L: m.L, T: pruneChild(m.Data.(*view.Tree), m.L.Inv())})
 				}
 				s.Tree = view.NewTree(children)
 			}
-			if round == r {
+			if round >= r {
 				return s, nil, true
 			}
 			out := make([]Msg, 0, len(s.letters))
@@ -323,6 +365,33 @@ func SimulatePORounds(h *Host, alg PO, kind Kind) (*Solution, error) {
 		}
 	}
 	return sol, nil
+}
+
+// SimulatePORoundsFaulty is SimulatePORounds under a fault schedule:
+// the gathering rounds run on the faulty message plane, so each
+// node's "view" is whatever fragments survived the schedule, and the
+// algorithm's view function is applied to those degraded views.
+// Crashed nodes produce no output (their vertices and incident-edge
+// selections are simply absent from the solution). maxRounds bounds
+// the run — pass slack beyond Radius()+2 when the schedule can keep
+// nodes transiently down, since a down node halts only at its first
+// up round at or after the gathering radius.
+func SimulatePORoundsFaulty(h *Host, alg PO, kind Kind, sched Schedule, maxRounds int) (*Solution, *FaultReport, error) {
+	r := alg.Radius()
+	states, _, rep, err := NewEngine(h).RunStatesFaulty(nil, GatherViews(r).engine(), maxRounds, sched)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol := NewSolution(kind, h.G.N())
+	for v, st := range states {
+		if rep.CrashedNode(v) {
+			continue
+		}
+		if err := applyPOOut(sol, h, v, alg.EvalPO(st.(*GatherState).Tree)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sol, rep, nil
 }
 
 // applyPOOut merges one node's PO output into the solution.

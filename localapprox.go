@@ -26,7 +26,7 @@
 //	internal/problems    the six problems of Example 1.1
 //	internal/solve       exact optimisation solvers
 //	internal/algorithms  local algorithms (upper bounds + adversaries)
-//	internal/experiments the E1–E16 experiment suite
+//	internal/experiments the E1–E17 experiment suite
 //
 // Quick start (see also examples/):
 //
@@ -94,6 +94,15 @@ type (
 	Msg = model.Msg
 	// NodeInfo is a node's initial knowledge.
 	NodeInfo = model.NodeInfo
+	// Schedule decides, per round, each message slot's fate and each
+	// node's up/down/crashed state (DESIGN.md §8). A nil Schedule is
+	// the clean synchronous plane.
+	Schedule = model.Schedule
+	// FaultProfile is a named, parameterised fault schedule ("clean",
+	// "lossy:p=0.05", "crash:f=100,by=8", ...).
+	FaultProfile = model.Profile
+	// FaultReport tallies the faults a run actually injected.
+	FaultReport = model.FaultReport
 )
 
 // Solution kinds.
@@ -151,6 +160,23 @@ var (
 	RunRoundsRef     = model.RunRoundsReference
 	SimulatePO       = model.SimulatePO
 	SimulatePORounds = model.SimulatePORounds
+)
+
+// Fault injection (DESIGN.md §8): every engine entry point has a
+// *Faulty twin taking a Schedule built from a parseable profile
+// descriptor. A faulty execution is a pure function of (host, ids,
+// algorithm, profile descriptor, seed) — reproducible bit-for-bit,
+// independent of worker count. ParseFaultProfile errors list the
+// grammar; a nil Schedule (or the "clean" profile) is byte-identical
+// to the clean engine.
+var (
+	ParseFaultProfile        = model.ParseProfile
+	MustParseFaultProfile    = model.MustParseProfile
+	FaultProfiles            = model.DescribeProfiles
+	RunRoundsFaulty          = model.RunRoundsFaulty
+	SimulatePORoundsFaulty   = model.SimulatePORoundsFaulty
+	ColeVishkinFaulty        = algorithms.ColeVishkinMISFaulty
+	RandomizedMatchingFaulty = algorithms.RandomizedMatchingFaulty
 )
 
 // Homogeneity measurement (Definition 3.1). MeasureHomogeneity scans

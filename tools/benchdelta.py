@@ -34,7 +34,9 @@ RunRounds (the message-plane engine: one steady-state round on the
 4096-node torus at parallelism 8 — its 0 allocs/op baseline pins the
 zero-allocation round promise; par.Set(8) fixes the worker count, so
 on smaller runners the workers timeshare and the measured ns/op can
-only be conservative).
+only be conservative), RunRoundsFaulty (the same round under the
+lossy:p=0.05 fault schedule — pins both the faulty path's overhead
+and its own 0 allocs/op steady state).
 """
 import json
 import re
@@ -49,6 +51,7 @@ WATCHED = [
     "BenchmarkSweepMeasureAll",
     "BenchmarkE14Views",
     "BenchmarkRunRounds",
+    "BenchmarkRunRoundsFaulty",
 ]
 
 LINE = re.compile(
