@@ -333,6 +333,80 @@ func BenchmarkRunRoundsFaulty(b *testing.B) {
 	}
 }
 
+// benchPulseWordAlgo is benchPulse on the typed word lane: the
+// remaining-round counter IS the uint64 state, and the per-round
+// broadcast is one word written across the slot row — the same
+// message traffic as benchPulseAlgo with the boxing gone.
+func benchPulseWordAlgo(rounds int) model.WordAlgo {
+	return model.WordAlgo{
+		Init: func(v int, info model.NodeInfo) uint64 { return uint64(rounds) },
+		Step: func(state *uint64, round int, inbox []model.WordMsg, out *model.Outbox) bool {
+			if *state == 0 {
+				return true
+			}
+			*state--
+			out.BroadcastWord(*state)
+			return false
+		},
+		Out: func(*uint64) model.Output { return model.Output{} },
+	}
+}
+
+// benchTorusWordEngine caches the typed twin of benchTorusEngine,
+// sharing nothing with it so the two benchmarks never warm each
+// other's arenas.
+var benchTorusWordEngine struct {
+	sync.Once
+	h *model.Host
+	e *model.WordEngine
+}
+
+func torusWordEngine() (*model.Host, *model.WordEngine) {
+	benchTorusWordEngine.Do(func() {
+		benchTorusWordEngine.h = model.HostFromGraph(graph.Torus(64, 64))
+		benchTorusWordEngine.e = model.NewWordEngine(benchTorusWordEngine.h)
+	})
+	return benchTorusWordEngine.h, benchTorusWordEngine.e
+}
+
+func BenchmarkRunRoundsTyped(b *testing.B) {
+	// BenchmarkRunRounds through the typed word lane: same 4096-node
+	// torus, same parallelism 8, same per-round message traffic, with
+	// states and payloads in contiguous uint64 columns instead of
+	// boxed interfaces. CI-gated against BENCH_ci.json in ns/op and
+	// allocs/op (steady-state rounds must stay at 0 allocs/op); the
+	// ratio to BenchmarkRunRounds is the typed plane's speedup,
+	// recorded in BENCH_pr7.json.
+	defer par.Set(par.Set(8))
+	_, e := torusWordEngine()
+	if _, _, err := e.RunStates(nil, benchPulseWordAlgo(4), 8); err != nil {
+		b.Fatal(err) // warm-up: arenas, word lane, worklists
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, _, err := e.RunStates(nil, benchPulseWordAlgo(b.N), b.N+2); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRunRoundsTypedFaulty(b *testing.B) {
+	// The typed workload through the faulty step path under the same
+	// lossy:p=0.05 schedule as BenchmarkRunRoundsFaulty — prices the
+	// per-slot fate draws on the word lane. CI-gated: steady-state
+	// faulty typed rounds must stay at 0 allocs/op.
+	defer par.Set(par.Set(8))
+	h, e := torusWordEngine()
+	sched := model.MustParseProfile("lossy:p=0.05").New(h, 11)
+	if _, _, _, err := e.RunStatesFaulty(nil, benchPulseWordAlgo(4), 8, sched); err != nil {
+		b.Fatal(err) // warm-up: fault scratch, crashed bitmap
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, _, _, err := e.RunStatesFaulty(nil, benchPulseWordAlgo(b.N), b.N+2, sched); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkRunRoundsReference(b *testing.B) {
 	// The identical per-round workload through the retained reference
 	// loop (append-built [][]Msg inboxes, every node visited every
@@ -398,6 +472,32 @@ func BenchmarkEngineMillionCycle(b *testing.B) {
 	b.ResetTimer()
 	m.next, m.rounds = 0, b.N
 	if _, _, err := m.e.RunStates(nil, m.algo, b.N+2); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchMillionWordEngine caches the typed 10^6-node cycle engine.
+var benchMillionWordEngine struct {
+	sync.Once
+	e *model.WordEngine
+}
+
+func BenchmarkEngineMillionCycleTyped(b *testing.B) {
+	// BenchmarkEngineMillionCycle on the typed word lane: a million
+	// uint64 states in one column and one word per slot, against a
+	// million boxed *benchPulse states and interface payloads on the
+	// untyped plane — the B/op and ns/op gap is the columnar layout's
+	// win at scale. CI-gated against BENCH_ci.json.
+	m := &benchMillionWordEngine
+	m.Do(func() {
+		m.e = model.NewWordEngine(model.HostFromGraph(graph.Cycle(1_000_000)))
+	})
+	if _, _, err := m.e.RunStates(nil, benchPulseWordAlgo(2), 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, _, err := m.e.RunStates(nil, benchPulseWordAlgo(b.N), b.N+2); err != nil {
 		b.Fatal(err)
 	}
 }

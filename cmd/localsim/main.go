@@ -31,9 +31,11 @@
 //	localsim -algo matching -host torus:1000x1000
 //	localsim -algo gather -n 100000 -rmax 3
 //
-// Scale-mode workloads: cole-vishkin (ID MIS on the directed n-cycle),
-// matching (one round of §6.5 randomized mutual proposals), gather
-// (full-information view gathering, radius -rmax or 2).
+// Scale-mode workloads: cole-vishkin (ID MIS on the directed n-cycle,
+// typed word-lane engine), matching (one round of §6.5 randomized
+// mutual proposals, typed word-lane engine), gather (full-information
+// view gathering, radius -rmax or 2). An unknown -algo value lists
+// the workload registry, like -host and -faults.
 //
 // -faults runs the scale-mode workload under a fault schedule
 // (internal/model profiles): messages dropped/duplicated/reordered
@@ -54,6 +56,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/algorithms"
@@ -129,6 +132,26 @@ func resolveHost(hostDesc string) (*model.Host, string, error) {
 	return model.HostFromGraph(rh.G), rh.Desc, nil
 }
 
+// scaleWorkloads is the registry of engine scale-mode workloads; an
+// unknown -algo value lists it, in the same self-repairing usage
+// style as the host registry and the fault-profile grammar.
+var scaleWorkloads = []struct{ name, doc string }{
+	{"cole-vishkin", "ID-model MIS on the directed n-cycle (typed word-lane engine)"},
+	{"matching", "one round of §6.5 randomized mutual proposals (typed word-lane engine)"},
+	{"gather", "full-information view gathering, radius -rmax or 2"},
+}
+
+// describeScaleWorkloads renders the workload registry as a usage
+// listing, appended to unknown -algo errors.
+func describeScaleWorkloads() string {
+	var sb strings.Builder
+	sb.WriteString("scale workloads:\n")
+	for _, w := range scaleWorkloads {
+		fmt.Fprintf(&sb, "  %-14s %s\n", w.name, w.doc)
+	}
+	return sb.String()
+}
+
 // runScale is the engine scale mode: workloads that stay linear in the
 // host size, so -n 1000000 is a routine run. Exact optima and global
 // ratio reporting are skipped; feasibility is still verified in full.
@@ -136,10 +159,15 @@ func resolveHost(hostDesc string) (*model.Host, string, error) {
 // instead, and the report swaps the feasibility guarantee for the
 // injected-fault counts and the survivor-safety checks.
 func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Profile) error {
-	switch algo {
-	case "cole-vishkin", "matching", "gather":
-	default:
-		return fmt.Errorf("unknown scale workload %q (available: cole-vishkin, matching, gather)", algo)
+	known := false
+	for _, w := range scaleWorkloads {
+		if w.name == algo {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown scale workload %q\n%s", algo, describeScaleWorkloads())
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var (

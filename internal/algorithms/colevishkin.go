@@ -2,9 +2,9 @@ package algorithms
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/model"
-	"repro/internal/view"
 )
 
 // ColeVishkinResult reports a Cole–Vishkin MIS computation on a
@@ -19,18 +19,22 @@ type ColeVishkinResult struct {
 	Colors []int
 }
 
-// cvState is a node's state in the Cole–Vishkin pipeline.
-type cvState struct {
-	letters []view.Letter
-	color   int
-	inMIS   bool
-}
-
-// cvMsg is the per-round broadcast payload.
-type cvMsg struct {
-	color int
-	inMIS bool
-}
+// The Cole–Vishkin pipeline runs on the typed word lane: the whole
+// node state is one packed uint64 and every broadcast is the state
+// word with the node-local bit masked off. Layout:
+//
+//	bits 0..61  colour (initially the identifier)
+//	bit 62      state only: the local slot index of the in-arc
+//	bit 63      inMIS
+//
+// Colour and membership travel in one word, so a Step is pure integer
+// arithmetic on two uint64 columns — no boxing, no pointer chase.
+const (
+	cvColorBits = 62
+	cvColorMask = uint64(1)<<cvColorBits - 1
+	cvPredSlot1 = uint64(1) << 62
+	cvMISBit    = uint64(1) << 63
+)
 
 // ColeVishkinMIS computes a maximal independent set on a directed
 // cycle in the ID model in O(log* id) + O(1) rounds: the classical
@@ -44,25 +48,16 @@ type cvMsg struct {
 // and in-degree 1) with unique non-negative identifiers. As is
 // standard in the LOCAL model, the nodes know the identifier space
 // bound (poly(n)) and hence the reduction-step horizon S.
+//
+// Execution goes through the typed word-lane engine; the untyped
+// RoundAlgo formulation survives as the reference the differential
+// tests pin this path against, byte for byte.
 func ColeVishkinMIS(h *model.Host, ids []int) (*ColeVishkinResult, error) {
-	if !h.D.IsRegularDigraph(1) {
-		return nil, fmt.Errorf("algorithms: Cole–Vishkin needs a consistently oriented cycle")
+	steps, last, err := cvPlan(h, ids)
+	if err != nil {
+		return nil, err
 	}
-	if len(ids) != h.G.N() {
-		return nil, fmt.Errorf("algorithms: %d ids for %d nodes", len(ids), h.G.N())
-	}
-	maxID := 0
-	for _, id := range ids {
-		if id < 0 {
-			return nil, fmt.Errorf("algorithms: negative id %d", id)
-		}
-		if id > maxID {
-			maxID = id
-		}
-	}
-	steps := cvSteps(maxID)
-	last := steps + 6
-	states, rounds, err := model.NewEngine(h).RunStates(ids, coleVishkinAlgo(steps, last), last+2)
+	col, rounds, err := model.NewWordEngine(h).RunStates(ids, coleVishkinWordAlgo(steps, last), last+2)
 	if err != nil {
 		return nil, fmt.Errorf("algorithms: Cole–Vishkin: %w", err)
 	}
@@ -71,79 +66,123 @@ func ColeVishkinMIS(h *model.Host, ids []int) (*ColeVishkinResult, error) {
 		Rounds: rounds,
 		Colors: make([]int, h.G.N()),
 	}
-	for v, st := range states {
-		s := st.(*cvState)
-		res.MIS.Vertices[v] = s.inMIS
-		res.Colors[v] = s.color
-		if s.color < 0 || s.color > 2 {
-			return nil, fmt.Errorf("algorithms: node %d ended with colour %d", v, s.color)
+	for v, w := range col {
+		c := int(w & cvColorMask)
+		res.MIS.Vertices[v] = w&cvMISBit != 0
+		res.Colors[v] = c
+		if c < 0 || c > 2 {
+			return nil, fmt.Errorf("algorithms: node %d ended with colour %d", v, c)
 		}
 	}
 	return res, nil
 }
 
-// coleVishkinAlgo is the engine-native Cole–Vishkin pipeline, shared
+// cvPlan validates a Cole–Vishkin instance and returns the reduction
+// horizon (steps) and the halting round (last).
+func cvPlan(h *model.Host, ids []int) (steps, last int, err error) {
+	if !h.D.IsRegularDigraph(1) {
+		return 0, 0, fmt.Errorf("algorithms: Cole–Vishkin needs a consistently oriented cycle")
+	}
+	if len(ids) != h.G.N() {
+		return 0, 0, fmt.Errorf("algorithms: %d ids for %d nodes", len(ids), h.G.N())
+	}
+	maxID := 0
+	for _, id := range ids {
+		if id < 0 {
+			return 0, 0, fmt.Errorf("algorithms: negative id %d", id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if uint64(maxID) > cvColorMask {
+		return 0, 0, fmt.Errorf("algorithms: id %d exceeds the %d-bit colour lane", maxID, cvColorBits)
+	}
+	steps = cvSteps(maxID)
+	return steps, steps + 6, nil
+}
+
+// coleVishkinWordAlgo is the word-lane Cole–Vishkin pipeline, shared
 // by the clean run and the fault-schedule run. Round schedule (every
-// live node broadcasts (color, inMIS) on both arcs every round):
+// live node broadcasts its colour and membership every round):
 //
 //	rounds 1..steps          — CV recolour on the predecessor's colour
 //	rounds steps+1..steps+3  — shift down colour 5, then 4, then 3
 //	rounds steps+4..steps+6  — MIS sweep for colour 0, then 1, then 2
 //
-// The outbox is written straight into the message plane (no per-step
-// slice), so a million-node cycle runs with no per-round allocation
-// beyond the cvMsg payload boxing. A dropped message leaves the zero
-// cvMsg in its place and a node transiently down resumes mid-schedule
-// — both degrade the colouring rather than crash it, which is exactly
-// what the fault experiments measure. Halting is round >= last so a
-// node that was down at the scheduled halting round still halts at
-// its next up round (identical to == on clean runs).
-func coleVishkinAlgo(steps, last int) model.EngineAlgo {
-	return model.EngineAlgo{
-		Init: func(info model.NodeInfo) any {
-			return &cvState{letters: info.Letters, color: info.ID}
+// The recolour step is bit-parallel: the lowest differing bit against
+// the predecessor comes from one XOR and one trailing-zero count
+// (guarded to 0 on equal colours, which on a clean run never happens
+// but under faults — a dropped colour replaced by the zero word — is
+// exactly the untyped reference's behaviour). A dropped message
+// leaves the zero word in its place and a node transiently down
+// resumes mid-schedule — both degrade the colouring rather than crash
+// it, which is what the fault experiments measure. Halting is
+// round >= last so a node that was down at the scheduled halting
+// round still halts at its next up round (identical to == on clean
+// runs).
+func coleVishkinWordAlgo(steps, last int) model.WordAlgo {
+	return model.WordAlgo{
+		Init: func(v int, info model.NodeInfo) uint64 {
+			w := uint64(info.ID)
+			// Exactly one of the two letter-sorted slots is the in-arc
+			// (the predecessor on the oriented cycle); remember which.
+			if info.Letters[1].In {
+				w |= cvPredSlot1
+			}
+			return w
 		},
-		Step: func(state any, round int, inbox []model.Msg, out *model.Outbox) (any, bool) {
-			s := state.(*cvState)
-			var pred, succ cvMsg
+		Step: func(state *uint64, round int, inbox []model.WordMsg, out *model.Outbox) bool {
+			s := *state
+			predSlot := int32(0)
+			if s&cvPredSlot1 != 0 {
+				predSlot = 1
+			}
+			// An undelivered direction leaves the zero word: colour 0,
+			// not in the MIS — the typed image of the zero cvMsg.
+			var pred, succ uint64
 			for _, m := range inbox {
-				c := m.Data.(cvMsg)
-				if m.L.In {
-					pred = c // arrived on the in-arc: from the predecessor
+				if m.Slot == predSlot {
+					pred = m.W
 				} else {
-					succ = c
+					succ = m.W
 				}
 			}
+			color := s & cvColorMask
 			switch {
 			case round == 0:
 				// Nothing received yet; just broadcast below.
 			case round <= steps:
-				// Cole–Vishkin reduction against the predecessor.
-				i := lowestDifferingBit(s.color, pred.color)
-				s.color = 2*i + bitOf(s.color, i)
+				// Bit-parallel Cole–Vishkin reduction against the
+				// predecessor.
+				i := uint64(0)
+				if x := color ^ pred&cvColorMask; x != 0 {
+					i = uint64(bits.TrailingZeros64(x))
+				}
+				color = 2*i | color>>i&1
 			case round <= steps+3:
 				// Shift down 5 -> then 4 -> then 3.
-				target := 5 - (round - steps - 1)
-				if s.color == target {
-					s.color = freeColor(pred.color, succ.color)
+				target := uint64(5 - (round - steps - 1))
+				if color == target {
+					color = cvFreeColor(pred&cvColorMask, succ&cvColorMask)
 				}
 			default:
 				// MIS sweep for colour classes 0, 1, 2.
-				class := round - steps - 4
-				if s.color == class && !pred.inMIS && !succ.inMIS {
-					s.inMIS = true
+				class := uint64(round - steps - 4)
+				if color == class && pred&cvMISBit == 0 && succ&cvMISBit == 0 {
+					s |= cvMISBit
 				}
 			}
+			s = s&^cvColorMask | color
+			*state = s
 			if round >= last {
-				return s, true
+				return true
 			}
-			for _, l := range s.letters {
-				out.Send(l, cvMsg{color: s.color, inMIS: s.inMIS})
-			}
-			return s, false
+			out.BroadcastWord(s &^ cvPredSlot1)
+			return false
 		},
-		Out: func(state any) model.Output {
-			return model.Output{Member: state.(*cvState).inMIS}
+		Out: func(state *uint64) model.Output {
+			return model.Output{Member: *state&cvMISBit != 0}
 		},
 	}
 }
@@ -174,8 +213,19 @@ func cvSteps(maxID int) int {
 	return steps + 2
 }
 
-// freeColor returns the smallest colour in {0,1,2} unused by the two
-// arguments.
+// cvFreeColor returns the smallest colour in {0,1,2} unused by the
+// two arguments.
+func cvFreeColor(a, b uint64) uint64 {
+	for c := uint64(0); c <= 2; c++ {
+		if c != a && c != b {
+			return c
+		}
+	}
+	return 0 // unreachable: two values cannot block three colours
+}
+
+// freeColor is cvFreeColor on ints, retained for the untyped
+// reference formulation exercised by the differential tests.
 func freeColor(a, b int) int {
 	for c := 0; c <= 2; c++ {
 		if c != a && c != b {
@@ -185,6 +235,8 @@ func freeColor(a, b int) int {
 	return 0 // unreachable: two values cannot block three colours
 }
 
+// lowestDifferingBit is the per-bit reference of the bit-parallel
+// XOR/trailing-zeros reduction above (0 on equal arguments).
 func lowestDifferingBit(a, b int) int {
 	x := a ^ b
 	if x == 0 {

@@ -41,9 +41,25 @@ func dcycleHost(t testing.TB, n int) *model.Host {
 	return h
 }
 
+// cvState and cvMsg are the boxed state and payload of the untyped
+// reference formulation: the production pipeline packs both into one
+// uint64 on the typed word lane (see coleVishkinWordAlgo), and this
+// pair is what the pinning below proves it equivalent to.
+type cvState struct {
+	letters []view.Letter
+	color   int
+	inMIS   bool
+}
+
+type cvMsg struct {
+	color int
+	inMIS bool
+}
+
 // cvRoundAlgo is the classical slice-returning form of the
 // Cole–Vishkin pipeline, built from the same helpers as the engine
-// form — the executable reference the engine port is pinned against.
+// form — the executable reference the typed word-lane port is pinned
+// against.
 func cvRoundAlgo(maxID int) (model.RoundAlgo, int) {
 	steps := cvSteps(maxID)
 	last := steps + 6

@@ -52,24 +52,11 @@ type FaultyCVResult struct {
 // survivor-safety counts of CVSurvivorSafety. A nil schedule
 // reproduces the clean result with zero counts.
 func ColeVishkinMISFaulty(h *model.Host, ids []int, sched model.Schedule) (*FaultyCVResult, error) {
-	if !h.D.IsRegularDigraph(1) {
-		return nil, fmt.Errorf("algorithms: Cole–Vishkin needs a consistently oriented cycle")
+	steps, last, err := cvPlan(h, ids)
+	if err != nil {
+		return nil, err
 	}
-	if len(ids) != h.G.N() {
-		return nil, fmt.Errorf("algorithms: %d ids for %d nodes", len(ids), h.G.N())
-	}
-	maxID := 0
-	for _, id := range ids {
-		if id < 0 {
-			return nil, fmt.Errorf("algorithms: negative id %d", id)
-		}
-		if id > maxID {
-			maxID = id
-		}
-	}
-	steps := cvSteps(maxID)
-	last := steps + 6
-	states, rounds, rep, err := model.NewEngine(h).RunStatesFaulty(ids, coleVishkinAlgo(steps, last), last+2+faultSlack, sched)
+	col, rounds, rep, err := model.NewWordEngine(h).RunStatesFaulty(ids, coleVishkinWordAlgo(steps, last), last+2+faultSlack, sched)
 	if err != nil {
 		return nil, fmt.Errorf("algorithms: faulty Cole–Vishkin: %w", err)
 	}
@@ -78,11 +65,11 @@ func ColeVishkinMISFaulty(h *model.Host, ids []int, sched model.Schedule) (*Faul
 		Rounds: rounds,
 		Report: rep,
 	}
-	for v, st := range states {
+	for v, w := range col {
 		if rep.CrashedNode(v) {
 			continue
 		}
-		res.MIS.Vertices[v] = st.(*cvState).inMIS
+		res.MIS.Vertices[v] = w&cvMISBit != 0
 	}
 	res.Violations, res.Uncovered = CVSurvivorSafety(h, rep, res.MIS)
 	return res, nil
@@ -146,13 +133,13 @@ type FaultyMatchingResult struct {
 func RandomizedMatchingFaulty(h *model.Host, rng *rand.Rand, sched model.Schedule) (*FaultyMatchingResult, error) {
 	n := h.G.N()
 	proposal, states := drawProposals(h, rng)
-	rep, err := runProposalsFaulty(model.NewEngine(h), states, sched)
+	col, rep, err := runProposalsFaulty(model.NewWordEngine(h), states, sched)
 	if err != nil {
 		return nil, err
 	}
 	sol := model.NewSolution(model.EdgeKind, n)
 	for v := 0; v < n; v++ {
-		if states[v].matched && !rep.CrashedNode(v) && !rep.CrashedNode(proposal[v]) {
+		if col[v]&mMatched != 0 && !rep.CrashedNode(v) && !rep.CrashedNode(proposal[v]) {
 			sol.Edges[graph.NewEdge(v, proposal[v])] = true
 		}
 	}
@@ -163,13 +150,14 @@ func RandomizedMatchingFaulty(h *model.Host, rng *rand.Rand, sched model.Schedul
 	}, nil
 }
 
-// runProposalsFaulty executes the proposal round under the schedule.
-func runProposalsFaulty(e *model.Engine, states []proposeState, sched model.Schedule) (*model.FaultReport, error) {
-	_, _, rep, err := e.RunStatesFaulty(nil, proposalAlgo(states), 3+faultSlack, sched)
+// runProposalsFaulty executes the proposal round under the schedule
+// and returns the packed state column alongside the report.
+func runProposalsFaulty(e *model.WordEngine, states []proposeState, sched model.Schedule) ([]uint64, *model.FaultReport, error) {
+	col, _, rep, err := e.RunStatesFaulty(nil, proposalWordAlgo(states), 3+faultSlack, sched)
 	if err != nil {
-		return nil, fmt.Errorf("algorithms: faulty randomized matching: %w", err)
+		return nil, nil, fmt.Errorf("algorithms: faulty randomized matching: %w", err)
 	}
-	return rep, nil
+	return col, rep, nil
 }
 
 // MatchingConflicts counts vertices incident to two or more selected

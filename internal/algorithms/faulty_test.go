@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -108,5 +109,80 @@ func TestColeVishkinFaultyCleanAndCrash(t *testing.T) {
 	}
 	if lossy.Report.Dropped == 0 {
 		t.Error("lossy run dropped nothing")
+	}
+}
+
+// stallSchedule holds node 0 transiently down in every round without
+// ever crashing it — the engine keeps waiting for it, so any
+// algorithm with a finite round budget must surface a non-halt error
+// carrying this profile string.
+type stallSchedule struct{}
+
+func (stallSchedule) String() string { return "stall:node=0" }
+
+func (stallSchedule) Fate(int, int32) model.Fate { return model.Deliver }
+
+func (stallSchedule) State(round int, v int32) model.NodeState {
+	if v == 0 {
+		return model.StateDown
+	}
+	return model.StateUp
+}
+
+func (stallSchedule) Reorder(int, int32) uint64 { return 0 }
+
+// TestColeVishkinFaultyRejects: the faulty twin shares the clean
+// entry's instance validation — every malformed instance is rejected
+// before any rounds run, with the same error text.
+func TestColeVishkinFaultyRejects(t *testing.T) {
+	sched := model.MustParseProfile("lossy:p=0.1").New(dcycleHost(t, 8), 1)
+	for _, c := range []struct {
+		name string
+		h    *model.Host
+		ids  []int
+		want string
+	}{
+		{"non-cycle", model.HostFromGraph(graph.Petersen()), make([]int, 10), "consistently oriented cycle"},
+		{"ids-length", dcycleHost(t, 8), []int{1, 2}, "2 ids for 8 nodes"},
+		{"negative-id", dcycleHost(t, 8), []int{0, 1, 2, 3, 4, 5, 6, -3}, "negative id -3"},
+		{"id-overflow", dcycleHost(t, 8), []int{0, 1, 2, 3, 4, 5, 6, 1 << 62}, "exceeds the 62-bit colour lane"},
+	} {
+		if _, err := ColeVishkinMISFaulty(c.h, c.ids, sched); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		// The clean entry must agree (same plan, same message).
+		if _, err := ColeVishkinMIS(c.h, c.ids); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: clean entry error %v does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestFaultyTwinsNonHalt: a schedule that stalls one node forever
+// exhausts the fault slack; both faulty twins must surface the
+// engine's non-halt error, wrapped with their own prefix and carrying
+// the schedule's profile descriptor for reproduction.
+func TestFaultyTwinsNonHalt(t *testing.T) {
+	n := 8
+	h := dcycleHost(t, n)
+	ids := rand.New(rand.NewSource(1)).Perm(4 * n)[:n]
+	_, err := ColeVishkinMISFaulty(h, ids, stallSchedule{})
+	if err == nil {
+		t.Fatal("stalled Cole–Vishkin halted")
+	}
+	for _, want := range []string{"algorithms: faulty Cole–Vishkin:", "did not halt", "[stall:node=0]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("CV error %q does not mention %q", err, want)
+		}
+	}
+	_, err = RandomizedMatchingFaulty(model.HostFromGraph(graph.Torus(4, 4)), rand.New(rand.NewSource(2)), stallSchedule{})
+	if err == nil {
+		t.Fatal("stalled matching halted")
+	}
+	for _, want := range []string{"algorithms: faulty randomized matching:", "did not halt", "[stall:node=0]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("matching error %q does not mention %q", err, want)
+		}
 	}
 }

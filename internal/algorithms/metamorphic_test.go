@@ -271,3 +271,107 @@ func uniqueInts(xs []int) bool {
 	}
 	return true
 }
+
+// floodRankTypedState mirrors floodRankAlgo's boxed state on the
+// typed column: identifiers only matter through their order, and the
+// word lane carries the current best id.
+type floodRankTypedState struct {
+	id   int64
+	best int64
+}
+
+// floodRankTypedAlgo is floodRankAlgo on the typed plane — the same
+// order-invariant flood, states in a contiguous column and payloads
+// on the uint64 word lane.
+func floodRankTypedAlgo(rounds int) model.TypedAlgo[floodRankTypedState] {
+	return model.TypedAlgo[floodRankTypedState]{
+		Init: func(v int, info model.NodeInfo) floodRankTypedState {
+			return floodRankTypedState{id: int64(info.ID), best: int64(info.ID)}
+		},
+		Step: func(s *floodRankTypedState, round int, inbox []model.WordMsg, out *model.Outbox) bool {
+			for _, m := range inbox {
+				if v := int64(m.W); v > s.best {
+					s.best = v
+				}
+			}
+			if round >= rounds {
+				return true
+			}
+			out.BroadcastWord(uint64(s.best))
+			return false
+		},
+		Out: func(s *floodRankTypedState) model.Output {
+			return model.Output{Member: s.best > s.id}
+		},
+	}
+}
+
+// TestMetamorphicTypedFaultyOIInvariance extends the faulty
+// OI-invariance property to the typed engine, and couples the two
+// lanes: on every seeded host and profile, (a) the typed execution is
+// invariant under rank-preserving relabelings, and (b) the typed and
+// untyped executions of the same workload agree byte for byte —
+// outputs, rounds and fault reports — on every reproducer seed.
+func TestMetamorphicTypedFaultyOIInvariance(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		for _, profile := range []string{"lossy:p=0.15", "churn:p=0.2,window=1"} {
+			rng := rand.New(rand.NewSource(seed))
+			h := metamorphicHost(rng)
+			n := h.G.N()
+			rank := order.Rank(rng.Perm(n))
+			ids1 := monotoneIDs(rank, rng)
+			ids2 := monotoneIDs(rank, rng)
+			sched := model.MustParseProfile(profile).New(h, seed)
+			u1, ur1, urep1, err := model.RunRoundsFaulty(h, ids1, floodRankAlgo(3), 300, sched)
+			if err != nil {
+				t.Fatalf("untyped ids1: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+			}
+			t1, tr1, trep1, err := model.RunRoundsTypedFaulty(h, ids1, floodRankTypedAlgo(3), 300, sched)
+			if err != nil {
+				t.Fatalf("typed ids1: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+			}
+			t2, tr2, trep2, err := model.RunRoundsTypedFaulty(h, ids2, floodRankTypedAlgo(3), 300, sched)
+			if err != nil {
+				t.Fatalf("typed ids2: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+			}
+			if tr1 != tr2 || !reflect.DeepEqual(t1, t2) || !reflect.DeepEqual(trep1, trep2) {
+				t.Errorf("typed faulty execution not order-invariant on n=%d host — reproducer (seed %d, profile %q)",
+					n, seed, profile)
+			}
+			if tr1 != ur1 || !reflect.DeepEqual(t1, u1) || !reflect.DeepEqual(trep1, urep1) {
+				t.Errorf("typed and untyped faulty executions disagree on n=%d host — reproducer (seed %d, profile %q)",
+					n, seed, profile)
+			}
+		}
+	}
+}
+
+// TestMetamorphicTypedMatchingRelabel: the randomized matching drawn
+// from one rng stream selects the same edge set whatever the (unused)
+// identifier labels are, clean and under a seeded schedule — the
+// typed proposal exchange is identifier-free. Failures print the
+// reproducer (seed, profile).
+func TestMetamorphicTypedMatchingRelabel(t *testing.T) {
+	const profile = "lossy:p=0.2"
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := metamorphicHost(rng)
+		a := RandomizedMatching(h, rand.New(rand.NewSource(seed+100)))
+		b := RandomizedMatching(h, rand.New(rand.NewSource(seed+100)))
+		if !solutionsEqual(a, b) {
+			t.Errorf("matching not a pure function of the rng stream — reproducer seed %d", seed)
+		}
+		sched := model.MustParseProfile(profile).New(h, seed)
+		fa, err := RandomizedMatchingFaulty(h, rand.New(rand.NewSource(seed+100)), sched)
+		if err != nil {
+			t.Fatalf("faulty: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+		}
+		fb, err := RandomizedMatchingFaulty(h, rand.New(rand.NewSource(seed+100)), model.MustParseProfile(profile).New(h, seed))
+		if err != nil {
+			t.Fatalf("faulty rerun: %v — reproducer (seed %d, profile %q)", err, seed, profile)
+		}
+		if !solutionsEqual(fa.Matching, fb.Matching) || !reflect.DeepEqual(fa.Report, fb.Report) {
+			t.Errorf("faulty matching not reproducible — reproducer (seed %d, profile %q)", seed, profile)
+		}
+	}
+}

@@ -22,10 +22,10 @@ import (
 //
 // The execution is genuinely operational: the proposals are drawn
 // sequentially up front (so the rng stream is schedule-independent)
-// and then exchanged in one synchronous round on the message-plane
-// Engine — each node sends along the arc to its chosen neighbour and
-// an edge is matched exactly when both endpoints hear a proposal on
-// the arc they proposed along.
+// and then exchanged in one synchronous round on the typed word lane
+// of the message-plane Engine — each node sends along the arc to its
+// chosen neighbour and an edge is matched exactly when both endpoints
+// hear a proposal on the arc they proposed along.
 //
 // The returned solution is a valid matching. Each edge {u, v} is
 // matched with probability 1/(deg(u)·deg(v)), so the expected size is
@@ -33,21 +33,33 @@ import (
 // ν(G) <= n/2 — expected ratio at most d, a constant for bounded
 // degree, which no deterministic local algorithm can achieve.
 func RandomizedMatching(h *model.Host, rng *rand.Rand) *model.Solution {
-	return randomizedMatchingOn(model.NewEngine(h), h, rng)
+	return randomizedMatchingOn(model.NewWordEngine(h), h, rng)
 }
 
-// proposeState is a node's state in the mutual-proposal round.
+// proposeState is a node's pre-drawn proposal; the protocol state
+// proper (chosen slot, sent, matched) is packed into the engine's
+// uint64 state column, see the m* layout below.
 type proposeState struct {
 	// letter names the arc to the proposed neighbour.
 	letter view.Letter
 	// propose is false on isolated nodes.
 	propose bool
-	// sent records that the proposal actually left the node (a node
-	// transiently down in round 0 never sends, so it cannot match).
-	sent bool
-	// matched reports a mutual proposal.
-	matched bool
 }
+
+// Word layout of the proposal protocol's packed state:
+//
+//	bits 0..31  the proposed arc's local slot index
+//	bit 32      propose (unset on isolated nodes: state stays 0)
+//	bit 33      sent — the proposal actually left the node (a node
+//	            transiently down in round 0 never sends, so it
+//	            cannot match)
+//	bit 34      matched — a mutual proposal
+const (
+	mSlotMask = uint64(1)<<32 - 1
+	mPropose  = uint64(1) << 32
+	mSent     = uint64(1) << 33
+	mMatched  = uint64(1) << 34
+)
 
 // drawProposals pre-draws every node's proposal sequentially, keeping
 // the rng stream off the parallel rounds (and off the fault schedule:
@@ -67,57 +79,77 @@ func drawProposals(h *model.Host, rng *rand.Rand) ([]int, []proposeState) {
 	return proposal, states
 }
 
-// proposalAlgo is the one-round mutual-proposal exchange over
-// pre-drawn states. A node matches when a proposal arrives on the arc
-// it itself proposed (and sent) along; on a faulty plane one or both
-// directions may be lost, but the selected edge set stays a matching
-// because each node only ever selects the single edge it proposed.
-func proposalAlgo(states []proposeState) model.EngineAlgo {
-	nextInit := 0
-	return model.EngineAlgo{
-		// Init is called sequentially in node order: it hands out the
-		// pre-drawn states, keeping every random bit off the parallel
-		// rounds.
-		Init: func(model.NodeInfo) any {
-			s := &states[nextInit]
-			nextInit++
-			return s
-		},
-		Step: func(state any, round int, inbox []model.Msg, out *model.Outbox) (any, bool) {
-			s := state.(*proposeState)
-			if round == 0 {
-				if s.propose {
-					out.Send(s.letter, nil) // arrival alone carries "I propose to you"
-					s.sent = true
-				}
-				return s, false
+// proposalWordAlgo is the one-round mutual-proposal exchange over
+// pre-drawn proposals, on the typed word lane. A node matches when a
+// proposal arrives on the slot it itself proposed (and sent) along;
+// on a faulty plane one or both directions may be lost, but the
+// selected edge set stays a matching because each node only ever
+// selects the single edge it proposed. The payload word is
+// irrelevant — arrival alone carries "I propose to you".
+func proposalWordAlgo(states []proposeState) model.WordAlgo {
+	return model.WordAlgo{
+		// Init indexes the pre-drawn table by node, keeping every
+		// random bit off the parallel rounds, and converts the drawn
+		// letter to its local slot in the letter-sorted row.
+		Init: func(v int, info model.NodeInfo) uint64 {
+			if !states[v].propose {
+				return 0
 			}
-			if s.propose && s.sent {
-				for i := range inbox {
-					if inbox[i].L == s.letter {
-						s.matched = true
+			return uint64(slotOf(info.Letters, states[v].letter)) | mPropose
+		},
+		Step: func(state *uint64, round int, inbox []model.WordMsg, out *model.Outbox) bool {
+			s := *state
+			if round == 0 {
+				if s&mPropose != 0 {
+					out.SendWord(int(s&mSlotMask), 1)
+					*state = s | mSent
+				}
+				return false
+			}
+			if s&mPropose != 0 && s&mSent != 0 {
+				slot := int32(s & mSlotMask)
+				for _, m := range inbox {
+					if m.Slot == slot {
+						*state = s | mMatched
 					}
 				}
 			}
-			return s, true
+			return true
 		},
-		Out: func(any) model.Output { return model.Output{} },
+		Out: func(*uint64) model.Output { return model.Output{} },
 	}
+}
+
+// slotOf locates l in a letter-sorted slot row (the typed NodeInfo
+// letter order). The caller guarantees presence: every proposal
+// letter was resolved from a real arc.
+func slotOf(letters []view.Letter, l view.Letter) int {
+	lo, hi := 0, len(letters)
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if letters[mid].Less(l) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // randomizedMatchingOn is RandomizedMatching on a caller-provided
 // engine, so repeated trials reuse one message plane.
-func randomizedMatchingOn(e *model.Engine, h *model.Host, rng *rand.Rand) *model.Solution {
+func randomizedMatchingOn(e *model.WordEngine, h *model.Host, rng *rand.Rand) *model.Solution {
 	n := h.G.N()
 	proposal, states := drawProposals(h, rng)
-	if _, _, err := e.RunStates(nil, proposalAlgo(states), 3); err != nil {
-		// Unreachable: every letter was resolved from a real arc and
+	col, _, err := e.RunStates(nil, proposalWordAlgo(states), 3)
+	if err != nil {
+		// Unreachable: every slot was resolved from a real arc and
 		// each node sends at most once.
 		panic(fmt.Sprintf("algorithms: randomized matching round: %v", err))
 	}
 	sol := model.NewSolution(model.EdgeKind, n)
 	for v := 0; v < n; v++ {
-		if states[v].matched {
+		if col[v]&mMatched != 0 {
 			sol.Edges[graph.NewEdge(v, proposal[v])] = true
 		}
 	}
@@ -145,7 +177,7 @@ func letterTo(h *model.Host, v, u int) view.Letter {
 // guarantee made measurable. All trials share one engine, so only the
 // first pays for the message plane.
 func RandomizedMatchingTrials(h *model.Host, trials int, rng *rand.Rand) float64 {
-	e := model.NewEngine(h)
+	e := model.NewWordEngine(h)
 	total := 0
 	for i := 0; i < trials; i++ {
 		total += randomizedMatchingOn(e, h, rng).Size()

@@ -29,6 +29,12 @@ import (
 // round r iff its stamp equals the run's base tick + r + 1, so
 // neither arena is ever zeroed, not even between runs.
 //
+// Payload lanes. The any-payload arenas (buf) are the general plane;
+// typed runs (see TypedEngine) carry fixed-width payloads in a
+// parallel uint64 word lane (wbuf) that shares the same slots, stamps,
+// routing and letter order — allocated lazily on the first typed
+// attachment, so purely untyped engines never pay for it.
+//
 // Worklist. Halted nodes leave the active list and cost nothing: each
 // round is a worker-sharded sweep of the active list only (dynamic
 // chunk handoff over a shared cursor, par.ForScratch-style), and the
@@ -43,7 +49,9 @@ import (
 // increasing node order for exactly this reason).
 //
 // An Engine may be reused for any number of runs on its host (arenas
-// warm up once), but a single Engine must not execute two runs
+// warm up once), and typed and untyped runs may alternate on one
+// plane (the monotone stamps keep them from ever reading each other's
+// messages), but a single Engine must not execute two runs
 // concurrently.
 type Engine struct {
 	h *Host
@@ -53,6 +61,10 @@ type Engine struct {
 	off     []int32
 	letters []view.Letter
 	dest    []int32
+	// maxSlots is the widest slot row (the plane's maximum in-degree):
+	// the bound every per-worker inbox-compaction scratch is pre-sized
+	// from (2x for fault scratch, so duplicated deliveries fit).
+	maxSlots int32
 	// info holds every node's NodeInfo letters (out-arcs then in-arcs,
 	// as lettersOf produces) in one flat arena, sliced per node at
 	// Init time so a run performs no per-node letter allocation.
@@ -60,8 +72,11 @@ type Engine struct {
 	// read-only, which every RoundAlgo/EngineAlgo in the repo does.
 	info []view.Letter
 
-	// Message plane: double-buffered arenas with monotone stamps.
+	// Message plane: double-buffered arenas with monotone stamps. wbuf
+	// is the typed word lane (parallel to buf, stamps shared), nil
+	// until the first TypedOn attachment.
 	buf   [2][]Msg
+	wbuf  [2][]uint64
 	stamp [2][]int64
 	tick  int64
 
@@ -74,11 +89,8 @@ type Engine struct {
 	errs    []error
 	errFlag atomic.Bool
 
-	// Faulty-path state, lazily allocated on the first faulty run so
-	// clean engines pay nothing: fdense is the fault-schedule dense-
-	// inbox arena (two slots per plane slot, so duplicated deliveries
-	// fit), and crashed marks permanently crashed nodes.
-	fdense  []Msg
+	// crashed marks permanently crashed nodes on faulty runs; lazily
+	// allocated on the first faulty run so clean engines pay nothing.
 	crashed []bool
 }
 
@@ -125,6 +137,9 @@ func NewEngine(h *Host) *Engine {
 	e.off = make([]int32, n+1)
 	for v := 0; v < n; v++ {
 		e.off[v+1] = e.off[v] + int32(len(h.D.Out(v))+len(h.D.In(v)))
+		if w := e.off[v+1] - e.off[v]; w > e.maxSlots {
+			e.maxSlots = w
+		}
 	}
 	total := int(e.off[n])
 	e.letters = make([]view.Letter, total)
@@ -182,6 +197,17 @@ func NewEngine(h *Host) *Engine {
 	return e
 }
 
+// ensureWordLane allocates the typed payload lanes (8 bytes per slot;
+// stamps, routing and letter order are shared with the any lane) on
+// the first typed attachment.
+func (e *Engine) ensureWordLane() {
+	if e.wbuf[0] == nil {
+		total := len(e.letters)
+		e.wbuf[0] = make([]uint64, total)
+		e.wbuf[1] = make([]uint64, total)
+	}
+}
+
 // slot returns the index of v's slot for letter l, or off[v+1] when v
 // has no such letter (binary search over the letter-sorted slot row).
 func (e *Engine) slot(v int, l view.Letter) int32 {
@@ -228,6 +254,16 @@ type Outbox struct {
 	duped     int64
 	reordered int64
 	downSteps int64
+
+	// Per-worker inbox-compaction scratch, pre-sized by the run from
+	// the plane's max in-degree (fault scratch at twice that, so every
+	// delivery duplicating still fits): wdense serves the typed clean
+	// path, fdense/fwdense the untyped/typed faulty paths. The clean
+	// untyped path compacts into the engine's global dense arena
+	// instead (its per-node regions are disjoint by construction).
+	wdense  []WordMsg
+	fdense  []Msg
+	fwdense []WordMsg
 }
 
 // errf builds a run error carrying the round number and, on faulty
@@ -259,6 +295,48 @@ func (ob *Outbox) Send(l view.Letter, data any) {
 	}
 	e.buf[ob.nxt][d].Data = data
 	st[d] = ob.want
+}
+
+// SendWord emits the payload word w on the sender's local incident
+// slot (the letter-sorted index: typed info.Letters[slot] names the
+// arc) — the typed lane's analogue of Send, with the same contract:
+// sends on absent slots and second sends on one slot in the same
+// round are errors reported by the run. Unlike Send there is no
+// letter lookup at all; the slot index addresses the plane directly.
+func (ob *Outbox) SendWord(slot int, w uint64) {
+	e := ob.e
+	v := int(ob.v)
+	lo, hi := e.off[v], e.off[v+1]
+	if slot < 0 || int32(slot) >= hi-lo {
+		e.fail(v, ob.errf("node %d sent on absent slot %d (node has %d)", v, slot, hi-lo))
+		return
+	}
+	d := e.dest[lo+int32(slot)]
+	st := e.stamp[ob.nxt]
+	if st[d] == ob.want {
+		e.fail(v, ob.errf("node %d sent twice on slot %d", v, slot))
+		return
+	}
+	e.wbuf[ob.nxt][d] = w
+	st[d] = ob.want
+}
+
+// BroadcastWord emits w on every incident slot of the sending node —
+// the whole-row fast path of the typed lane: one pass over the
+// sender's slot row, no per-letter lookup and no double-send
+// bookkeeping (it overwrites anything already sent this round on
+// those slots; a second BroadcastWord in one Step simply wins).
+func (ob *Outbox) BroadcastWord(w uint64) {
+	e := ob.e
+	v := int(ob.v)
+	nb := e.wbuf[ob.nxt]
+	st := e.stamp[ob.nxt]
+	want := ob.want
+	for s := e.off[v]; s < e.off[v+1]; s++ {
+		d := e.dest[s]
+		nb[d] = w
+		st[d] = want
+	}
 }
 
 // Run executes an engine algorithm and extracts the per-node outputs.
@@ -304,6 +382,8 @@ func (e *Engine) RunStatesFaulty(ids []int, algo EngineAlgo, maxRounds int, sche
 	return states, rounds, rep, nil
 }
 
+// runStates initialises the untyped state column and dispatches the
+// clean or faulty step path into the shared round-loop core.
 func (e *Engine) runStates(ids []int, algo EngineAlgo, maxRounds int, sched Schedule) ([]any, int, *FaultReport, error) {
 	if ids != nil && len(ids) != e.n {
 		return nil, 0, nil, fmt.Errorf("model: RunRounds: %d ids for %d nodes", len(ids), e.n)
@@ -317,12 +397,106 @@ func (e *Engine) runStates(ids []int, algo EngineAlgo, maxRounds int, sched Sche
 		e.halted[v] = false
 		e.errs[v] = nil
 	}
+	step, prep := e.stepAny(algo), noScratch
+	if sched != nil {
+		step = e.stepAnyFaulty(algo, sched)
+		prep = func(ob *Outbox) { ob.fdense = make([]Msg, 2*int(e.maxSlots)) }
+	}
+	rounds, rep, err := e.runCore(step, prep, sched, maxRounds)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return e.states, rounds, rep, nil
+}
+
+// noScratch is the prep hook of paths that need no per-worker
+// compaction scratch (the clean untyped path compacts into the
+// engine's global dense arena).
+func noScratch(*Outbox) {}
+
+// stepAny is the clean untyped step: compact the node's live slots
+// into its disjoint region of the global dense arena, then Step. The
+// current round's arena and stamp are recovered from the Outbox (the
+// next-round arena is nxt^1 and next-round stamps are want, so this
+// round reads arena nxt^1 at stamp want-1).
+func (e *Engine) stepAny(algo EngineAlgo) func(int, *Outbox) {
+	return func(v int, ob *Outbox) {
+		lo, hi := e.off[v], e.off[v+1]
+		cur, want := ob.nxt^1, ob.want-1
+		st := e.stamp[cur]
+		buf := e.buf[cur]
+		k := lo
+		for s := lo; s < hi; s++ {
+			if st[s] == want {
+				e.dense[k] = buf[s]
+				k++
+			}
+		}
+		ob.v = int32(v)
+		ns, done := algo.Step(e.states[v], ob.round, e.dense[lo:k], ob)
+		e.states[v] = ns
+		e.halted[v] = done
+	}
+}
+
+// stepAnyFaulty is stepAny with the schedule interposed between the
+// plane and the receiver: liveness gating, per-delivery fates
+// (compacted into the worker's double-width fdense scratch so
+// duplicates fit), and adversarial inbox permutation.
+func (e *Engine) stepAnyFaulty(algo EngineAlgo, sched Schedule) func(int, *Outbox) {
+	return func(v int, ob *Outbox) {
+		round := ob.round
+		switch sched.State(round, int32(v)) {
+		case StateDown:
+			ob.downSteps++
+			return
+		case StateCrashed:
+			return
+		}
+		lo, hi := e.off[v], e.off[v+1]
+		cur, want := ob.nxt^1, ob.want-1
+		st := e.stamp[cur]
+		buf := e.buf[cur]
+		k := 0
+		for s := lo; s < hi; s++ {
+			if st[s] != want {
+				continue
+			}
+			switch sched.Fate(round, s) {
+			case Drop:
+				ob.dropped++
+				continue
+			case Duplicate:
+				ob.duped++
+				ob.fdense[k] = buf[s]
+				k++
+			}
+			ob.fdense[k] = buf[s]
+			k++
+		}
+		inbox := ob.fdense[:k]
+		if seed := sched.Reorder(round, int32(v)); seed != 0 && len(inbox) > 1 {
+			shuffleMsgs(inbox, seed)
+			ob.reordered++
+		}
+		ob.v = int32(v)
+		ns, done := algo.Step(e.states[v], round, inbox, ob)
+		e.states[v] = ns
+		e.halted[v] = done
+	}
+}
+
+// runCore is the round-loop machinery shared by the untyped and typed
+// paths: active-worklist management (including schedule-driven crash
+// removal), persistent workers with dynamic chunk handoff, the
+// per-round barrier, error surfacing, and fault-report assembly. step
+// performs one node's round (compaction, fate draws and the
+// algorithm's Step all live in the caller's closure); prep pre-sizes
+// each Outbox's per-worker scratch before the first round.
+func (e *Engine) runCore(step func(int, *Outbox), prep func(*Outbox), sched Schedule, maxRounds int) (int, *FaultReport, error) {
 	prof := ""
 	if sched != nil {
 		prof = sched.String()
-		if e.fdense == nil {
-			e.fdense = make([]Msg, 2*len(e.dense))
-		}
 		if e.crashed == nil {
 			e.crashed = make([]bool, e.n)
 		} else {
@@ -363,66 +537,6 @@ func (e *Engine) runStates(ids []int, algo EngineAlgo, maxRounds int, sched Sche
 		e.tick = base + int64(round) + 2
 	}()
 
-	stepNode := func(v int, ob *Outbox) {
-		lo, hi := e.off[v], e.off[v+1]
-		st := e.stamp[curArena]
-		k := lo
-		for s := lo; s < hi; s++ {
-			if st[s] == curWant {
-				e.dense[k] = e.buf[curArena][s]
-				k++
-			}
-		}
-		ob.v = int32(v)
-		ns, done := algo.Step(e.states[v], round, e.dense[lo:k], ob)
-		e.states[v] = ns
-		e.halted[v] = done
-	}
-	// stepFaulty is stepNode with the schedule interposed between the
-	// plane and the receiver: liveness gating, per-delivery fates
-	// (compacted into the double-width fdense arena so duplicates
-	// fit), and adversarial inbox permutation.
-	stepFaulty := func(v int, ob *Outbox) {
-		switch sched.State(round, int32(v)) {
-		case StateDown:
-			ob.downSteps++
-			return
-		case StateCrashed:
-			return
-		}
-		lo, hi := e.off[v], e.off[v+1]
-		st := e.stamp[curArena]
-		k := 2 * lo
-		for s := lo; s < hi; s++ {
-			if st[s] != curWant {
-				continue
-			}
-			switch sched.Fate(round, s) {
-			case Drop:
-				ob.dropped++
-				continue
-			case Duplicate:
-				ob.duped++
-				e.fdense[k] = e.buf[curArena][s]
-				k++
-			}
-			e.fdense[k] = e.buf[curArena][s]
-			k++
-		}
-		inbox := e.fdense[2*lo : k]
-		if seed := sched.Reorder(round, int32(v)); seed != 0 && len(inbox) > 1 {
-			shuffleMsgs(inbox, seed)
-			ob.reordered++
-		}
-		ob.v = int32(v)
-		ns, done := algo.Step(e.states[v], round, inbox, ob)
-		e.states[v] = ns
-		e.halted[v] = done
-	}
-	step := stepNode
-	if sched != nil {
-		step = stepFaulty
-	}
 	roundWork := func(ob *Outbox) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -460,6 +574,7 @@ func (e *Engine) runStates(ids []int, algo EngineAlgo, maxRounds int, sched Sche
 	obs := make([]*Outbox, workers+1)
 	for w := range obs {
 		obs[w] = &Outbox{e: e, prof: prof}
+		prep(obs[w])
 	}
 	start := make([]chan struct{}, workers)
 	for w := range start {
@@ -501,7 +616,7 @@ func (e *Engine) runStates(ids []int, algo EngineAlgo, maxRounds int, sched Sche
 		if e.errFlag.Load() {
 			for _, v := range active {
 				if err := e.errs[v]; err != nil {
-					return nil, 0, nil, err
+					return 0, nil, err
 				}
 			}
 		}
@@ -533,9 +648,9 @@ func (e *Engine) runStates(ids []int, algo EngineAlgo, maxRounds int, sched Sche
 	e.active = active[:0]
 	if len(active) > 0 {
 		if prof != "" {
-			return nil, 0, nil, fmt.Errorf("model: node %d did not halt within %d rounds [%s]", active[0], maxRounds, prof)
+			return 0, nil, fmt.Errorf("model: node %d did not halt within %d rounds [%s]", active[0], maxRounds, prof)
 		}
-		return nil, 0, nil, fmt.Errorf("model: node %d did not halt within %d rounds", active[0], maxRounds)
+		return 0, nil, fmt.Errorf("model: node %d did not halt within %d rounds", active[0], maxRounds)
 	}
 	var rep *FaultReport
 	if sched != nil {
@@ -553,5 +668,5 @@ func (e *Engine) runStates(ids []int, algo EngineAlgo, maxRounds int, sched Sche
 			}
 		}
 	}
-	return e.states, round, rep, nil
+	return round, rep, nil
 }

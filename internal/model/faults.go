@@ -585,3 +585,14 @@ func shuffleMsgs(ms []Msg, seed uint64) {
 		ms[i], ms[x%uint64(i+1)] = ms[x%uint64(i+1)], ms[i]
 	}
 }
+
+// shuffleWordMsgs is shuffleMsgs for the typed word lane: the same
+// seed permutes a same-length inbox identically, so typed and untyped
+// runs see their messages in the same adversarial order.
+func shuffleWordMsgs(ms []WordMsg, seed uint64) {
+	x := seed
+	for i := len(ms) - 1; i > 0; i-- {
+		x = mix(x, uint64(i), 0)
+		ms[i], ms[x%uint64(i+1)] = ms[x%uint64(i+1)], ms[i]
+	}
+}

@@ -103,6 +103,19 @@ type (
 	FaultProfile = model.Profile
 	// FaultReport tallies the faults a run actually injected.
 	FaultReport = model.FaultReport
+	// TypedAlgo is the typed engine-native round-algorithm form:
+	// states in a columnar []S, payloads on the uint64 word lane,
+	// sends addressed by local slot (DESIGN.md §9).
+	TypedAlgo[S any] = model.TypedAlgo[S]
+	// TypedEngine couples an Engine's message plane with a columnar
+	// state array; typed and untyped runs may alternate on one plane.
+	TypedEngine[S any] = model.TypedEngine[S]
+	// WordAlgo is the fully packed uint64-state typed algorithm form.
+	WordAlgo = model.WordAlgo
+	// WordEngine is the uint64-state typed engine.
+	WordEngine = model.WordEngine
+	// WordMsg is one typed inbox entry: payload word + local slot.
+	WordMsg = model.WordMsg
 )
 
 // Solution kinds.
@@ -160,6 +173,23 @@ var (
 	RunRoundsRef     = model.RunRoundsReference
 	SimulatePO       = model.SimulatePO
 	SimulatePORounds = model.SimulatePORounds
+)
+
+// The typed columnar path (DESIGN.md §9): states live in contiguous
+// []S columns and payloads in the plane's fixed-width uint64 word
+// lane — no interface boxing on the hot loop. RunRoundsWord and
+// NewWordEngine are the packed uint64 instantiations Cole–Vishkin and
+// the randomized matching run on; the generic forms
+// (model.RunRoundsTyped[S], model.NewTypedEngine[S], model.TypedOn[S])
+// are reachable through the aliases above for any state type.
+// SimulatePORoundsTyped gathers views over the word lane (column
+// handles to hash-consed trees) — byte-identical to SimulatePORounds.
+var (
+	NewWordEngine               = model.NewWordEngine
+	RunRoundsWord               = model.RunRoundsTyped[uint64]
+	RunRoundsWordFaulty         = model.RunRoundsTypedFaulty[uint64]
+	SimulatePORoundsTyped       = model.SimulatePORoundsTyped
+	SimulatePORoundsTypedFaulty = model.SimulatePORoundsTypedFaulty
 )
 
 // Fault injection (DESIGN.md §8): every engine entry point has a

@@ -36,7 +36,15 @@ zero-allocation round promise; par.Set(8) fixes the worker count, so
 on smaller runners the workers timeshare and the measured ns/op can
 only be conservative), RunRoundsFaulty (the same round under the
 lossy:p=0.05 fault schedule — pins both the faulty path's overhead
-and its own 0 allocs/op steady state).
+and its own 0 allocs/op steady state), RunRoundsTyped and
+RunRoundsTypedFaulty (the typed word-lane engine on the same torus:
+the uint64 columnar path must hold its speedup over the boxed plane
+and its 0 allocs/op steady state, clean and faulty alike), and
+EngineMillionCycleTyped (the typed million-node round: pins the word
+lane's per-round cost at memory-bound scale; its allocs_op baseline is
+null on purpose — the benchmark amortises one run's setup over b.N
+rounds, so the per-op alloc count varies with the runner's speed and
+only the normalised ns/op is gated).
 """
 import json
 import re
@@ -52,6 +60,9 @@ WATCHED = [
     "BenchmarkE14Views",
     "BenchmarkRunRounds",
     "BenchmarkRunRoundsFaulty",
+    "BenchmarkRunRoundsTyped",
+    "BenchmarkRunRoundsTypedFaulty",
+    "BenchmarkEngineMillionCycleTyped",
 ]
 
 LINE = re.compile(
