@@ -20,9 +20,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/host"
@@ -34,6 +36,24 @@ import (
 // saying anything.
 const maxRmax = 8
 
+// usageError marks an error as a usage mistake (unknown name,
+// out-of-range flag) rather than a failed computation, so main exits
+// with the conventional status 2 and the message carries the relevant
+// registry listing.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func exitWith(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	var ue usageError
+	if errors.As(err, &ue) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
 func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E10)")
@@ -43,12 +63,10 @@ func main() {
 	flag.Parse()
 	par.Set(*parallelism)
 	if *rmax < 1 || *rmax > maxRmax {
-		fmt.Fprintf(os.Stderr, "experiments: -rmax %d out of range (valid radii: 1..%d)\n", *rmax, maxRmax)
-		os.Exit(1)
+		exitWith(usageError{fmt.Errorf("-rmax %d out of range (valid radii: 1..%d)", *rmax, maxRmax)})
 	}
 	if err := run(*markdown, *only, *hostDesc, *rmax); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		exitWith(err)
 	}
 }
 
@@ -76,7 +94,11 @@ func run(markdown bool, only, hostDesc string, rmax int) error {
 		emit(tbl, markdown)
 		return nil
 	}
-	return fmt.Errorf("no experiment matches %q", only)
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return usageError{fmt.Errorf("no experiment matches %q\nexperiments: %s", only, strings.Join(ids, ", "))}
 }
 
 // runHosted resolves the descriptor once and runs the host experiments
@@ -84,7 +106,7 @@ func run(markdown bool, only, hostDesc string, rmax int) error {
 func runHosted(markdown bool, only, hostDesc string, rmax int) error {
 	h, err := host.Parse(hostDesc)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 	if only != "" {
 		tbl, err := experiments.RunHosted(only, h, rmax)

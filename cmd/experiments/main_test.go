@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binPath is the experiments binary built once by TestMain.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "experiments-cli")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "experiments")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building experiments: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// Usage mistakes — unknown -host descriptor, out-of-range -rmax,
+// unknown -only id — exit status 2 with the relevant listing.
+func TestUsageErrorsExitTwoWithListing(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad host", []string{"-host", "nosuch:3"}, "registered host families:"},
+		{"bad host params", []string{"-host", "torus:6x6,bogus=1"}, "unused arguments"},
+		{"rmax too big", []string{"-rmax", "99"}, "valid radii: 1..8"},
+		{"rmax zero", []string{"-rmax", "0"}, "valid radii: 1..8"},
+		{"bad only", []string{"-only", "E999"}, "experiments:"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(binPath, tc.args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("want exit error, got %v\n%s", err, out)
+			}
+			if ee.ExitCode() != 2 {
+				t.Fatalf("exit code %d, want 2\n%s", ee.ExitCode(), out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+// Command localapproxd serves the repo's simulation and measurement
+// pipeline over HTTP/JSON: homogeneity sweeps, engine workloads (clean
+// or under fault profiles), and the descriptor registries — hardened
+// with admission control, per-request deadlines, panic isolation, a
+// content-addressed result cache, and SIGTERM graceful drain.
+//
+// Usage:
+//
+//	localapproxd [-addr :8347] [-workers N] [-queue N]
+//	             [-deadline 30s] [-max-deadline 2m] [-drain 30s]
+//	             [-cache 4096] [-p N]
+//
+// The process exits 0 after a clean drain and 1 if the drain deadline
+// expires with connections still open.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently computing requests (0 = default 2)")
+	queue := flag.Int("queue", 0, "max requests queued for a worker slot (0 = default 8)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = 30s)")
+	maxDeadline := flag.Duration("max-deadline", 0, "upper clamp on deadline_ms (0 = 2m)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
+	cacheEntries := flag.Int("cache", 0, "result-cache entry cap (0 = default 4096)")
+	procs := flag.Int("p", 0, "engine parallelism knob (0 = all cores)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "localapproxd: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *procs > 0 {
+		par.Set(*procs)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		CacheEntries:    *cacheEntries,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "localapproxd: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "localapproxd: serving on %s (workers=%d, par=%d)\n",
+		ln.Addr(), *workers, par.N())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "localapproxd: serve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "localapproxd: %v: draining (deadline %s)\n", sig, *drain)
+	}
+
+	// Graceful drain: stop advertising readiness, let http.Server stop
+	// accepting and wait for in-flight requests, then exit clean.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "localapproxd: drain deadline expired: %v\n", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "localapproxd: drained, bye")
+}

@@ -52,6 +52,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -72,6 +73,31 @@ import (
 // maxRmax caps the homogeneity radius sweep (see cmd/experiments).
 const maxRmax = 8
 
+// usageError marks an error as a usage mistake — an unknown name or
+// out-of-range flag, as opposed to a failed computation — so main can
+// exit with the conventional status 2. Every usage error carries the
+// relevant registry or grammar listing, making the message
+// self-repairing: the user's next invocation can be pasted from it.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// usagef formats a usage error.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// exitWith prints the error and exits 2 for usage errors, 1 otherwise.
+func exitWith(err error) {
+	fmt.Fprintln(os.Stderr, "localsim:", err)
+	var ue usageError
+	if errors.As(err, &ue) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
 func main() {
 	alg := flag.String("alg", "eds-one-out", "algorithm name")
 	graphName := flag.String("graph", "cycle", "graph family: cycle|dcycle|petersen|torus|regular|circulant")
@@ -90,32 +116,27 @@ func main() {
 		}
 	})
 	if rmaxSet && (*rmax < 1 || *rmax > maxRmax) {
-		fmt.Fprintf(os.Stderr, "localsim: -rmax %d out of range (valid radii: 1..%d)\n", *rmax, maxRmax)
-		os.Exit(1)
+		exitWith(usagef("-rmax %d out of range (valid radii: 1..%d)", *rmax, maxRmax))
 	}
 	var prof *model.Profile
 	if *faults != "" {
 		if *algo == "" {
-			fmt.Fprintln(os.Stderr, "localsim: -faults needs -algo (fault schedules run on the engine's message plane; scale mode only)")
-			os.Exit(1)
+			exitWith(usagef("-faults needs -algo (fault schedules run on the engine's message plane; scale mode only)"))
 		}
 		var err error
 		prof, err = model.ParseProfile(*faults)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "localsim:", err)
-			os.Exit(1)
+			exitWith(usageError{err})
 		}
 	}
 	if *algo != "" {
 		if err := runScale(*algo, *hostDesc, *n, *seed, *rmax, prof); err != nil {
-			fmt.Fprintln(os.Stderr, "localsim:", err)
-			os.Exit(1)
+			exitWith(err)
 		}
 		return
 	}
 	if err := run(*alg, *graphName, *hostDesc, *n, *d, *seed, *rmax); err != nil {
-		fmt.Fprintln(os.Stderr, "localsim:", err)
-		os.Exit(1)
+		exitWith(err)
 	}
 }
 
@@ -124,7 +145,7 @@ func main() {
 func resolveHost(hostDesc string) (*model.Host, string, error) {
 	rh, err := host.Parse(hostDesc)
 	if err != nil {
-		return nil, "", err
+		return nil, "", usageError{err}
 	}
 	if rh.D != nil {
 		return &model.Host{D: rh.D, G: rh.G}, rh.Desc, nil
@@ -167,7 +188,7 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Pr
 		}
 	}
 	if !known {
-		return fmt.Errorf("unknown scale workload %q\n%s", algo, describeScaleWorkloads())
+		return usagef("unknown scale workload %q\n%s", algo, describeScaleWorkloads())
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var (
@@ -276,6 +297,13 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Pr
 	return nil
 }
 
+// algNames lists the classic-mode algorithms, for unknown -alg errors.
+var algNames = []string{
+	"eds-one-out", "eds-all", "ec-one-edge", "ds-all", "vc-all",
+	"vc-packing", "id-greedy-eds", "id-nonmin-vc", "oi-smallest-eds",
+	"oi-nonmin-vc", "cole-vishkin",
+}
+
 func run(algName, graphName, hostDesc string, n, d int, seed int64, rmax int) error {
 	rng := rand.New(rand.NewSource(seed))
 	var (
@@ -342,7 +370,7 @@ func run(algName, graphName, hostDesc string, n, d int, seed int64, rmax int) er
 			fmt.Printf("rounds: %d (O(log* n) colour reduction + O(1) cleanup)\n", res.Rounds)
 		}
 	default:
-		return fmt.Errorf("unknown algorithm %q", algName)
+		return usagef("unknown algorithm %q\nalgorithms: %s", algName, strings.Join(algNames, ", "))
 	}
 	if err != nil {
 		return err
@@ -405,6 +433,6 @@ func buildHost(name string, n, d int, rng *rand.Rand) (*model.Host, error) {
 	case "circulant":
 		return model.HostFromGraph(graph.Circulant(n, 1, 2)), nil
 	default:
-		return nil, fmt.Errorf("unknown graph %q", name)
+		return nil, usagef("unknown graph %q\ngraph families: cycle, dcycle, petersen, torus, regular, circulant (or any -host descriptor)", name)
 	}
 }

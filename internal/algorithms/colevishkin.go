@@ -53,11 +53,18 @@ const (
 // RoundAlgo formulation survives as the reference the differential
 // tests pin this path against, byte for byte.
 func ColeVishkinMIS(h *model.Host, ids []int) (*ColeVishkinResult, error) {
+	return coleVishkinOn(model.NewWordEngine(h), h, ids)
+}
+
+// coleVishkinOn is ColeVishkinMIS on a caller-provided engine, so the
+// service layer can arm the engine with a cancellation context (see
+// ColeVishkinMISCtx) and repeated trials can reuse one message plane.
+func coleVishkinOn(e *model.WordEngine, h *model.Host, ids []int) (*ColeVishkinResult, error) {
 	steps, last, err := cvPlan(h, ids)
 	if err != nil {
 		return nil, err
 	}
-	col, rounds, err := model.NewWordEngine(h).RunStates(ids, coleVishkinWordAlgo(steps, last), last+2)
+	col, rounds, err := e.RunStates(ids, coleVishkinWordAlgo(steps, last), last+2)
 	if err != nil {
 		return nil, fmt.Errorf("algorithms: Cole–Vishkin: %w", err)
 	}

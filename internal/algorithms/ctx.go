@@ -1,0 +1,49 @@
+package algorithms
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// This file is the cooperative-cancellation surface of the flagship
+// algorithms: each Ctx variant is its plain twin running on an engine
+// armed with model.Engine.WithContext, so a cancelled or
+// deadline-expired context aborts the run between rounds with an
+// error wrapping ctx.Err() (errors.Is-able against
+// context.DeadlineExceeded) and hands every reserved par worker back
+// mid-run. These are the entry points the localapproxd service layer
+// calls — a 10^6-node request that blows its deadline must free its
+// workers, not finish on principle. A nil or background context
+// reproduces the plain variant exactly.
+
+// wordEngineCtx builds a word-lane engine armed with ctx.
+func wordEngineCtx(ctx context.Context, h *model.Host) *model.WordEngine {
+	return model.TypedOn[uint64](model.NewEngine(h).WithContext(ctx))
+}
+
+// ColeVishkinMISCtx is ColeVishkinMIS under cooperative cancellation.
+func ColeVishkinMISCtx(ctx context.Context, h *model.Host, ids []int) (*ColeVishkinResult, error) {
+	return coleVishkinOn(wordEngineCtx(ctx, h), h, ids)
+}
+
+// ColeVishkinMISFaultyCtx is ColeVishkinMISFaulty under cooperative
+// cancellation.
+func ColeVishkinMISFaultyCtx(ctx context.Context, h *model.Host, ids []int, sched model.Schedule) (*FaultyCVResult, error) {
+	return coleVishkinFaultyOn(wordEngineCtx(ctx, h), h, ids, sched)
+}
+
+// RandomizedMatchingCtx is RandomizedMatching under cooperative
+// cancellation. Unlike the plain variant a run can now legitimately
+// fail (the context died mid-protocol), so it returns an error
+// instead of promising success.
+func RandomizedMatchingCtx(ctx context.Context, h *model.Host, rng *rand.Rand) (*model.Solution, error) {
+	return randomizedMatchingErr(wordEngineCtx(ctx, h), h, rng)
+}
+
+// RandomizedMatchingFaultyCtx is RandomizedMatchingFaulty under
+// cooperative cancellation.
+func RandomizedMatchingFaultyCtx(ctx context.Context, h *model.Host, rng *rand.Rand, sched model.Schedule) (*FaultyMatchingResult, error) {
+	return randomizedMatchingFaultyOn(wordEngineCtx(ctx, h), h, rng, sched)
+}

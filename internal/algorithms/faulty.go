@@ -52,11 +52,17 @@ type FaultyCVResult struct {
 // survivor-safety counts of CVSurvivorSafety. A nil schedule
 // reproduces the clean result with zero counts.
 func ColeVishkinMISFaulty(h *model.Host, ids []int, sched model.Schedule) (*FaultyCVResult, error) {
+	return coleVishkinFaultyOn(model.NewWordEngine(h), h, ids, sched)
+}
+
+// coleVishkinFaultyOn is ColeVishkinMISFaulty on a caller-provided
+// engine (see coleVishkinOn).
+func coleVishkinFaultyOn(e *model.WordEngine, h *model.Host, ids []int, sched model.Schedule) (*FaultyCVResult, error) {
 	steps, last, err := cvPlan(h, ids)
 	if err != nil {
 		return nil, err
 	}
-	col, rounds, rep, err := model.NewWordEngine(h).RunStatesFaulty(ids, coleVishkinWordAlgo(steps, last), last+2+faultSlack, sched)
+	col, rounds, rep, err := e.RunStatesFaulty(ids, coleVishkinWordAlgo(steps, last), last+2+faultSlack, sched)
 	if err != nil {
 		return nil, fmt.Errorf("algorithms: faulty Cole–Vishkin: %w", err)
 	}
@@ -131,9 +137,15 @@ type FaultyMatchingResult struct {
 // never corrupt it. Edges with a crashed endpoint are excluded. A nil
 // schedule reproduces the clean matching for the same rng stream.
 func RandomizedMatchingFaulty(h *model.Host, rng *rand.Rand, sched model.Schedule) (*FaultyMatchingResult, error) {
+	return randomizedMatchingFaultyOn(model.NewWordEngine(h), h, rng, sched)
+}
+
+// randomizedMatchingFaultyOn is RandomizedMatchingFaulty on a
+// caller-provided engine (see coleVishkinOn).
+func randomizedMatchingFaultyOn(e *model.WordEngine, h *model.Host, rng *rand.Rand, sched model.Schedule) (*FaultyMatchingResult, error) {
 	n := h.G.N()
 	proposal, states := drawProposals(h, rng)
-	col, rep, err := runProposalsFaulty(model.NewWordEngine(h), states, sched)
+	col, rep, err := runProposalsFaulty(e, states, sched)
 	if err != nil {
 		return nil, err
 	}

@@ -139,13 +139,25 @@ func slotOf(letters []view.Letter, l view.Letter) int {
 // randomizedMatchingOn is RandomizedMatching on a caller-provided
 // engine, so repeated trials reuse one message plane.
 func randomizedMatchingOn(e *model.WordEngine, h *model.Host, rng *rand.Rand) *model.Solution {
+	sol, err := randomizedMatchingErr(e, h, rng)
+	if err != nil {
+		// Unreachable on an uncancellable engine: every slot was
+		// resolved from a real arc and each node sends at most once.
+		panic(fmt.Sprintf("algorithms: randomized matching round: %v", err))
+	}
+	return sol
+}
+
+// randomizedMatchingErr is the error-returning core of the one-round
+// proposal matching: on a context-armed engine a run can legitimately
+// fail mid-protocol (cancellation), which the service layer must see
+// as an error rather than a panic.
+func randomizedMatchingErr(e *model.WordEngine, h *model.Host, rng *rand.Rand) (*model.Solution, error) {
 	n := h.G.N()
 	proposal, states := drawProposals(h, rng)
 	col, _, err := e.RunStates(nil, proposalWordAlgo(states), 3)
 	if err != nil {
-		// Unreachable: every slot was resolved from a real arc and
-		// each node sends at most once.
-		panic(fmt.Sprintf("algorithms: randomized matching round: %v", err))
+		return nil, fmt.Errorf("algorithms: randomized matching: %w", err)
 	}
 	sol := model.NewSolution(model.EdgeKind, n)
 	for v := 0; v < n; v++ {
@@ -153,7 +165,7 @@ func randomizedMatchingOn(e *model.WordEngine, h *model.Host, rng *rand.Rand) *m
 			sol.Edges[graph.NewEdge(v, proposal[v])] = true
 		}
 	}
-	return sol
+	return sol, nil
 }
 
 // letterTo returns the letter naming the arc between v and its

@@ -35,6 +35,25 @@ func init() {
 		}),
 	})
 	Register(Family{
+		Name: "dcycle", Syntax: "dcycle:<n>", Doc: "the consistently oriented directed n-cycle (n >= 3)",
+		Build: func(p *Params) (*Host, error) {
+			n, err := p.Int("n", 12)
+			if err != nil || n < 3 {
+				return nil, orErr(err, "need n >= 3")
+			}
+			b := digraph.NewBuilder(n, 1)
+			for i := 0; i < n; i++ {
+				b.MustAddArc(i, (i+1)%n, 0)
+			}
+			d := b.Build()
+			g, err := d.Underlying()
+			if err != nil {
+				return nil, err
+			}
+			return &Host{G: g, D: d}, nil
+		},
+	})
+	Register(Family{
 		Name: "path", Syntax: "path:<n>", Doc: "the path on n vertices",
 		Build: plain(func(p *Params) (*graph.Graph, error) {
 			n, err := p.Int("n", 12)

@@ -1,0 +1,144 @@
+package host
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// familySamples maps every registered family to representative
+// descriptors. TestRoundTripCoversRegistry fails when a family has no
+// entry, so adding a family without extending this table is a test
+// failure, not silent shrinkage of the round-trip net.
+var familySamples = map[string][]string{
+	"cycle":             {"cycle:12", "cycle:3"},
+	"dcycle":            {"dcycle:12", "dcycle:3"},
+	"path":              {"path:1", "path:9"},
+	"complete":          {"complete:5"},
+	"petersen":          {"petersen"},
+	"grid":              {"grid:4x4", "grid:1x7"},
+	"grid3d":            {"grid3d:3x3x3", "grid3d:2x3x4"},
+	"torus":             {"torus:6x6", "torus:3x4x5"},
+	"hypercube":         {"hypercube:4", "hypercube:1"},
+	"circulant":         {"circulant:16,1+2", "circulant:9,1"},
+	"random-regular":    {"random-regular:d=3,n=16,seed=7"},
+	"margulis-expander": {"margulis-expander:n=8"},
+	"cayley":            {"cayley:W,level=2,k=2,seed=1"},
+	"lift":              {"lift:cycle:9,l=3", "lift:petersen,l=2,seed=5"},
+}
+
+// TestRoundTripCoversRegistry: every registered family has at least
+// one sample descriptor above.
+func TestRoundTripCoversRegistry(t *testing.T) {
+	for _, f := range Families() {
+		if len(familySamples[f.Name]) == 0 {
+			t.Errorf("family %q has no round-trip sample descriptor; add one to familySamples", f.Name)
+		}
+	}
+	for name := range familySamples {
+		found := false
+		for _, f := range Families() {
+			if f.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("familySamples has stale entry %q: no such registered family", name)
+		}
+	}
+}
+
+// TestParseRoundTripFixpoint pins the descriptor grammar's fixpoint:
+// parsing a descriptor stamps it verbatim into Host.Desc, and parsing
+// that stamped string again yields a structurally identical host —
+// same vertex count, same edge multiset, same digraph arc set. This
+// is what makes Desc a stable cache key (the service layer keys its
+// result cache on it) and what keeps error messages, logs and goldens
+// replayable.
+func TestParseRoundTripFixpoint(t *testing.T) {
+	for name, descs := range familySamples {
+		for _, desc := range descs {
+			h1, err := Parse(desc)
+			if err != nil {
+				t.Errorf("%s: Parse(%q): %v", name, desc, err)
+				continue
+			}
+			if h1.Desc != desc {
+				t.Errorf("%s: Parse(%q) stamped Desc=%q, want the input verbatim", name, desc, h1.Desc)
+				continue
+			}
+			h2, err := Parse(h1.Desc)
+			if err != nil {
+				t.Errorf("%s: re-Parse(%q): %v", name, h1.Desc, err)
+				continue
+			}
+			if h2.Desc != h1.Desc {
+				t.Errorf("%s: Desc drifted on re-parse: %q -> %q", name, h1.Desc, h2.Desc)
+			}
+			if err := sameHost(h1, h2); err != nil {
+				t.Errorf("%s: %q re-parsed to a different host: %v", name, desc, err)
+			}
+		}
+	}
+}
+
+// TestParseRejectsTrailingGarbage: the fixpoint property only holds
+// because the grammar is strict — unused arguments are errors, so no
+// two distinct descriptors silently alias one host.
+func TestParseRejectsTrailingGarbage(t *testing.T) {
+	for _, desc := range []string{
+		"cycle:12,extra=1",
+		"dcycle:12,9",
+		"torus:6x6,seed=3",
+		"petersen:5",
+	} {
+		if _, err := Parse(desc); err == nil || !strings.Contains(err.Error(), "unused arguments") {
+			t.Errorf("Parse(%q) err=%v, want an unused-arguments error", desc, err)
+		}
+	}
+}
+
+// sameHost compares two hosts structurally: vertex count, undirected
+// neighbour rows, digraph presence and arc rows.
+func sameHost(a, b *Host) error {
+	if a.G.N() != b.G.N() {
+		return errf("N %d vs %d", a.G.N(), b.G.N())
+	}
+	for v := 0; v < a.G.N(); v++ {
+		na, nb := a.G.Neighbors(v), b.G.Neighbors(v)
+		if len(na) != len(nb) {
+			return errf("vertex %d degree %d vs %d", v, len(na), len(nb))
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return errf("vertex %d neighbour row differs at %d: %d vs %d", v, i, na[i], nb[i])
+			}
+		}
+	}
+	if (a.D == nil) != (b.D == nil) {
+		return errf("digraph presence %v vs %v", a.D != nil, b.D != nil)
+	}
+	if a.D == nil {
+		return nil
+	}
+	if a.D.N() != b.D.N() {
+		return errf("digraph N %d vs %d", a.D.N(), b.D.N())
+	}
+	for v := 0; v < a.D.N(); v++ {
+		oa, ob := a.D.Out(v), b.D.Out(v)
+		if len(oa) != len(ob) {
+			return errf("vertex %d out-degree %d vs %d", v, len(oa), len(ob))
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				return errf("vertex %d arc %d: %+v vs %+v", v, i, oa[i], ob[i])
+			}
+		}
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

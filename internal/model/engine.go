@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -92,6 +93,29 @@ type Engine struct {
 	// crashed marks permanently crashed nodes on faulty runs; lazily
 	// allocated on the first faulty run so clean engines pay nothing.
 	crashed []bool
+
+	// ctx, when non-nil, arms cooperative cancellation: runCore polls
+	// ctx.Err() at every round barrier and aborts the run with a
+	// wrapped context error. See WithContext.
+	ctx context.Context
+}
+
+// WithContext arms cooperative cancellation for this engine's
+// subsequent runs (typed, untyped, clean and faulty alike — they all
+// share runCore): the round loop polls ctx.Err() once per round
+// barrier, and a cancelled or deadline-expired context aborts the run
+// between rounds with an error wrapping ctx.Err() (so callers can
+// errors.Is against context.DeadlineExceeded). The persistent workers
+// are released and the message-plane tick advanced on that exit path
+// exactly as on any other, so a cancelled run hands its whole worker
+// reservation back mid-run — this is what makes a long-running
+// service able to kill a 10^6-node request that blew its deadline.
+// The poll is one atomic-ish Err call per round, so the steady-state
+// round stays allocation-free. A nil ctx (the default) disarms the
+// check. Returns e for chaining.
+func (e *Engine) WithContext(ctx context.Context) *Engine {
+	e.ctx = ctx
+	return e
 }
 
 // EngineAlgo is the engine-native form of a round algorithm: Step
@@ -597,6 +621,14 @@ func (e *Engine) runCore(step func(int, *Outbox), prep func(*Outbox), sched Sche
 	masterOb := obs[workers]
 
 	for ; round < maxRounds && len(active) > 0; round++ {
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				if prof != "" {
+					return 0, nil, fmt.Errorf("model: round %d [%s]: run cancelled: %w", round, prof, err)
+				}
+				return 0, nil, fmt.Errorf("model: round %d: run cancelled: %w", round, err)
+			}
+		}
 		curArena = round & 1
 		curWant = base + int64(round) + 1
 		chunk = int64(len(active)/((workers+1)*4)) + 1

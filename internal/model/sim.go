@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -69,6 +70,21 @@ func RunRounds(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]Output, int
 // instead of outputs.
 func RunRoundsStates(h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]any, int, error) {
 	return NewEngine(h).RunStates(ids, algo.engine(), maxRounds)
+}
+
+// RunRoundsStatesCtx is RunRoundsStates under cooperative
+// cancellation (Engine.WithContext): the run aborts between rounds
+// once ctx is cancelled or past its deadline, returning an error that
+// wraps ctx.Err() and handing every reserved worker back to the
+// par budget. This is the service layer's deadline hook.
+func RunRoundsStatesCtx(ctx context.Context, h *Host, ids []int, algo RoundAlgo, maxRounds int) ([]any, int, error) {
+	return NewEngine(h).WithContext(ctx).RunStates(ids, algo.engine(), maxRounds)
+}
+
+// RunRoundsStatesFaultyCtx is RunRoundsStatesFaulty under cooperative
+// cancellation; see RunRoundsStatesCtx.
+func RunRoundsStatesFaultyCtx(ctx context.Context, h *Host, ids []int, algo RoundAlgo, maxRounds int, sched Schedule) ([]any, int, *FaultReport, error) {
+	return NewEngine(h).WithContext(ctx).RunStatesFaulty(ids, algo.engine(), maxRounds, sched)
 }
 
 // RunRoundsFaulty is RunRounds executing under a fault schedule (see

@@ -1,7 +1,10 @@
 package order
 
 import (
+	"context"
+	"fmt"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -405,23 +408,64 @@ func SweepMeasureAll(g *graph.Graph, rank Rank, rmax int) []Homogeneity {
 }
 
 // sweepTally is the worker-local tallying scratch of SweepMeasureAll:
-// one sweeper and one count map per radius per worker.
+// one sweeper and one count map per radius per worker, plus this
+// worker's processed-vertex counter driving the cancellation poll.
 type sweepTally struct {
 	sw     *Sweeper
 	counts []map[*Ball]int
+	done   int
 }
+
+// sweepPollMask throttles the cancellation poll of cancellable
+// sweeps: each worker checks ctx.Err() once per 64 vertices
+// processed, so the poll never shows up next to the BFS cost of a
+// single extraction.
+const sweepPollMask = 63
 
 // SweepMeasureAllInto is SweepMeasureAll over a caller-supplied
 // interner (see SweepMeasureInto). rmax < 1 yields nil.
 func SweepMeasureAllInto(in *Interner, g *graph.Graph, rank Rank, rmax int) []Homogeneity {
+	out, _ := sweepMeasureAll(nil, in, g, rank, rmax)
+	return out
+}
+
+// SweepMeasureAllCtx is SweepMeasureAll under cooperative
+// cancellation: every sweep worker polls ctx.Err() once per 64
+// vertices and a cancelled or deadline-expired context makes all
+// workers stop claiming vertices, so the whole scan winds down within
+// one poll interval per worker and its par slots return to the
+// budget. On cancellation the partial tallies are discarded and the
+// error wraps ctx.Err() (errors.Is-able against
+// context.DeadlineExceeded). This is the service layer's deadline
+// hook for homogeneity measurement, where a 10^6-node sweep must be
+// abandonable mid-scan.
+func SweepMeasureAllCtx(ctx context.Context, g *graph.Graph, rank Rank, rmax int) ([]Homogeneity, error) {
+	return SweepMeasureAllIntoCtx(ctx, NewInterner(), g, rank, rmax)
+}
+
+// SweepMeasureAllIntoCtx is SweepMeasureAllCtx over a caller-supplied
+// interner.
+func SweepMeasureAllIntoCtx(ctx context.Context, in *Interner, g *graph.Graph, rank Rank, rmax int) ([]Homogeneity, error) {
+	return sweepMeasureAll(ctx, in, g, rank, rmax)
+}
+
+// sweepMeasureAll is the shared core of the layered whole-host sweep.
+// A nil ctx disarms cancellation entirely — the uncancellable
+// entry points pay nothing for the hook but one nil check per vertex.
+func sweepMeasureAll(ctx context.Context, in *Interner, g *graph.Graph, rank Rank, rmax int) ([]Homogeneity, error) {
 	if rmax < 1 {
-		return nil
+		return nil, nil
 	}
 	n := g.N()
 	merged := make([]map[*Ball]int, rmax)
 	for r := range merged {
 		merged[r] = make(map[*Ball]int)
 	}
+	// stop is the shared kill switch: the first worker to observe a
+	// dead context raises it, and every worker checks it before each
+	// vertex, so cancellation propagates without any worker having to
+	// touch the (mutex-guarded) context on the per-vertex fast path.
+	var stop atomic.Bool
 	par.ForScratchMerge(n,
 		func() *sweepTally {
 			t := &sweepTally{sw: NewSweeper(), counts: make([]map[*Ball]int, rmax)}
@@ -431,6 +475,16 @@ func SweepMeasureAllInto(in *Interner, g *graph.Graph, rank Rank, rmax int) []Ho
 			return t
 		},
 		func(v int, t *sweepTally) {
+			if ctx != nil {
+				if stop.Load() {
+					return
+				}
+				if t.done&sweepPollMask == 0 && ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+				t.done++
+			}
 			for r, b := range t.sw.CanonicalBalls(g, rank, v, rmax, in) {
 				t.counts[r][b]++
 			}
@@ -442,11 +496,14 @@ func SweepMeasureAllInto(in *Interner, g *graph.Graph, rank Rank, rmax int) []Ho
 				}
 			}
 		})
+	if stop.Load() {
+		return nil, fmt.Errorf("order: sweep cancelled: %w", ctx.Err())
+	}
 	out := make([]Homogeneity, rmax)
 	for r := range out {
 		out[r] = tallyCounts(n, merged[r])
 	}
-	return out
+	return out, nil
 }
 
 // tally merges a vertex-ordered slice of canonical balls into the

@@ -1,0 +1,68 @@
+package order
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// TestSweepMeasureAllCtxCancelled: a dead context aborts the layered
+// sweep with an error wrapping ctx.Err(), discards partial tallies,
+// and leaves the par budget fully released.
+func TestSweepMeasureAllCtxCancelled(t *testing.T) {
+	defer par.Set(par.Set(4))
+	g := graph.Torus(64, 64)
+	rank := Identity(g.N())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := SweepMeasureAllCtx(ctx, g, rank, 3)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want wrapped context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled sweep returned partial results: %v", out)
+	}
+	if got := par.InUse(); got != 0 {
+		t.Fatalf("par.InUse()=%d after cancelled sweep", got)
+	}
+}
+
+// TestSweepMeasureAllCtxDeadline: an expiring deadline surfaces as a
+// wrapped context.DeadlineExceeded.
+func TestSweepMeasureAllCtxDeadline(t *testing.T) {
+	g := graph.Torus(32, 32)
+	rank := Identity(g.N())
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := SweepMeasureAllCtx(ctx, g, rank, 2)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+// TestSweepMeasureAllCtxLiveMatchesPlain: with a live context the
+// cancellable sweep is byte-identical to the uncancellable one — same
+// counts and the same interned majority ball through a shared
+// interner.
+func TestSweepMeasureAllCtxLiveMatchesPlain(t *testing.T) {
+	g := graph.Torus(12, 12)
+	rank := Identity(g.N())
+	in := NewInterner()
+	want := SweepMeasureAllInto(in, g, rank, 3)
+	got, err := SweepMeasureAllIntoCtx(context.Background(), in, g, rank, 3)
+	if err != nil {
+		t.Fatalf("live-context sweep failed: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for r := range want {
+		if got[r].Majority != want[r].Majority || got[r].Count != want[r].Count || got[r].N != want[r].N {
+			t.Fatalf("radius %d: ctx sweep diverged: got %+v want %+v", r+1, got[r], want[r])
+		}
+	}
+}

@@ -17,7 +17,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -179,11 +181,77 @@ func Reserve(want int) int {
 	return reserve(want)
 }
 
-// Release returns n slots claimed by Reserve to the budget.
+// Release returns n slots claimed by Reserve to the budget. Handing
+// back more slots than are currently reserved — a double Release, or
+// a Release without a matching Reserve — would silently widen the
+// budget and let every later For/Reserve oversubscribe the knob, so
+// it panics with a diagnostic instead. The check is process-global
+// (the budget is), so it is best-effort: over-releasing while another
+// caller still holds slots consumes theirs and trips the panic at
+// their Release instead — but the corruption is always caught before
+// the budget goes negative.
 func Release(n int) {
-	if n > 0 {
-		extra.Add(-int64(n))
+	if n <= 0 {
+		return
 	}
+	for {
+		cur := extra.Load()
+		if int64(n) > cur {
+			panic(fmt.Sprintf(
+				"par: Release(%d) with only %d extra-worker slots reserved — double Release or Release without Reserve",
+				n, cur))
+		}
+		if extra.CompareAndSwap(cur, cur-int64(n)) {
+			return
+		}
+	}
+}
+
+// InUse returns the number of extra-worker slots currently reserved
+// across the whole process (by For/ForScratch calls in flight and by
+// engines holding persistent workers). It is the worker-budget
+// occupancy gauge of the service layer's metrics endpoint: a server
+// at rest reports 0, and a cancelled run that failed to hand its
+// workers back shows up as occupancy stuck above 0.
+func InUse() int { return int(extra.Load()) }
+
+// PanicError is a panic converted to an error by Catch: the recovered
+// value plus the stack at the recovery point. It is the "stamped
+// error" one poisoned request turns into in the service layer, where
+// a handler must answer 500 and keep the process serving.
+type PanicError struct {
+	// Val is the recovered panic value.
+	Val any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic value and the captured stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Val, e.Stack)
+}
+
+// Catch runs fn and converts a panic into a *PanicError instead of
+// letting it unwind further. Because For, ForScratch and the round
+// engine's persistent workers all re-raise worker panics on the
+// calling goroutine after joining, wrapping the call site in Catch
+// isolates a poisoned parallel computation completely: the workers
+// have already stopped, the budget has been handed back by the
+// callee's defers, and the caller gets an error where the process
+// would have died. A *PanicError raised inside fn (e.g. re-thrown by
+// a nested Catch) is returned as-is rather than double-wrapped.
+func Catch(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Val: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
 }
 
 // reserve claims up to want extra-worker slots from the global budget

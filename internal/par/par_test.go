@@ -1,6 +1,8 @@
 package par
 
 import (
+	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -98,4 +100,118 @@ func TestMap(t *testing.T) {
 			t.Fatalf("Map[%d]=%d", i, v)
 		}
 	}
+}
+
+// TestReserveReleaseRoundTrip pins budget accounting: Reserve claims
+// at most N()-1 slots, InUse tracks them, and Release restores 0.
+func TestReserveReleaseRoundTrip(t *testing.T) {
+	defer Set(Set(4))
+	if got := InUse(); got != 0 {
+		t.Fatalf("InUse=%d before reserving", got)
+	}
+	got := Reserve(10)
+	if got != 3 {
+		t.Fatalf("Reserve(10)=%d with knob 4, want 3", got)
+	}
+	if InUse() != got {
+		t.Fatalf("InUse=%d after Reserve(%d)", InUse(), got)
+	}
+	Release(got)
+	if InUse() != 0 {
+		t.Fatalf("InUse=%d after Release", InUse())
+	}
+}
+
+// TestReleaseWithoutReserve pins the misuse hazard: handing back
+// slots that were never reserved must panic with a diagnostic, not
+// silently widen the budget.
+func TestReleaseWithoutReserve(t *testing.T) {
+	defer Set(Set(4))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Release without Reserve did not panic")
+		}
+		if msg, ok := r.(string); !ok || !containsAll(msg, "par: Release(1)", "double Release") {
+			t.Fatalf("panic message %v lacks the diagnostic", r)
+		}
+	}()
+	Release(1)
+}
+
+// TestDoubleRelease pins the other half of the hazard: releasing the
+// same reservation twice trips the panic on the second call.
+func TestDoubleRelease(t *testing.T) {
+	defer Set(Set(4))
+	got := Reserve(2)
+	if got != 2 {
+		t.Fatalf("Reserve(2)=%d", got)
+	}
+	Release(got)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	Release(got)
+}
+
+// TestReleaseZeroNoop: Release(0) and negative counts are no-ops, so
+// engines that reserved nothing can release unconditionally.
+func TestReleaseZeroNoop(t *testing.T) {
+	Release(0)
+	Release(-3)
+	if InUse() != 0 {
+		t.Fatalf("InUse=%d after no-op releases", InUse())
+	}
+}
+
+// TestCatchConvertsWorkerPanic: a panic raised inside a parallel
+// worker is re-raised on the caller and converted by Catch into a
+// *PanicError carrying the value and a stack, with the budget intact.
+func TestCatchConvertsWorkerPanic(t *testing.T) {
+	defer Set(Set(4))
+	err := Catch(func() {
+		For(64, func(i int) {
+			if i == 13 {
+				panic("poisoned request")
+			}
+		})
+	})
+	var pe *PanicError
+	if !errorsAs(err, &pe) {
+		t.Fatalf("Catch returned %v, want *PanicError", err)
+	}
+	if pe.Val != "poisoned request" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError val=%v stack=%d bytes", pe.Val, len(pe.Stack))
+	}
+	if InUse() != 0 {
+		t.Fatalf("InUse=%d after recovered panic", InUse())
+	}
+	if err := Catch(func() {}); err != nil {
+		t.Fatalf("Catch of clean fn returned %v", err)
+	}
+}
+
+// TestCatchPassesThroughPanicError: a *PanicError re-thrown through a
+// nested Catch is returned as-is, not double-wrapped.
+func TestCatchPassesThroughPanicError(t *testing.T) {
+	inner := &PanicError{Val: "x"}
+	err := Catch(func() { panic(inner) })
+	if err != inner {
+		t.Fatalf("got %v, want the inner *PanicError unchanged", err)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func errorsAs(err error, target **PanicError) bool {
+	return errors.As(err, target)
 }

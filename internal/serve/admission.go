@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed is the admission controller's fast-fail: the worker budget
+// is saturated and the bounded queue is full, so the request is
+// refused (429 with Retry-After) instead of piling up an unbounded
+// goroutine backlog.
+var errShed = errors.New("serve: worker budget saturated and admission queue full")
+
+// admission is the bounded-concurrency gate in front of every
+// computation: at most `workers` requests compute at once (each
+// computation additionally draws engine workers from par's global
+// budget, which Reserve bounds process-wide), and at most `queue`
+// more may wait for a slot. Beyond that, acquire fails immediately
+// with errShed — saturation degrades to fast 429s, never to memory
+// growth. The zero of both bounds is normalised by newAdmission.
+type admission struct {
+	sem    chan struct{}
+	queued atomic.Int64
+	queue  int64
+}
+
+func newAdmission(workers, queue int) *admission {
+	return &admission{sem: make(chan struct{}, workers), queue: int64(queue)}
+}
+
+// acquire claims a worker slot: immediately when one is free,
+// after a bounded wait when the queue has room, errShed when it does
+// not, and ctx.Err() when the caller's deadline dies while queued —
+// a queued request that blows its deadline frees its queue slot
+// without ever computing.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.queue {
+		a.queued.Add(-1)
+		return errShed
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release hands the worker slot back.
+func (a *admission) release() { <-a.sem }
+
+// busy gauges currently held worker slots.
+func (a *admission) busy() int { return len(a.sem) }
+
+// depth gauges the current queue occupancy.
+func (a *admission) depth() int64 { return a.queued.Load() }

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"sync/atomic"
+)
+
+// metrics is the server's counter block: plain atomics bumped on the
+// request path (no locks, no allocation — the cache-hit fast path
+// stays at zero allocs) and rendered as one JSON document by the
+// /metrics endpoint. Gauges that the server does not own — worker-
+// budget occupancy, admission queue depth — are sampled at render
+// time instead of being tracked here.
+type metrics struct {
+	// requests counts every request routed, whatever its outcome.
+	requests atomic.Int64
+	// shed counts admissions refused with 429 (queue full).
+	shed atomic.Int64
+	// timeouts counts requests answered 504 (deadline or client
+	// cancellation, mid-run or while queued/awaiting a flight).
+	timeouts atomic.Int64
+	// panics counts computations converted from a panic to a 500.
+	panics atomic.Int64
+	// badRequests counts 400s (grammar and validation failures).
+	badRequests atomic.Int64
+	// hits/misses/collapsed split cacheable requests: served from the
+	// cache, computed fresh (singleflight leaders), and collapsed onto
+	// an identical in-flight computation (waiters).
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapsed atomic.Int64
+	// inflight gauges computations currently holding a worker slot.
+	inflight atomic.Int64
+	// latencyMicros/latencyCount accumulate request wall time.
+	latencyMicros atomic.Int64
+	latencyCount  atomic.Int64
+}

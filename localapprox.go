@@ -48,6 +48,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/par"
 	"repro/internal/problems"
+	"repro/internal/serve"
 )
 
 // Re-exported core types.
@@ -262,6 +263,53 @@ var (
 	VerifyLocally        = problems.VerifyLocally
 	AllExperiments       = experiments.All
 	RunAllExperiments    = experiments.RunAll
+)
+
+// Deadline-aware entry points: the *Ctx twins of the engine runners,
+// the scale-mode algorithms and the layered sweep thread a
+// context.Context into the round loop and the sweep loop, where it is
+// polled cooperatively — a cancelled run stops at the next round
+// barrier (sweep: the next vertex batch), releases its workers and
+// returns the wrapped context error. The non-Ctx names above are the
+// same code with no context armed.
+var (
+	RunRoundsCtx                = model.RunRoundsStatesCtx
+	RunRoundsFaultyCtx          = model.RunRoundsStatesFaultyCtx
+	SweepMeasureAllCtx          = order.SweepMeasureAllCtx
+	ColeVishkinCtx              = algorithms.ColeVishkinMISCtx
+	ColeVishkinFaultyCtx        = algorithms.ColeVishkinMISFaultyCtx
+	RandomizedMatchingCtx       = algorithms.RandomizedMatchingCtx
+	RandomizedMatchingFaultyCtx = algorithms.RandomizedMatchingFaultyCtx
+)
+
+// The service layer (DESIGN.md §10): NewServer builds the handler
+// cmd/localapproxd serves — admission control over the worker budget,
+// per-request deadlines, panic isolation, a content-addressed result
+// cache with singleflight collapse, and health/readiness/metrics
+// endpoints with graceful drain.
+type (
+	// Server is the localapproxd http.Handler.
+	Server = serve.Server
+	// ServerConfig sizes a Server (zero values take the defaults).
+	ServerConfig = serve.Config
+)
+
+// NewServer builds the hardened simulation-service handler.
+var NewServer = serve.New
+
+// Panic isolation and budget introspection from the par runtime:
+// Catch runs a function and converts a panic (its own or a worker's)
+// into a *PanicError carrying the value and stack; WorkersInUse
+// gauges currently reserved extra-worker slots (0 when idle — the
+// serve tests assert the budget drains after cancellations).
+type (
+	// PanicError is a recovered panic as an error.
+	PanicError = par.PanicError
+)
+
+var (
+	CatchPanic   = par.Catch
+	WorkersInUse = par.InUse
 )
 
 // Parallelism controls the worker-pool width of the scan-heavy paths

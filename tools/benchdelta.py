@@ -44,7 +44,10 @@ EngineMillionCycleTyped (the typed million-node round: pins the word
 lane's per-round cost at memory-bound scale; its allocs_op baseline is
 null on purpose — the benchmark amortises one run's setup over b.N
 rounds, so the per-op alloc count varies with the runner's speed and
-only the normalised ns/op is gated).
+only the normalised ns/op is gated), and ServeCachedRequest (the
+localapproxd end-to-end handler path on a warm cache entry: routing,
+query parse, canonical key, FNV hash, lock-free probe, response write
+— its 0 allocs/op baseline pins the service's repeat-request promise).
 """
 import json
 import re
@@ -63,6 +66,7 @@ WATCHED = [
     "BenchmarkRunRoundsTyped",
     "BenchmarkRunRoundsTypedFaulty",
     "BenchmarkEngineMillionCycleTyped",
+    "BenchmarkServeCachedRequest",
 ]
 
 LINE = re.compile(
