@@ -407,6 +407,60 @@ func BenchmarkRunRoundsTypedFaulty(b *testing.B) {
 	}
 }
 
+func BenchmarkRunRoundsCheckpointIdle(b *testing.B) {
+	// BenchmarkRunRoundsTyped with a Checkpointer armed whose cadence
+	// never fires: the price of durability when idle, CI-gated against
+	// BENCH_ci.json at 0 allocs/op — arming checkpoints must cost a
+	// steady-state round nothing but one nil/int check per barrier.
+	defer par.Set(par.Set(8))
+	_, e := torusWordEngine()
+	e.WithCheckpoints(&model.Checkpointer{Every: 1 << 30})
+	defer e.WithCheckpoints(nil)
+	if _, _, err := e.RunStates(nil, benchPulseWordAlgo(4), 8); err != nil {
+		b.Fatal(err) // warm-up: arenas, word lane, worklists
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, _, err := e.RunStates(nil, benchPulseWordAlgo(b.N), b.N+2); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSnapshotRestore(b *testing.B) {
+	// One full durability cycle on the 4096-node torus: decode an
+	// encoded snapshot taken two rounds before the end of a 32-round
+	// typed run, restore it into a warmed engine and run to
+	// completion. Prices what a crash-recovery actually pays per
+	// resumed job (decode + column restore + plane restore + the
+	// remaining rounds). CI-gated against BENCH_ci.json.
+	defer par.Set(par.Set(8))
+	_, e := torusWordEngine()
+	var payload []byte
+	ck := &model.Checkpointer{Every: 30, Sink: func(s *model.Snapshot) error {
+		payload = s.Encode()
+		return nil
+	}}
+	e.WithCheckpoints(ck)
+	if _, _, err := e.RunStates(nil, benchPulseWordAlgo(32), 40); err != nil {
+		b.Fatal(err)
+	}
+	e.WithCheckpoints(nil)
+	if payload == nil {
+		b.Fatal("no checkpoint captured")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := model.DecodeSnapshot(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := e.Resume(snap).RunStates(nil, benchPulseWordAlgo(32), 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkRunRoundsReference(b *testing.B) {
 	// The identical per-round workload through the retained reference
 	// loop (append-built [][]Msg inboxes, every node visited every

@@ -2,22 +2,30 @@
 // pipeline over HTTP/JSON: homogeneity sweeps, engine workloads (clean
 // or under fault profiles), and the descriptor registries — hardened
 // with admission control, per-request deadlines, panic isolation, a
-// content-addressed result cache, and SIGTERM graceful drain.
+// content-addressed result cache, and SIGTERM graceful drain. With
+// -jobs it also runs the durable asynchronous job subsystem: jobs
+// checkpoint to disk, survive crashes (incomplete jobs resume from
+// their latest valid snapshot on restart), and retry with backoff.
 //
 // Usage:
 //
 //	localapproxd [-addr :8347] [-workers N] [-queue N]
 //	             [-deadline 30s] [-max-deadline 2m] [-drain 30s]
 //	             [-cache 4096] [-p N]
+//	             [-jobs DIR] [-job-workers N] [-job-queue N]
+//	             [-job-checkpoint-every N] [-job-soft-deadline D]
+//	             [-job-retries N] [-log text|json]
 //
 // The process exits 0 after a clean drain and 1 if the drain deadline
-// expires with connections still open.
+// expires with connections still open. On SIGTERM every in-flight job
+// is checkpointed before exit, so a restart resumes where it left off.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -25,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/job"
 	"repro/internal/par"
 	"repro/internal/serve"
 )
@@ -38,6 +47,13 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
 	cacheEntries := flag.Int("cache", 0, "result-cache entry cap (0 = default 4096)")
 	procs := flag.Int("p", 0, "engine parallelism knob (0 = all cores)")
+	jobsDir := flag.String("jobs", "", "job directory; enables the durable /v1/jobs subsystem")
+	jobWorkers := flag.Int("job-workers", 0, "job worker pool size (0 = default 2)")
+	jobQueue := flag.Int("job-queue", 0, "job queue depth beyond the workers (0 = default 16)")
+	jobEvery := flag.Int("job-checkpoint-every", 0, "default checkpoint cadence in rounds/assignments (0 = default 8)")
+	jobSoft := flag.Duration("job-soft-deadline", 0, "soft deadline per job attempt before checkpoint+reschedule (0 = off)")
+	jobRetries := flag.Int("job-retries", 0, "default transient-failure retries per job (0 = default 2)")
+	logMode := flag.String("log", "", "structured request logging: text or json (empty = off)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "localapproxd: unexpected arguments: %v\n", flag.Args())
@@ -48,13 +64,46 @@ func main() {
 		par.Set(*procs)
 	}
 
+	var logger *slog.Logger
+	switch *logMode {
+	case "":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "localapproxd: -log wants text or json, got %q\n", *logMode)
+		os.Exit(2)
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:         *workers,
 		Queue:           *queue,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		CacheEntries:    *cacheEntries,
+		Logger:          logger,
 	})
+
+	var jm *job.Manager
+	if *jobsDir != "" {
+		var err error
+		jm, err = job.Open(job.Config{
+			Dir:             *jobsDir,
+			Workers:         *jobWorkers,
+			Queue:           *jobQueue,
+			CheckpointEvery: *jobEvery,
+			SoftDeadline:    *jobSoft,
+			MaxRetries:      *jobRetries,
+			Logger:          logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "localapproxd: jobs: %v\n", err)
+			os.Exit(1)
+		}
+		srv.AttachJobs(jm)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "localapproxd: %v\n", err)
@@ -64,8 +113,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "localapproxd: serving on %s (workers=%d, par=%d)\n",
-		ln.Addr(), *workers, par.N())
+	fmt.Fprintf(os.Stderr, "localapproxd: serving on %s (workers=%d, par=%d, jobs=%q)\n",
+		ln.Addr(), *workers, par.N(), *jobsDir)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
@@ -78,7 +127,8 @@ func main() {
 	}
 
 	// Graceful drain: stop advertising readiness, let http.Server stop
-	// accepting and wait for in-flight requests, then exit clean.
+	// accepting and wait for in-flight requests, then checkpoint and
+	// stop the job pool so a restart resumes from the snapshots.
 	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -86,6 +136,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "localapproxd: drain deadline expired: %v\n", err)
 		hs.Close()
 		os.Exit(1)
+	}
+	if jm != nil {
+		jm.Drain(ctx)
 	}
 	fmt.Fprintln(os.Stderr, "localapproxd: drained, bye")
 }

@@ -49,6 +49,21 @@
 // An unknown -faults descriptor lists the valid profile grammar, and
 // -faults without -algo is rejected (fault schedules run on the
 // engine's message plane only).
+//
+// -checkpoint DIR makes scale-mode word-lane workloads (cole-vishkin,
+// matching, flood) snapshot the engine into DIR every -checkpoint-every
+// rounds (content-addressed, hash-verified files), and -resume restarts
+// an interrupted run from the latest valid snapshot in DIR instead of
+// from round 0 — the same durable format the localapproxd job
+// subsystem uses, so results are byte-for-byte what the uninterrupted
+// run would have printed:
+//
+//	localsim -algo flood -n 4096 -rounds 5000 -checkpoint /tmp/ck
+//	localsim -algo flood -n 4096 -rounds 5000 -checkpoint /tmp/ck -resume
+//
+// flood (FloodMax leader election for -rounds rounds) is the
+// long-horizon workload built for this: each round is cheap, there are
+// many of them, and convergence is checkable at any prefix.
 package main
 
 import (
@@ -61,6 +76,7 @@ import (
 	"time"
 
 	"repro/internal/algorithms"
+	"repro/internal/ckpt"
 	"repro/internal/digraph"
 	"repro/internal/graph"
 	"repro/internal/host"
@@ -106,8 +122,12 @@ func main() {
 	d := flag.Int("d", 3, "degree for -graph regular")
 	seed := flag.Int64("seed", 1, "seed for random graphs and identifiers")
 	rmax := flag.Int("rmax", 0, "also print the per-radius homogeneity table for radii 1..rmax (one layered sweep; unset = off)")
-	algo := flag.String("algo", "", "scale mode: run this engine workload (cole-vishkin|matching|gather) at -n / -host, skipping exact optima")
+	algo := flag.String("algo", "", "scale mode: run this engine workload (cole-vishkin|matching|gather|flood) at -n / -host, skipping exact optima")
 	faults := flag.String("faults", "", "scale mode: run under this fault profile (e.g. lossy:p=0.05, crash:f=100,by=8); unknown descriptors list the grammar")
+	rounds := flag.Int("rounds", 0, "scale mode: flood horizon in rounds (flood only; default n)")
+	ckptDir := flag.String("checkpoint", "", "scale mode: snapshot the engine into this directory (word-lane workloads)")
+	ckptEvery := flag.Int("checkpoint-every", 64, "scale mode: rounds between snapshots (with -checkpoint)")
+	resume := flag.Bool("resume", false, "scale mode: resume from the latest valid snapshot in -checkpoint")
 	flag.Parse()
 	rmaxSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -129,8 +149,24 @@ func main() {
 			exitWith(usageError{err})
 		}
 	}
+	if *ckptDir == "" {
+		if *resume {
+			exitWith(usagef("-resume needs -checkpoint DIR (nothing to resume from)"))
+		}
+		if *ckptEvery != 64 {
+			exitWith(usagef("-checkpoint-every needs -checkpoint DIR"))
+		}
+	} else {
+		if *algo == "" {
+			exitWith(usagef("-checkpoint needs -algo (engine snapshots exist in scale mode only)"))
+		}
+		if *ckptEvery < 1 {
+			exitWith(usagef("-checkpoint-every %d out of range (want >= 1)", *ckptEvery))
+		}
+	}
 	if *algo != "" {
-		if err := runScale(*algo, *hostDesc, *n, *seed, *rmax, prof); err != nil {
+		ck := ckptSpec{dir: *ckptDir, every: *ckptEvery, resume: *resume}
+		if err := runScale(*algo, *hostDesc, *n, *seed, *rmax, *rounds, prof, ck); err != nil {
 			exitWith(err)
 		}
 		return
@@ -160,6 +196,54 @@ var scaleWorkloads = []struct{ name, doc string }{
 	{"cole-vishkin", "ID-model MIS on the directed n-cycle (typed word-lane engine)"},
 	{"matching", "one round of §6.5 randomized mutual proposals (typed word-lane engine)"},
 	{"gather", "full-information view gathering, radius -rmax or 2"},
+	{"flood", "FloodMax leader election for -rounds rounds (long-horizon; checkpointable)"},
+}
+
+// ckptSpec carries the -checkpoint/-checkpoint-every/-resume flags into
+// scale mode.
+type ckptSpec struct {
+	dir    string
+	every  int
+	resume bool
+}
+
+// engine builds the scale-mode word engine: plain when -checkpoint is
+// unset, snapshotting into the store every ck.every rounds when set,
+// and resuming from the latest valid snapshot with -resume. Gather has
+// no word-lane codec, so it rejects -checkpoint.
+func (ck ckptSpec) engine(h *model.Host) (*model.WordEngine, error) {
+	e := model.TypedOn[uint64](model.NewEngine(h))
+	if ck.dir == "" {
+		return e, nil
+	}
+	store, err := ckpt.NewStore(ck.dir, "localsim")
+	if err != nil {
+		return nil, err
+	}
+	e = e.WithCheckpoints(&model.Checkpointer{Every: ck.every, Sink: func(s *model.Snapshot) error {
+		name, err := store.Write(uint64(s.Round), model.SnapshotKind, s.Encode())
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "localsim: checkpoint round %d -> %s\n", s.Round, name)
+		}
+		return err
+	}})
+	if !ck.resume {
+		return e, nil
+	}
+	seq, payload, ok, err := store.LatestValid(model.SnapshotKind)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "localsim: no valid snapshot in %s, starting fresh\n", ck.dir)
+		return e, nil
+	}
+	snap, err := model.DecodeSnapshot(payload)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot decode: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "localsim: resuming from round %d\n", seq)
+	return e.Resume(snap), nil
 }
 
 // describeScaleWorkloads renders the workload registry as a usage
@@ -179,7 +263,7 @@ func describeScaleWorkloads() string {
 // With a fault profile the workload runs on the faulty message plane
 // instead, and the report swaps the feasibility guarantee for the
 // injected-fault counts and the survivor-safety checks.
-func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Profile) error {
+func runScale(algo, hostDesc string, n int, seed int64, rmax, rounds int, prof *model.Profile, ck ckptSpec) error {
 	known := false
 	for _, w := range scaleWorkloads {
 		if w.name == algo {
@@ -189,6 +273,12 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Pr
 	}
 	if !known {
 		return usagef("unknown scale workload %q\n%s", algo, describeScaleWorkloads())
+	}
+	if ck.dir != "" && algo == "gather" {
+		return usagef("-checkpoint does not support gather (untyped view state has no snapshot codec)")
+	}
+	if rounds != 0 && algo != "flood" {
+		return usagef("-rounds is the flood horizon; %s derives its own round count", algo)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var (
@@ -219,13 +309,43 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Pr
 	}
 	start := time.Now()
 	switch algo {
+	case "flood":
+		if rounds < 1 {
+			rounds = n
+		}
+		ids := rng.Perm(8 * n)[:n]
+		e, err := ck.engine(h)
+		if err != nil {
+			return err
+		}
+		var res *algorithms.FloodMaxResult
+		if prof != nil {
+			res, err = algorithms.FloodMaxFaultyOn(e, h, ids, rounds, sched)
+		} else {
+			res, err = algorithms.FloodMaxOn(e, h, ids, rounds)
+		}
+		if err != nil {
+			return err
+		}
+		if prof != nil {
+			fmt.Printf("rounds: %d   leader: %d   converged@: %d   crashed: %d   dropped: %d   wall: %s\n",
+				res.Rounds, res.Leader, res.Converged, res.Report.NumCrashed, res.Report.Dropped,
+				time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Printf("rounds: %d   leader: %d   converged@: %d   wall: %s\n",
+				res.Rounds, res.Leader, res.Converged, time.Since(start).Round(time.Millisecond))
+		}
 	case "cole-vishkin":
 		if !h.D.IsRegularDigraph(1) {
 			return fmt.Errorf("cole-vishkin needs a consistently oriented cycle host (out- and in-degree 1)")
 		}
 		ids := rng.Perm(8 * n)[:n]
+		e, err := ck.engine(h)
+		if err != nil {
+			return err
+		}
 		if prof != nil {
-			res, err := algorithms.ColeVishkinMISFaulty(h, ids, sched)
+			res, err := algorithms.ColeVishkinMISFaultyOn(e, h, ids, sched)
 			if err != nil {
 				return err
 			}
@@ -235,7 +355,7 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Pr
 				res.Violations, res.Uncovered, time.Since(start).Round(time.Millisecond))
 			return nil
 		}
-		res, err := algorithms.ColeVishkinMIS(h, ids)
+		res, err := algorithms.ColeVishkinMISOn(e, h, ids)
 		if err != nil {
 			return err
 		}
@@ -245,8 +365,12 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Pr
 		fmt.Printf("rounds: %d   |MIS| = %d   |MIS|/n = %.4f   feasible: yes   wall: %s\n",
 			res.Rounds, res.MIS.Size(), float64(res.MIS.Size())/float64(n), time.Since(start).Round(time.Millisecond))
 	case "matching":
+		e, err := ck.engine(h)
+		if err != nil {
+			return err
+		}
 		if prof != nil {
-			res, err := algorithms.RandomizedMatchingFaulty(h, rng, sched)
+			res, err := algorithms.RandomizedMatchingFaultyOn(e, h, rng, sched)
 			if err != nil {
 				return err
 			}
@@ -256,7 +380,10 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax int, prof *model.Pr
 				time.Since(start).Round(time.Millisecond))
 			return nil
 		}
-		sol := algorithms.RandomizedMatching(h, rng)
+		sol, err := algorithms.RandomizedMatchingOn(e, h, rng)
+		if err != nil {
+			return err
+		}
 		if err := (problems.MaxMatching{}).Feasible(h.G, sol); err != nil {
 			return fmt.Errorf("solution infeasible: %w", err)
 		}

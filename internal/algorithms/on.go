@@ -1,0 +1,43 @@
+package algorithms
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// This file is the engine-injection surface of the flagship
+// algorithms: each On variant runs its plain twin on a caller-provided
+// word engine, so the caller controls how the engine is armed —
+// model.Engine.WithContext for cancellation, WithCheckpoints for
+// barrier snapshots, Resume to continue an interrupted run — and can
+// reuse one warmed message plane across attempts. The job subsystem
+// (internal/job) is the primary caller: a durable job builds an
+// engine, arms checkpointing into its on-disk store, optionally arms
+// a resume snapshot recovered after a crash, and hands the engine
+// here. The Ctx variants in ctx.go remain the one-shot convenience
+// form.
+
+// ColeVishkinMISOn is ColeVishkinMIS on a caller-provided engine.
+func ColeVishkinMISOn(e *model.WordEngine, h *model.Host, ids []int) (*ColeVishkinResult, error) {
+	return coleVishkinOn(e, h, ids)
+}
+
+// ColeVishkinMISFaultyOn is ColeVishkinMISFaulty on a caller-provided
+// engine.
+func ColeVishkinMISFaultyOn(e *model.WordEngine, h *model.Host, ids []int, sched model.Schedule) (*FaultyCVResult, error) {
+	return coleVishkinFaultyOn(e, h, ids, sched)
+}
+
+// RandomizedMatchingOn is RandomizedMatchingCtx's core on a
+// caller-provided engine (error-returning: an armed context can abort
+// the run mid-protocol).
+func RandomizedMatchingOn(e *model.WordEngine, h *model.Host, rng *rand.Rand) (*model.Solution, error) {
+	return randomizedMatchingErr(e, h, rng)
+}
+
+// RandomizedMatchingFaultyOn is RandomizedMatchingFaulty on a
+// caller-provided engine.
+func RandomizedMatchingFaultyOn(e *model.WordEngine, h *model.Host, rng *rand.Rand, sched model.Schedule) (*FaultyMatchingResult, error) {
+	return randomizedMatchingFaultyOn(e, h, rng, sched)
+}

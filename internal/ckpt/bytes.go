@@ -1,0 +1,182 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Writer and Reader are the byte-serialization primitives shared by
+// every checkpoint payload in the repo (model.Snapshot,
+// core.CertifySnapshot, the job manifests): append-only little-endian
+// encoding on the Writer, a sticky-error cursor on the Reader, so a
+// payload codec is a straight-line sequence of field calls with one
+// error check at the end. The primitives are deliberately minimal —
+// fixed-width words, varints, length-prefixed blobs, packed bitsets —
+// because checkpoint byte-determinism is an acceptance criterion:
+// nothing here depends on map order, pointers or time.
+
+// Writer accumulates an encoded payload.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload built so far.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U64 appends a fixed-width little-endian word.
+func (w *Writer) U64(x uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, x) }
+
+// I64 appends a fixed-width little-endian signed word.
+func (w *Writer) I64(x int64) { w.U64(uint64(x)) }
+
+// Uvarint appends a varint-encoded unsigned integer.
+func (w *Writer) Uvarint(x uint64) { w.buf = binary.AppendUvarint(w.buf, x) }
+
+// Varint appends a zigzag varint-encoded signed integer.
+func (w *Writer) Varint(x int64) { w.buf = binary.AppendVarint(w.buf, x) }
+
+// Bool appends one byte, 0 or 1.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Blob appends a length-prefixed byte string.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bits appends a bitset packed 8 bools per byte, no length prefix (the
+// reader passes the known length back to Bits).
+func (w *Writer) Bits(bs []bool) {
+	var cur byte
+	for i, b := range bs {
+		if b {
+			cur |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			w.buf = append(w.buf, cur)
+			cur = 0
+		}
+	}
+	if len(bs)&7 != 0 {
+		w.buf = append(w.buf, cur)
+	}
+}
+
+// Reader decodes a payload written by Writer. The first malformed
+// field latches the error; subsequent reads return zero values, so a
+// codec checks Err once after all fields.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader wraps a payload for decoding.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err reports the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len reports how many bytes remain unread.
+func (r *Reader) Len() int { return len(r.buf) }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ckpt: truncated or malformed payload at %s", what)
+	}
+}
+
+// U64 reads a fixed-width little-endian word.
+func (r *Reader) U64() uint64 {
+	if r.err != nil || len(r.buf) < 8 {
+		r.fail("u64")
+		return 0
+	}
+	x := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return x
+}
+
+// I64 reads a fixed-width little-endian signed word.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Uvarint reads a varint-encoded unsigned integer.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return x
+}
+
+// Varint reads a zigzag varint-encoded signed integer.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return x
+}
+
+// Bool reads one byte as a bool.
+func (r *Reader) Bool() bool {
+	if r.err != nil || len(r.buf) < 1 {
+		r.fail("bool")
+		return false
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b != 0
+}
+
+// Blob reads a length-prefixed byte string. The result aliases the
+// reader's buffer.
+func (r *Reader) Blob() []byte {
+	n := r.Uvarint()
+	if r.err != nil || uint64(len(r.buf)) < n {
+		r.fail("blob")
+		return nil
+	}
+	b := r.buf[:n:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Blob()) }
+
+// Bits reads an n-bit bitset packed by Writer.Bits.
+func (r *Reader) Bits(n int) []bool {
+	nb := (n + 7) / 8
+	if r.err != nil || len(r.buf) < nb {
+		r.fail("bits")
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.buf[i>>3]&(1<<(i&7)) != 0
+	}
+	r.buf = r.buf[nb:]
+	return out
+}

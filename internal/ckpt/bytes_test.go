@@ -1,0 +1,177 @@
+package ckpt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWriterReaderRoundTrip drives every field primitive through a
+// write-then-read cycle, including the values that stress each
+// encoding (max/min words, zigzag negatives, bitset lengths straddling
+// the byte boundary).
+func TestWriterReaderRoundTrip(t *testing.T) {
+	bits7 := []bool{true, false, true, true, false, false, true}
+	bits8 := append(append([]bool(nil), bits7...), true)
+	bits9 := append(append([]bool(nil), bits8...), true)
+
+	var w Writer
+	w.U64(0)
+	w.U64(^uint64(0))
+	w.I64(-1)
+	w.Uvarint(300)
+	w.Varint(-300)
+	w.Varint(0)
+	w.Bool(true)
+	w.Bool(false)
+	w.Blob([]byte("blob"))
+	w.Blob(nil)
+	w.String("a string")
+	w.String("")
+	w.Bits(bits7)
+	w.Bits(bits8)
+	w.Bits(bits9)
+	w.Bits(nil)
+
+	r := NewReader(w.Bytes())
+	if got := r.U64(); got != 0 {
+		t.Fatalf("U64 zero = %d", got)
+	}
+	if got := r.U64(); got != ^uint64(0) {
+		t.Fatalf("U64 max = %d", got)
+	}
+	if got := r.I64(); got != -1 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -300 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := r.Varint(); got != 0 {
+		t.Fatalf("Varint zero = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip broke")
+	}
+	if got := r.Blob(); !bytes.Equal(got, []byte("blob")) {
+		t.Fatalf("Blob = %q", got)
+	}
+	if got := r.Blob(); len(got) != 0 {
+		t.Fatalf("empty Blob = %q", got)
+	}
+	if got := r.String(); got != "a string" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+	for _, want := range [][]bool{bits7, bits8, bits9} {
+		got := r.Bits(len(want))
+		if len(got) != len(want) {
+			t.Fatalf("Bits(%d) returned %d bits", len(want), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Bits(%d)[%d] = %v, want %v", len(want), i, got[i], want[i])
+			}
+		}
+	}
+	if got := r.Bits(0); len(got) != 0 {
+		t.Fatalf("Bits(0) = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("round trip error: %v", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("trailing bytes: %d", r.Len())
+	}
+}
+
+// TestReaderStickyError asserts the first malformed field latches the
+// error, every later read returns a zero value, and the error names
+// the field that failed.
+func TestReaderStickyError(t *testing.T) {
+	var w Writer
+	w.Uvarint(7)
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 7 || r.Err() != nil {
+		t.Fatalf("valid prefix: %d %v", got, r.Err())
+	}
+	if got := r.U64(); got != 0 {
+		t.Fatalf("U64 past end = %d", got)
+	}
+	err := r.Err()
+	if err == nil || !strings.Contains(err.Error(), "u64") {
+		t.Fatalf("want a u64-labelled error, got %v", err)
+	}
+	// Later reads must not clear or replace the latched error.
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("Uvarint after error = %d", got)
+	}
+	if got := r.Blob(); got != nil {
+		t.Fatalf("Blob after error = %q", got)
+	}
+	if got := r.Bits(4); got != nil {
+		t.Fatalf("Bits after error = %v", got)
+	}
+	if r.Err() != err {
+		t.Fatalf("latched error replaced: %v", r.Err())
+	}
+}
+
+// TestReaderTruncationPerField asserts each primitive fails cleanly on
+// an empty buffer instead of panicking.
+func TestReaderTruncationPerField(t *testing.T) {
+	for name, read := range map[string]func(*Reader){
+		"u64":     func(r *Reader) { r.U64() },
+		"i64":     func(r *Reader) { r.I64() },
+		"uvarint": func(r *Reader) { r.Uvarint() },
+		"varint":  func(r *Reader) { r.Varint() },
+		"bool":    func(r *Reader) { r.Bool() },
+		"blob":    func(r *Reader) { r.Blob() },
+		"string":  func(r *Reader) { _ = r.String() },
+		"bits":    func(r *Reader) { r.Bits(3) },
+	} {
+		r := NewReader(nil)
+		read(r)
+		if r.Err() == nil {
+			t.Fatalf("%s on empty buffer did not error", name)
+		}
+	}
+	// A blob whose length prefix overruns the buffer must fail too.
+	var w Writer
+	w.Uvarint(1 << 30)
+	r := NewReader(w.Bytes())
+	if got := r.Blob(); got != nil || r.Err() == nil {
+		t.Fatalf("oversized blob: %q %v", got, r.Err())
+	}
+}
+
+// TestStoreDirAndEntries covers the remaining Store accessors: Dir
+// echoes the directory, Entries lists in ascending sequence order with
+// validity flags.
+func TestStoreDirAndEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dir() != dir {
+		t.Fatalf("Dir = %q, want %q", s.Dir(), dir)
+	}
+	if _, err := s.Write(2, "k", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(1, "k", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Seq != 1 || entries[1].Seq != 2 {
+		t.Fatalf("Entries = %+v", entries)
+	}
+}

@@ -1,0 +1,149 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payload := []byte("hello checkpoint world")
+	blob := Encode("engine-run", payload)
+	kind, got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if kind != "engine-run" || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: kind=%q payload=%q", kind, got)
+	}
+	// Empty payload and empty kind are legal.
+	kind, got, err = Decode(Encode("", nil))
+	if err != nil || kind != "" || len(got) != 0 {
+		t.Fatalf("empty round trip: kind=%q payload=%q err=%v", kind, got, err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	blob := Encode("k", []byte("payload bytes"))
+	// Flip one bit anywhere: digest check must fail.
+	for _, i := range []int{0, len(magic) + 1, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x40
+		if _, _, err := Decode(bad); err == nil {
+			t.Fatalf("Decode accepted corrupted byte at %d", i)
+		}
+	}
+	// Truncation must fail.
+	for _, n := range []int{0, 4, len(blob) - 1} {
+		if _, _, err := Decode(blob[:n]); err == nil {
+			t.Fatalf("Decode accepted truncation to %d bytes", n)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := Encode("kind", []byte{1, 2, 3})
+	b := Encode("kind", []byte{1, 2, 3})
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode is not deterministic")
+	}
+}
+
+func TestStoreWriteAndLatestValid(t *testing.T) {
+	s, err := NewStore(t.TempDir(), "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := s.LatestValid("engine-run"); err != nil || ok {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	for seq, body := range []string{"round-10", "round-20", "round-30"} {
+		if _, err := s.Write(uint64(seq), "engine-run", []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, pay, ok, err := s.LatestValid("engine-run")
+	if err != nil || !ok || seq != 2 || string(pay) != "round-30" {
+		t.Fatalf("LatestValid = %d %q %v %v", seq, pay, ok, err)
+	}
+	next, err := s.NextSeq()
+	if err != nil || next != 3 {
+		t.Fatalf("NextSeq = %d %v", next, err)
+	}
+}
+
+func TestStoreSkipsCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(0, "engine-run", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	last, err := s.Write(1, "engine-run", []byte("torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest checkpoint in place (simulated torn write).
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, pay, ok, err := s.LatestValid("engine-run")
+	if err != nil || !ok || seq != 0 || string(pay) != "good" {
+		t.Fatalf("LatestValid after corruption = %d %q %v %v", seq, pay, ok, err)
+	}
+	// NextSeq still counts the corrupt file's sequence number, so a new
+	// checkpoint never collides with the torn one.
+	next, err := s.NextSeq()
+	if err != nil || next != 2 {
+		t.Fatalf("NextSeq = %d %v", next, err)
+	}
+}
+
+func TestStoreIgnoresWrongKindAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(0, "engine-run", []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(1, "certify", []byte("other-kind")); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign files in the directory are ignored by the scan.
+	if err := os.WriteFile(filepath.Join(dir, "result.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "run-notanumber-xx.ck"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, pay, ok, err := s.LatestValid("engine-run")
+	if err != nil || !ok || seq != 0 || string(pay) != "mine" {
+		t.Fatalf("LatestValid = %d %q %v %v", seq, pay, ok, err)
+	}
+}
+
+func TestStoreFilenameIsContentAddressed(t *testing.T) {
+	s, err := NewStore(t.TempDir(), "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := s.Write(7, "k", []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	wantHash := Sum(Encode("k", []byte("abc")))
+	if !strings.HasPrefix(base, "run-00000007-") || !strings.Contains(base, wantHash) {
+		t.Fatalf("filename %q missing seq/hash (want hash %s)", base, wantHash)
+	}
+}

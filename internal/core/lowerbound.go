@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/graph"
 	"repro/internal/model"
@@ -39,106 +38,132 @@ type LowerBound struct {
 // to the host and returns the certified bound. maxAlgorithms caps the
 // enumeration (error when the space is larger). Vertex problems have
 // 2^Types assignments; edge problems have ∏ 2^(root letters) over the
-// types.
+// types. For progress hooks, checkpointing and resume see
+// CertifyPOLowerBoundOpts (certify_ckpt.go).
 func CertifyPOLowerBound(h *model.Host, p problems.Problem, r, maxAlgorithms int) (*LowerBound, error) {
+	return CertifyPOLowerBoundOpts(h, p, r, maxAlgorithms, CertifyOpts{})
+}
+
+// certifyCatalogue is the enumeration's precomputed context: the
+// interned type classification of the instance (the expensive part —
+// one view build per node) plus the mixed-radix choice structure of
+// the algorithm space. It is exactly what CertifySnapshot serialises,
+// so a resumed certification skips the view builds entirely.
+type certifyCatalogue struct {
+	typeOf      []int32
+	rootLetters [][]view.Letter
+	choices     []int
+	total       int
+	optimum     int
+}
+
+// buildCatalogue classifies nodes by view type and sizes the
+// enumeration. Views are hash-consed, so the type map is keyed by
+// interned *Tree — pointer identity, no Encode() strings. The
+// per-node view builds are data-parallel with worker-local build
+// scratch; type ids are assigned in vertex order, so the numbering
+// (and hence every checkpoint byte) is deterministic.
+func buildCatalogue(h *model.Host, p problems.Problem, r, maxAlgorithms int) (*certifyCatalogue, error) {
 	n := h.G.N()
 	opt, err := p.Optimum(h.G)
 	if err != nil {
 		return nil, err
 	}
-	// Classify nodes by view type. Views are hash-consed, so the type
-	// map is keyed by interned *Tree — pointer identity, no Encode()
-	// strings. The per-node view builds are data-parallel with
-	// worker-local build scratch; type ids are assigned in vertex
-	// order, so the numbering is deterministic.
 	trees := make([]*view.Tree, n)
 	par.ForScratch(n,
 		view.NewBuildScratch,
 		func(v int, s *view.BuildScratch) {
 			trees[v] = view.BuildWith[int](s, h.D, v, r)
 		})
-	typeOf := make([]int, n)
+	cat := &certifyCatalogue{typeOf: make([]int32, n), optimum: opt}
 	index := map[*view.Tree]int{}
-	var rootLetters [][]view.Letter
 	for v := 0; v < n; v++ {
 		t := trees[v]
 		id, ok := index[t]
 		if !ok {
 			id = len(index)
 			index[t] = id
-			rootLetters = append(rootLetters, t.Letters())
+			cat.rootLetters = append(cat.rootLetters, t.Letters())
 		}
-		typeOf[v] = id
+		cat.typeOf[v] = int32(id)
 	}
-	types := len(index)
+	if err := cat.sizeChoices(p, maxAlgorithms); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
 
-	// Choices per type.
-	choices := make([]int, types)
-	total := 1
+// sizeChoices fills the per-type choice counts and the total space
+// size, enforcing the enumeration budget.
+func (cat *certifyCatalogue) sizeChoices(p problems.Problem, maxAlgorithms int) error {
+	types := len(cat.rootLetters)
+	cat.choices = make([]int, types)
+	cat.total = 1
 	for i := 0; i < types; i++ {
 		if p.Kind() == model.VertexKind {
-			choices[i] = 2
+			cat.choices[i] = 2
 		} else {
-			choices[i] = 1 << len(rootLetters[i])
+			cat.choices[i] = 1 << len(cat.rootLetters[i])
 		}
-		if total > maxAlgorithms/choices[i] {
-			return nil, fmt.Errorf("core: algorithm space exceeds budget %d", maxAlgorithms)
+		if cat.total > maxAlgorithms/cat.choices[i] {
+			return fmt.Errorf("core: algorithm space exceeds budget %d", maxAlgorithms)
 		}
-		total *= choices[i]
+		cat.total *= cat.choices[i]
 	}
+	return nil
+}
 
-	lb := &LowerBound{Radius: r, Types: types, Algorithms: total, Optimum: opt, BestRatio: math.Inf(1)}
-	assign := make([]int, types)
-	for a := 0; a < total; a++ {
-		x := a
-		for i := 0; i < types; i++ {
-			assign[i] = x % choices[i]
-			x /= choices[i]
+// evalAssignment materialises assignment a as a solution and folds it
+// into the running bound.
+func (cat *certifyCatalogue) evalAssignment(h *model.Host, p problems.Problem, a int, assign []int, lb *LowerBound) {
+	n := h.G.N()
+	x := a
+	for i := range assign {
+		assign[i] = x % cat.choices[i]
+		x /= cat.choices[i]
+	}
+	sol := model.NewSolution(p.Kind(), n)
+	bad := false
+	for v := 0; v < n && !bad; v++ {
+		c := assign[cat.typeOf[v]]
+		if p.Kind() == model.VertexKind {
+			sol.Vertices[v] = c == 1
+			continue
 		}
-		sol := model.NewSolution(p.Kind(), n)
-		bad := false
-		for v := 0; v < n && !bad; v++ {
-			c := assign[typeOf[v]]
-			if p.Kind() == model.VertexKind {
-				sol.Vertices[v] = c == 1
+		for bi, l := range cat.rootLetters[cat.typeOf[v]] {
+			if c&(1<<bi) == 0 {
 				continue
 			}
-			for bi, l := range rootLetters[typeOf[v]] {
-				if c&(1<<bi) == 0 {
-					continue
+			var to int
+			var ok bool
+			if l.In {
+				if arc, found := h.D.InArc(v, l.Label); found {
+					to, ok = arc.To, true
 				}
-				var to int
-				var ok bool
-				if l.In {
-					if arc, found := h.D.InArc(v, l.Label); found {
-						to, ok = arc.To, true
-					}
-				} else {
-					if arc, found := h.D.OutArc(v, l.Label); found {
-						to, ok = arc.To, true
-					}
+			} else {
+				if arc, found := h.D.OutArc(v, l.Label); found {
+					to, ok = arc.To, true
 				}
-				if !ok {
-					bad = true
-					break
-				}
-				sol.Edges[graph.NewEdge(v, to)] = true
 			}
-		}
-		if bad {
-			continue
-		}
-		if p.Feasible(h.G, sol) != nil {
-			continue
-		}
-		lb.FeasibleCount++
-		ratio, err := problems.Ratio(p, h.G, sol)
-		if err != nil {
-			continue
-		}
-		if ratio < lb.BestRatio {
-			lb.BestRatio = ratio
+			if !ok {
+				bad = true
+				break
+			}
+			sol.Edges[graph.NewEdge(v, to)] = true
 		}
 	}
-	return lb, nil
+	if bad {
+		return
+	}
+	if p.Feasible(h.G, sol) != nil {
+		return
+	}
+	lb.FeasibleCount++
+	ratio, err := problems.Ratio(p, h.G, sol)
+	if err != nil {
+		return
+	}
+	if ratio < lb.BestRatio {
+		lb.BestRatio = ratio
+	}
 }

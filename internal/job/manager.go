@@ -1,0 +1,672 @@
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/par"
+)
+
+// Errors the HTTP layer maps onto status codes.
+var (
+	// ErrSaturated: the pending queue is full (429 + Retry-After).
+	ErrSaturated = errors.New("job: queue full, retry later")
+	// ErrDraining: the manager is shutting down (503).
+	ErrDraining = errors.New("job: manager draining")
+	// ErrNotFound: no such job id (404).
+	ErrNotFound = errors.New("job: not found")
+	// ErrNotDone: the job has no result yet (409).
+	ErrNotDone = errors.New("job: not done")
+)
+
+// Config sizes the manager. Zero values take the defaults noted.
+type Config struct {
+	// Dir is the durable job root; each job owns Dir/<id>/ with its
+	// spec, checkpoints, and terminal record. Required.
+	Dir string
+	// Workers bounds concurrently running jobs (default 2; each job's
+	// engine additionally draws workers from par's process-wide
+	// Reserve budget, so total goroutines stay bounded).
+	Workers int
+	// Queue bounds jobs waiting for a worker (default 16); beyond it,
+	// Submit fails with ErrSaturated.
+	Queue int
+	// CheckpointEvery is the default snapshot cadence in rounds
+	// (engine jobs) or assignments (certify); default 8.
+	CheckpointEvery int
+	// SoftDeadline is the default per-attempt wall-time bound before
+	// the watchdog checkpoints and reschedules; default 0 (disabled).
+	SoftDeadline time.Duration
+	// MaxRetries is the default transient-failure retry budget;
+	// default 2.
+	MaxRetries int
+	// Backoff and MaxBackoff shape the exponential retry delay
+	// (defaults 50ms and 5s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Logger receives structured job lifecycle events; nil discards.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Queue <= 0 {
+		c.Queue = 16
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 8
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	return c
+}
+
+// Terminal record filenames inside a job directory.
+const (
+	specFile      = "spec.json"
+	resultFile    = "result.json"
+	failedFile    = "failed.json"
+	cancelledFile = "CANCELLED"
+)
+
+// jobRec is the in-memory job record; the durable truth is the job
+// directory.
+type jobRec struct {
+	id    string
+	dir   string
+	store *ckpt.Store
+
+	mu          sync.Mutex
+	spec        Spec
+	state       State
+	attempts    int
+	reschedules int
+	done, total int
+	errMsg      string
+	result      []byte
+	softFired   bool
+	hasCkpt     bool
+	cancel      context.CancelFunc
+	att         *attempt
+}
+
+func (j *jobRec) setProgress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.mu.Unlock()
+}
+
+// statusLocked renders the record; j.mu must be held.
+func (j *jobRec) statusLocked() *Status {
+	return &Status{
+		ID: j.id, State: j.state.String(), Spec: j.spec,
+		Attempts: j.attempts, Reschedules: j.reschedules,
+		Progress: Progress{Done: j.done, Total: j.total}, Error: j.errMsg,
+	}
+}
+
+func (j *jobRec) status() *Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// Manager owns the durable job set: a bounded worker pool draining a
+// bounded queue, the on-disk job directories, and the lifecycle
+// machinery (watchdog, retry backoff, drain, crash recovery).
+type Manager struct {
+	cfg  Config
+	log  *slog.Logger
+	ctx  context.Context
+	stop context.CancelFunc
+
+	queue    chan *jobRec
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	counts   [numStates]atomic.Int64
+
+	mu   sync.Mutex
+	jobs map[string]*jobRec
+}
+
+// Open loads the job root, recovers incomplete jobs (crash recovery:
+// anything without a terminal record is re-enqueued and resumes from
+// its latest valid snapshot), and starts the worker pool.
+func Open(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("job: Config.Dir is required")
+	}
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("job: %w", err)
+	}
+	m := &Manager{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		queue: make(chan *jobRec, cfg.Workers+cfg.Queue),
+		jobs:  map[string]*jobRec{},
+	}
+	m.ctx, m.stop = context.WithCancel(context.Background())
+	if err := m.recover(); err != nil {
+		m.stop()
+		return nil, err
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// recover scans the job root. Unreadable or mismatched directories
+// are logged and skipped, never fatal: one corrupt job must not take
+// the daemon down.
+func (m *Manager) recover() error {
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("job: %w", err)
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), "j") {
+			continue
+		}
+		id := ent.Name()
+		dir := filepath.Join(m.cfg.Dir, id)
+		raw, err := os.ReadFile(filepath.Join(dir, specFile))
+		if err != nil {
+			m.log.Warn("job recovery: unreadable spec, skipping", "job", id, "err", err)
+			continue
+		}
+		var spec Spec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			m.log.Warn("job recovery: malformed spec, skipping", "job", id, "err", err)
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			m.log.Warn("job recovery: invalid spec, skipping", "job", id, "err", err)
+			continue
+		}
+		if spec.ID() != id {
+			m.log.Warn("job recovery: spec hash mismatch, skipping", "job", id, "want", spec.ID())
+			continue
+		}
+		j, err := m.newRec(id, dir, spec)
+		if err != nil {
+			m.log.Warn("job recovery: store open failed, skipping", "job", id, "err", err)
+			continue
+		}
+		switch {
+		case j.load(resultFile, func(b []byte) { j.result = b }):
+			j.state = Done
+		case j.load(failedFile, func(b []byte) {
+			var rec struct {
+				Error    string `json:"error"`
+				Attempts int    `json:"attempts"`
+			}
+			if json.Unmarshal(b, &rec) == nil {
+				j.errMsg, j.attempts = rec.Error, rec.Attempts
+			}
+		}):
+			j.state = Failed
+		case exists(filepath.Join(dir, cancelledFile)):
+			j.state = Cancelled
+		default:
+			if es, err := j.store.Entries(); err == nil && len(es) > 0 {
+				j.hasCkpt = true
+				j.state = Checkpointed
+			}
+			m.queue <- j
+			m.log.Info("job recovery: re-enqueued", "job", id, "kind", spec.Kind, "checkpointed", j.hasCkpt)
+		}
+		m.counts[j.state].Add(1)
+		m.jobs[id] = j
+	}
+	return nil
+}
+
+// load reads a job file into fn, reporting whether it existed.
+func (j *jobRec) load(name string, fn func([]byte)) bool {
+	b, err := os.ReadFile(filepath.Join(j.dir, name))
+	if err != nil {
+		return false
+	}
+	fn(b)
+	return true
+}
+
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func (m *Manager) newRec(id, dir string, spec Spec) (*jobRec, error) {
+	store, err := ckpt.NewStore(dir, "ck")
+	if err != nil {
+		return nil, err
+	}
+	return &jobRec{id: id, dir: dir, store: store, spec: spec, state: Pending}, nil
+}
+
+// setState moves j between states and keeps the gauge consistent;
+// j.mu must be held.
+func (m *Manager) setState(j *jobRec, s State) {
+	m.counts[j.state].Add(-1)
+	m.counts[s].Add(1)
+	j.state = s
+}
+
+// Submit registers a job. Submission is idempotent: the id is the
+// content hash of the spec, so resubmitting an existing spec returns
+// the existing job whatever its state.
+func (m *Manager) Submit(spec Spec) (*Status, error) {
+	if m.draining.Load() {
+		return nil, ErrDraining
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	id := spec.ID()
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		m.mu.Unlock()
+		return j.status(), nil
+	}
+	if len(m.queue) >= cap(m.queue) {
+		m.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	dir := filepath.Join(m.cfg.Dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("job: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, specFile), spec.canonical()); err != nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("job: %w", err)
+	}
+	j, err := m.newRec(id, dir, spec)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.jobs[id] = j
+	m.counts[Pending].Add(1)
+	m.mu.Unlock()
+	m.queue <- j
+	m.log.Info("job submitted", "job", id, "kind", spec.Kind, "host", spec.Host)
+	return j.status(), nil
+}
+
+// Get returns a job's status.
+func (m *Manager) Get(id string) (*Status, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return j.status(), true
+}
+
+// List returns every job's status, sorted by id (deterministic
+// paging for clients).
+func (m *Manager) List() []*Status {
+	m.mu.Lock()
+	recs := make([]*jobRec, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		recs = append(recs, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(recs, func(a, b int) bool { return recs[a].id < recs[b].id })
+	out := make([]*Status, len(recs))
+	for i, j := range recs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Result returns a done job's result bytes (ErrNotDone otherwise).
+func (m *Manager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Done {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotDone, j.state)
+	}
+	return j.result, nil
+}
+
+// Cancel moves a job to Cancelled, interrupts it if running, and
+// frees its worker slot. Cancelling a terminal job is a no-op
+// returning its status.
+func (m *Manager) Cancel(id string) (*Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	if j.state.terminal() {
+		st := j.statusLocked()
+		j.mu.Unlock()
+		return st, nil
+	}
+	m.setState(j, Cancelled)
+	cancel := j.cancel
+	st := j.statusLocked()
+	j.mu.Unlock()
+	if err := writeFileAtomic(filepath.Join(j.dir, cancelledFile), []byte("cancelled\n")); err != nil {
+		m.log.Warn("job cancel marker write failed", "job", id, "err", err)
+	}
+	if cancel != nil {
+		cancel()
+	}
+	m.log.Info("job cancelled", "job", id)
+	return st, nil
+}
+
+// QueueDepth gauges jobs currently enqueued (pending + rescheduled),
+// the basis of the HTTP layer's Retry-After estimate.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// Workers reports the pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// StateCounts samples the per-state job gauge for /metrics.
+func (m *Manager) StateCounts() map[string]int64 {
+	out := make(map[string]int64, numStates)
+	for s := 0; s < numStates; s++ {
+		out[State(s).String()] = m.counts[s].Load()
+	}
+	return out
+}
+
+// Drain checkpoints in-flight jobs at their next round barrier,
+// cancels them, and stops the pool, waiting up to ctx. Interrupted
+// jobs keep their Checkpointed state on disk and resume on the next
+// Open — the SIGTERM half of crash recovery.
+func (m *Manager) Drain(ctx context.Context) {
+	m.draining.Store(true)
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.att != nil {
+			j.att.checkpointNow()
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	m.stop()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.log.Info("job manager drained")
+	case <-ctx.Done():
+		m.log.Warn("job manager drain timed out", "err", ctx.Err())
+	}
+}
+
+// Close stops the pool without the checkpoint pass (tests; production
+// uses Drain).
+func (m *Manager) Close() {
+	m.draining.Store(true)
+	m.stop()
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+// runJob executes one attempt: arm the attempt (context, store,
+// cadence, watchdog), run the workload under panic isolation, then
+// classify the outcome — done, user-cancelled, watchdog reschedule,
+// drain preemption, retry with backoff, or terminal failure.
+func (m *Manager) runJob(j *jobRec) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	actx, cancel := context.WithCancel(m.ctx)
+	att := &attempt{
+		ctx:      actx,
+		store:    j.store,
+		every:    resolveEvery(j.spec, m.cfg),
+		progress: j.setProgress,
+		noteCkpt: func() {
+			j.mu.Lock()
+			j.hasCkpt = true
+			j.mu.Unlock()
+		},
+	}
+	j.cancel = cancel
+	j.att = att
+	j.softFired = false
+	j.attempts++
+	attemptNo := j.attempts
+	m.setState(j, Running)
+	spec := j.spec
+	j.mu.Unlock()
+	defer cancel()
+
+	var watchdog *time.Timer
+	if soft := resolveSoftDeadline(spec, m.cfg); soft > 0 {
+		watchdog = time.AfterFunc(soft, func() {
+			j.mu.Lock()
+			j.softFired = true
+			j.mu.Unlock()
+			att.checkpointNow()
+			cancel()
+		})
+	}
+	m.log.Info("job attempt", "job", j.id, "kind", spec.Kind, "attempt", attemptNo)
+	start := time.Now()
+	var body []byte
+	var err error
+	if cerr := par.Catch(func() { body, err = runSpec(att, spec) }); cerr != nil {
+		body, err = nil, cerr
+	}
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	dur := time.Since(start)
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.att = nil
+	if j.state == Cancelled {
+		j.mu.Unlock()
+		m.log.Info("job attempt ended by cancel", "job", j.id, "dur", dur)
+		return
+	}
+	if err == nil {
+		if werr := writeFileAtomic(filepath.Join(j.dir, resultFile), body); werr != nil {
+			err = fmt.Errorf("job: result write: %w", werr)
+		} else {
+			j.result = body
+			m.setState(j, Done)
+			j.mu.Unlock()
+			m.log.Info("job done", "job", j.id, "attempt", attemptNo, "dur", dur, "bytes", len(body))
+			return
+		}
+	}
+	interrupted := Pending
+	if j.hasCkpt {
+		interrupted = Checkpointed
+	}
+	switch {
+	case j.softFired:
+		// Watchdog preemption is not a failure: re-enqueue at the back
+		// of the queue so other jobs get the worker.
+		j.reschedules++
+		j.attempts-- // the interrupted attempt does not consume a retry
+		m.setState(j, interrupted)
+		j.mu.Unlock()
+		m.log.Info("job rescheduled by watchdog", "job", j.id, "dur", dur, "checkpointed", interrupted == Checkpointed)
+		m.requeue(j)
+	case m.ctx.Err() != nil:
+		// Drain/shutdown: leave the job checkpointed on disk; the next
+		// Open re-enqueues and resumes it.
+		m.setState(j, interrupted)
+		j.mu.Unlock()
+		m.log.Info("job preempted by drain", "job", j.id, "dur", dur)
+	case j.attempts >= resolveRetries(spec, m.cfg)+1:
+		j.errMsg = err.Error()
+		rec, _ := json.Marshal(map[string]any{"error": j.errMsg, "attempts": j.attempts})
+		m.setState(j, Failed)
+		j.mu.Unlock()
+		if werr := writeFileAtomic(filepath.Join(j.dir, failedFile), rec); werr != nil {
+			m.log.Warn("job failure record write failed", "job", j.id, "err", werr)
+		}
+		m.log.Error("job failed", "job", j.id, "attempts", attemptNo, "dur", dur, "err", err)
+	default:
+		m.setState(j, interrupted)
+		attempts := j.attempts
+		j.mu.Unlock()
+		delay := backoffDelay(m.cfg, j.id, attempts)
+		m.log.Warn("job retrying", "job", j.id, "attempt", attemptNo, "backoff", delay, "err", err)
+		time.AfterFunc(delay, func() { m.requeue(j) })
+	}
+}
+
+// requeue re-enqueues without ever blocking a worker on its own full
+// queue: the rare overflow falls back to a goroutine that waits for a
+// slot or for shutdown.
+func (m *Manager) requeue(j *jobRec) {
+	select {
+	case m.queue <- j:
+	case <-m.ctx.Done():
+	default:
+		go func() {
+			select {
+			case m.queue <- j:
+			case <-m.ctx.Done():
+			}
+		}()
+	}
+}
+
+// resolveEvery maps the spec cadence onto attempt semantics: > 0
+// periodic, 0 RequestNow-only, < 0 disabled.
+func resolveEvery(spec Spec, cfg Config) int {
+	e := spec.CheckpointEvery
+	if e == 0 {
+		e = cfg.CheckpointEvery
+	}
+	if e < 0 {
+		return -1
+	}
+	return e
+}
+
+func resolveSoftDeadline(spec Spec, cfg Config) time.Duration {
+	if spec.SoftDeadlineMS < 0 {
+		return 0
+	}
+	if spec.SoftDeadlineMS > 0 {
+		return time.Duration(spec.SoftDeadlineMS) * time.Millisecond
+	}
+	return cfg.SoftDeadline
+}
+
+func resolveRetries(spec Spec, cfg Config) int {
+	if spec.MaxRetries < 0 {
+		return 0
+	}
+	if spec.MaxRetries > 0 {
+		return spec.MaxRetries
+	}
+	return cfg.MaxRetries
+}
+
+// backoffDelay is exponential in the attempt number, capped, plus
+// deterministic per-(job, attempt) jitter in [0, delay/2] — spread
+// without a time or rand dependency, reproducible in tests.
+func backoffDelay(cfg Config, id string, attempt int) time.Duration {
+	d := cfg.Backoff
+	for i := 1; i < attempt && d < cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > cfg.MaxBackoff {
+		d = cfg.MaxBackoff
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * 1099511628211
+	}
+	h ^= uint64(attempt) * 0x9e3779b97f4a7c15
+	h ^= h >> 33
+	return d + time.Duration(h%uint64(d/2+1))
+}
+
+// writeFileAtomic is temp-write + fsync + rename, the same discipline
+// as the checkpoint store: a crash leaves either the old file or the
+// new one, never a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -98,6 +98,20 @@ type Engine struct {
 	// ctx.Err() at every round barrier and aborts the run with a
 	// wrapped context error. See WithContext.
 	ctx context.Context
+
+	// Durability (snapshot.go). ck arms barrier checkpointing; the
+	// ckEnc* closures and ckTyped flag are installed per run by
+	// runStates (they capture the run's codecs and column). resume
+	// holds a snapshot armed for the next run; resumeFrom (-1 when
+	// disarmed) and repBase carry the restored round cursor and
+	// fault-counter bases into runCore.
+	ck          *Checkpointer
+	ckTyped     bool
+	ckEncStates func(dst []byte) []byte
+	ckEncData   func(dst []byte, data any) []byte
+	resume      *Snapshot
+	resumeFrom  int
+	repBase     FaultReport
 }
 
 // WithContext arms cooperative cancellation for this engine's
@@ -135,6 +149,20 @@ type EngineAlgo struct {
 	Step func(state any, round int, inbox []Msg, out *Outbox) (any, bool)
 	// Out extracts the final output from a state.
 	Out func(state any) Output
+
+	// Optional checkpoint codecs (snapshot.go): EncodeState appends a
+	// self-delimiting encoding of a state's dynamic fields and
+	// DecodeState consumes one from the front of src — it receives the
+	// state Init just produced (so static per-node context like letter
+	// slices survives a resume without being serialised) and returns
+	// the state to run with, usually the same one mutated in place.
+	// EncodeData and DecodeData do the same for message payloads.
+	// Required only for checkpointed or resumed runs (the Data pair
+	// only when messages are in flight at a barrier).
+	EncodeState func(dst []byte, state any) []byte
+	DecodeState func(src []byte, state any) (dec any, rest []byte, err error)
+	EncodeData  func(dst []byte, data any) []byte
+	DecodeData  func(src []byte) (data any, rest []byte, err error)
 }
 
 // engine adapts the classical slice-returning RoundAlgo form.
@@ -218,6 +246,7 @@ func NewEngine(h *Host) *Engine {
 	e.active = make([]int32, 0, n)
 	e.spare = make([]int32, 0, n)
 	e.errs = make([]error, n)
+	e.resumeFrom = -1
 	return e
 }
 
@@ -421,6 +450,26 @@ func (e *Engine) runStates(ids []int, algo EngineAlgo, maxRounds int, sched Sche
 		e.halted[v] = false
 		e.errs[v] = nil
 	}
+	if e.ck != nil {
+		if algo.EncodeState == nil {
+			return nil, 0, nil, fmt.Errorf("model: checkpointing armed but algorithm has no EncodeState codec")
+		}
+		e.ckTyped = false
+		e.ckEncStates = func(dst []byte) []byte {
+			for v := 0; v < e.n; v++ {
+				dst = algo.EncodeState(dst, e.states[v])
+			}
+			return dst
+		}
+		e.ckEncData = algo.EncodeData
+	}
+	if snap := e.resume; snap != nil {
+		e.resume = nil
+		if err := e.restoreUntyped(snap, algo, sched != nil); err != nil {
+			e.failedResume(snap)
+			return nil, 0, nil, err
+		}
+	}
 	step, prep := e.stepAny(algo), noScratch
 	if sched != nil {
 		step = e.stepAnyFaulty(algo, sched)
@@ -518,12 +567,24 @@ func (e *Engine) stepAnyFaulty(algo EngineAlgo, sched Schedule) func(int, *Outbo
 // algorithm's Step all live in the caller's closure); prep pre-sizes
 // each Outbox's per-worker scratch before the first round.
 func (e *Engine) runCore(step func(int, *Outbox), prep func(*Outbox), sched Schedule, maxRounds int) (int, *FaultReport, error) {
+	// A restored snapshot (snapshot.go) shifts the start round and
+	// seeds the fault counters; the worklist is then rebuilt from the
+	// restored bitsets instead of the schedule's round-0 fates, and
+	// e.crashed must survive as restored rather than be cleared.
+	startRound, resumed := 0, e.resumeFrom >= 0
+	if resumed {
+		startRound = e.resumeFrom
+	}
+	defer func() {
+		e.resumeFrom = -1
+		e.repBase = FaultReport{}
+	}()
 	prof := ""
 	if sched != nil {
 		prof = sched.String()
 		if e.crashed == nil {
 			e.crashed = make([]bool, e.n)
-		} else {
+		} else if !resumed {
 			for v := range e.crashed {
 				e.crashed[v] = false
 			}
@@ -532,7 +593,11 @@ func (e *Engine) runCore(step func(int, *Outbox), prep func(*Outbox), sched Sche
 	e.errFlag.Store(false)
 	active := e.active[:0]
 	for v := 0; v < e.n; v++ {
-		if sched != nil && sched.State(0, int32(v)) == StateCrashed {
+		if resumed {
+			if e.halted[v] || (sched != nil && e.crashed[v]) {
+				continue
+			}
+		} else if sched != nil && sched.State(0, int32(v)) == StateCrashed {
 			e.crashed[v] = true
 			continue
 		}
@@ -620,6 +685,7 @@ func (e *Engine) runCore(step func(int, *Outbox), prep func(*Outbox), sched Sche
 	}()
 	masterOb := obs[workers]
 
+	round = startRound
 	for ; round < maxRounds && len(active) > 0; round++ {
 		if e.ctx != nil {
 			if err := e.ctx.Err(); err != nil {
@@ -676,6 +742,16 @@ func (e *Engine) runCore(step func(int, *Outbox), prep func(*Outbox), sched Sche
 		}
 		e.spare = active[:0]
 		active = nxt
+		// Barrier checkpoint: after compaction (so crashes landing at
+		// round+1 are in the bitsets) and before the next round's
+		// cancellation poll (so RequestNow-then-cancel captures state
+		// right at the cancellation point). The idle cost is one nil
+		// check; a finished run (empty worklist) never checkpoints.
+		if e.ck != nil && len(active) > 0 && e.ck.due(round+1) {
+			if err := e.snapshotAt(round+1, base, sched, obs); err != nil {
+				return 0, nil, err
+			}
+		}
 	}
 	e.active = active[:0]
 	if len(active) > 0 {
@@ -686,7 +762,13 @@ func (e *Engine) runCore(step func(int, *Outbox), prep func(*Outbox), sched Sche
 	}
 	var rep *FaultReport
 	if sched != nil {
-		rep = &FaultReport{Profile: prof}
+		rep = &FaultReport{
+			Profile:    prof,
+			Dropped:    e.repBase.Dropped,
+			Duplicated: e.repBase.Duplicated,
+			Reordered:  e.repBase.Reordered,
+			DownSteps:  e.repBase.DownSteps,
+		}
 		for _, ob := range obs {
 			rep.Dropped += ob.dropped
 			rep.Duplicated += ob.duped

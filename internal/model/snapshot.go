@@ -1,0 +1,427 @@
+package model
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/ckpt"
+)
+
+// This file is the engine's durability layer: Snapshot captures a
+// run's complete resumable state at a round barrier — the next round
+// number, the state column, the pending message plane, the halt and
+// crash bitsets, and the accumulated fault counters — and Resume
+// replays it into a fresh (or reused) engine so the remainder of the
+// run is byte-identical to the uninterrupted run.
+//
+// Why barriers, and why it is exact. Between rounds the engine's whole
+// dynamic state is: the per-node states, which nodes have halted or
+// crashed, and the messages written for the next round (arena
+// (round)&1 stamped base+round+1, where base is the run's tick). All
+// fault decisions (Fate/State/Reorder) are pure hashes of the
+// schedule's seed and *absolute* coordinates (round, slot/node), so a
+// resumed run that keeps absolute round numbering replays the exact
+// fate sequence of the original; and the worklist is always the
+// increasing-vertex-order filter of the halt/crash bitsets (round-0
+// construction and every compaction preserve order), so it is
+// reconstructed rather than stored. Stamps are re-based on the
+// resuming engine's own tick; stale stamps from that engine's earlier
+// runs are strictly below its tick, so a restored message can never
+// be confused with a leftover one.
+//
+// Codecs. The engine cannot serialise arbitrary any-typed states or
+// payloads, so checkpointable untyped algorithms carry self-delimiting
+// EncodeState/DecodeState (and EncodeData/DecodeData when they send
+// payloads) on their EngineAlgo; typed algorithms either provide
+// EncodeState/DecodeState on their TypedAlgo or — for the uint64 word
+// instantiation that every packed workload uses — get the fixed-width
+// little-endian default for free.
+
+// SnapshotKind is the ckpt container kind of an encoded engine
+// Snapshot.
+const SnapshotKind = "engine-run"
+
+// snapshotVersion is bumped on any change to the Snapshot encoding.
+const snapshotVersion = 1
+
+// Snapshot is a run's resumable state at a round barrier. It is
+// produced by a Checkpointer sink, serialised with Encode, and
+// consumed (once) by Engine.Resume or TypedEngine.Resume. All fields
+// are deterministic functions of the run's state — no timestamps, no
+// map order — so equal run states encode to equal bytes.
+type Snapshot struct {
+	// Typed records which plane the run used (word lane vs any lane).
+	Typed bool
+	// Faulty records whether the run executed under a fault schedule.
+	Faulty bool
+	// N and Slots pin the plane geometry the snapshot belongs to.
+	N     int
+	Slots int
+	// Round is the next round to execute (the snapshot was taken at
+	// the barrier after round Round-1).
+	Round int
+	// Halted and Crashed are the per-node bitsets at the barrier
+	// (Crashed is nil on clean runs).
+	Halted  []bool
+	Crashed []bool
+	// Accumulated fault counters at the barrier; they seed the resumed
+	// run's FaultReport so the final report equals the uninterrupted
+	// run's.
+	Dropped    int64
+	Duplicated int64
+	Reordered  int64
+	DownSteps  int64
+	// Pending lists the plane slots holding messages for round Round,
+	// in increasing slot order; Words carries their payloads on typed
+	// runs, Data the concatenated self-delimiting encodings on untyped
+	// runs.
+	Pending []int32
+	Words   []uint64
+	Data    []byte
+	// States is the encoded state column (per-node encodings
+	// concatenated in increasing node order).
+	States []byte
+
+	// consumed rejects resuming one in-memory snapshot twice: the
+	// second resume would replay messages into an engine whose tick
+	// has already moved past them.
+	consumed bool
+}
+
+// Encode serialises the snapshot payload (wrap with ckpt.Encode /
+// store with ckpt.Store under SnapshotKind for the on-disk container).
+func (s *Snapshot) Encode() []byte {
+	var w ckpt.Writer
+	w.Uvarint(snapshotVersion)
+	w.Bool(s.Typed)
+	w.Bool(s.Faulty)
+	w.Uvarint(uint64(s.N))
+	w.Uvarint(uint64(s.Slots))
+	w.Uvarint(uint64(s.Round))
+	w.Bits(s.Halted)
+	if s.Faulty {
+		w.Bits(s.Crashed)
+		w.I64(s.Dropped)
+		w.I64(s.Duplicated)
+		w.I64(s.Reordered)
+		w.I64(s.DownSteps)
+	}
+	w.Uvarint(uint64(len(s.Pending)))
+	prev := int32(0)
+	for _, p := range s.Pending {
+		w.Uvarint(uint64(p - prev)) // increasing order: deltas are non-negative
+		prev = p
+	}
+	if s.Typed {
+		for _, wd := range s.Words {
+			w.U64(wd)
+		}
+	} else {
+		w.Blob(s.Data)
+	}
+	w.Blob(s.States)
+	return w.Bytes()
+}
+
+// DecodeSnapshot parses an encoded snapshot payload.
+func DecodeSnapshot(payload []byte) (*Snapshot, error) {
+	r := ckpt.NewReader(payload)
+	if v := r.Uvarint(); v != snapshotVersion {
+		if r.Err() == nil {
+			return nil, fmt.Errorf("model: snapshot version %d (want %d)", v, snapshotVersion)
+		}
+		return nil, r.Err()
+	}
+	s := &Snapshot{}
+	s.Typed = r.Bool()
+	s.Faulty = r.Bool()
+	s.N = int(r.Uvarint())
+	s.Slots = int(r.Uvarint())
+	s.Round = int(r.Uvarint())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if s.N < 0 || s.N > 1<<31 || s.Slots < 0 || s.Slots > 1<<31 {
+		return nil, fmt.Errorf("model: snapshot geometry out of range (n=%d slots=%d)", s.N, s.Slots)
+	}
+	s.Halted = r.Bits(s.N)
+	if s.Faulty {
+		s.Crashed = r.Bits(s.N)
+		s.Dropped = r.I64()
+		s.Duplicated = r.I64()
+		s.Reordered = r.I64()
+		s.DownSteps = r.I64()
+	}
+	np := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if np > uint64(s.Slots) {
+		return nil, fmt.Errorf("model: snapshot pending count %d exceeds %d slots", np, s.Slots)
+	}
+	s.Pending = make([]int32, np)
+	prev := int64(0)
+	for i := range s.Pending {
+		prev += int64(r.Uvarint())
+		if prev >= int64(s.Slots) {
+			return nil, fmt.Errorf("model: snapshot pending slot %d out of range", prev)
+		}
+		s.Pending[i] = int32(prev)
+	}
+	if s.Typed {
+		s.Words = make([]uint64, np)
+		for i := range s.Words {
+			s.Words[i] = r.U64()
+		}
+	} else {
+		s.Data = r.Blob()
+	}
+	s.States = r.Blob()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("model: snapshot has %d trailing bytes", r.Len())
+	}
+	return s, nil
+}
+
+// Checkpointer arms barrier checkpointing on an engine (see
+// Engine.WithCheckpoints). At each round barrier where a checkpoint is
+// due — every Every rounds, or once after RequestNow — the engine
+// builds a Snapshot and hands it to Sink; a Sink error aborts the run.
+// The idle cost (a barrier where no checkpoint is due) is one nil/int
+// check, which is what keeps the steady-state round at 0 allocs/op.
+type Checkpointer struct {
+	// Every takes a checkpoint at every barrier whose next-round
+	// number is a positive multiple of Every; 0 checkpoints only on
+	// request.
+	Every int
+	// Sink receives each snapshot. The pointer is not retained by the
+	// engine; the sink may serialise and discard it.
+	Sink func(*Snapshot) error
+
+	reqNow atomic.Bool
+}
+
+// RequestNow asks for one checkpoint at the next round barrier. It is
+// safe to call from any goroutine (the watchdog calls it immediately
+// before cancelling a job's context, so the barrier checkpoint runs
+// before the loop-top cancellation poll).
+func (ck *Checkpointer) RequestNow() { ck.reqNow.Store(true) }
+
+// due reports whether a checkpoint should be taken at the barrier
+// entering nextRound, consuming a pending RequestNow.
+func (ck *Checkpointer) due(nextRound int) bool {
+	if ck.reqNow.CompareAndSwap(true, false) {
+		return true
+	}
+	return ck.Every > 0 && nextRound%ck.Every == 0
+}
+
+// WithCheckpoints arms barrier checkpointing for this engine's
+// subsequent runs (typed, untyped, clean and faulty alike — the hook
+// lives in runCore). The run errors up front if the algorithm lacks
+// the codecs checkpointing needs. A nil ck disarms. Returns e for
+// chaining.
+func (e *Engine) WithCheckpoints(ck *Checkpointer) *Engine {
+	e.ck = ck
+	return e
+}
+
+// Resume arms the engine to resume its next run from snap instead of
+// starting at round 0: the run's Init pass executes as usual (so
+// callers regenerate ids and pre-drawn randomness exactly as the
+// original run did), then states, halt/crash bitsets, pending
+// messages and fault counters are restored from the snapshot and the
+// round loop starts at snap.Round. The snapshot must match the run it
+// is applied to (plane geometry, typed/untyped, clean/faulty) and is
+// consumed: resuming one snapshot twice is rejected. Returns e for
+// chaining.
+func (e *Engine) Resume(snap *Snapshot) *Engine {
+	e.resume = snap
+	return e
+}
+
+// Resume is Engine.Resume for a typed engine's next run. Returns te
+// for chaining.
+func (te *TypedEngine[S]) Resume(snap *Snapshot) *TypedEngine[S] {
+	te.e.resume = snap
+	return te
+}
+
+// WithCheckpoints is Engine.WithCheckpoints for a typed engine.
+// Returns te for chaining.
+func (te *TypedEngine[S]) WithCheckpoints(ck *Checkpointer) *TypedEngine[S] {
+	te.e.ck = ck
+	return te
+}
+
+// snapshotAt builds the Snapshot for the barrier entering nextRound
+// and hands it to the checkpointer's sink. It runs on the master
+// goroutine between rounds (after the barrier's wg.Wait and worklist
+// compaction), so every field it reads is quiescent.
+func (e *Engine) snapshotAt(nextRound int, base int64, sched Schedule, obs []*Outbox) error {
+	snap := &Snapshot{
+		Typed:  e.ckTyped,
+		Faulty: sched != nil,
+		N:      e.n,
+		Slots:  len(e.letters),
+		Round:  nextRound,
+		Halted: append([]bool(nil), e.halted...),
+	}
+	if sched != nil {
+		snap.Crashed = append([]bool(nil), e.crashed...)
+		snap.Dropped = e.repBase.Dropped
+		snap.Duplicated = e.repBase.Duplicated
+		snap.Reordered = e.repBase.Reordered
+		snap.DownSteps = e.repBase.DownSteps
+		for _, ob := range obs {
+			snap.Dropped += ob.dropped
+			snap.Duplicated += ob.duped
+			snap.Reordered += ob.reordered
+			snap.DownSteps += ob.downSteps
+		}
+	}
+	// Messages for round nextRound live in arena nextRound&1, stamped
+	// base+nextRound+1 (the writing round's want was curWant+1).
+	arena := nextRound & 1
+	want := base + int64(nextRound) + 1
+	st := e.stamp[arena]
+	for s := range st {
+		if st[s] != want {
+			continue
+		}
+		snap.Pending = append(snap.Pending, int32(s))
+		if e.ckTyped {
+			snap.Words = append(snap.Words, e.wbuf[arena][s])
+		} else {
+			if e.ckEncData == nil {
+				return fmt.Errorf("model: checkpoint at round %d: algorithm has pending messages but no EncodeData codec", nextRound)
+			}
+			snap.Data = e.ckEncData(snap.Data, e.buf[arena][s].Data)
+		}
+	}
+	snap.States = e.ckEncStates(nil)
+	if e.ck.Sink == nil {
+		return nil
+	}
+	if err := e.ck.Sink(snap); err != nil {
+		return fmt.Errorf("model: checkpoint at round %d: %w", nextRound, err)
+	}
+	return nil
+}
+
+// restoreCommon validates a snapshot against the run being started and
+// restores the plane-level state every path shares: halt/crash
+// bitsets, pending-slot stamps (re-based on this engine's tick), the
+// resume round and the fault-counter bases. Payload and state-column
+// restoration stay with the typed/untyped callers.
+func (e *Engine) restoreCommon(snap *Snapshot, typed, faulty bool) error {
+	if snap.consumed {
+		return fmt.Errorf("model: resume: snapshot already resumed (double resume rejected)")
+	}
+	if snap.Typed != typed {
+		return fmt.Errorf("model: resume: snapshot is for the %s plane", planeName(snap.Typed))
+	}
+	if snap.Faulty != faulty {
+		if snap.Faulty {
+			return fmt.Errorf("model: resume: snapshot is from a faulty run; pass the same schedule")
+		}
+		return fmt.Errorf("model: resume: snapshot is from a clean run; drop the schedule")
+	}
+	if snap.N != e.n || snap.Slots != len(e.letters) {
+		return fmt.Errorf("model: resume: snapshot geometry (n=%d slots=%d) does not match host (n=%d slots=%d)",
+			snap.N, snap.Slots, e.n, len(e.letters))
+	}
+	if len(snap.Halted) != e.n || (snap.Faulty && len(snap.Crashed) != e.n) {
+		return fmt.Errorf("model: resume: snapshot bitset length mismatch")
+	}
+	snap.consumed = true
+	copy(e.halted, snap.Halted)
+	if snap.Faulty {
+		if e.crashed == nil {
+			e.crashed = make([]bool, e.n)
+		}
+		copy(e.crashed, snap.Crashed)
+	}
+	arena := snap.Round & 1
+	want := e.tick + int64(snap.Round) + 1
+	for _, s := range snap.Pending {
+		e.stamp[arena][s] = want
+	}
+	e.resumeFrom = snap.Round
+	e.repBase = FaultReport{
+		Dropped:    snap.Dropped,
+		Duplicated: snap.Duplicated,
+		Reordered:  snap.Reordered,
+		DownSteps:  snap.DownSteps,
+	}
+	return nil
+}
+
+func planeName(typed bool) string {
+	if typed {
+		return "typed"
+	}
+	return "untyped"
+}
+
+// failedResume rolls back a partially applied restore so the engine
+// is safe for ordinary runs again: the resume cursor and report bases
+// are cleared and any restored stamps are zeroed (0 is never a live
+// want, which is base+round+1 >= 1).
+func (e *Engine) failedResume(snap *Snapshot) {
+	e.resumeFrom = -1
+	e.repBase = FaultReport{}
+	arena := snap.Round & 1
+	st := e.stamp[arena]
+	for _, s := range snap.Pending {
+		if int(s) < len(st) {
+			st[s] = 0
+		}
+	}
+}
+
+// restoreUntyped restores an untyped run from snap: the shared plane
+// state, then the state column and pending payloads through the
+// algorithm's codecs.
+func (e *Engine) restoreUntyped(snap *Snapshot, algo EngineAlgo, faulty bool) error {
+	if algo.DecodeState == nil {
+		return fmt.Errorf("model: resume: algorithm has no DecodeState codec")
+	}
+	if err := e.restoreCommon(snap, false, faulty); err != nil {
+		return err
+	}
+	src := snap.States
+	for v := 0; v < e.n; v++ {
+		st, rest, err := algo.DecodeState(src, e.states[v])
+		if err != nil {
+			return fmt.Errorf("model: resume: state of node %d: %w", v, err)
+		}
+		e.states[v] = st
+		src = rest
+	}
+	if len(src) != 0 {
+		return fmt.Errorf("model: resume: %d trailing state bytes", len(src))
+	}
+	if len(snap.Pending) > 0 {
+		if algo.DecodeData == nil {
+			return fmt.Errorf("model: resume: snapshot has pending messages but algorithm has no DecodeData codec")
+		}
+		arena := snap.Round & 1
+		data := snap.Data
+		for _, s := range snap.Pending {
+			d, rest, err := algo.DecodeData(data)
+			if err != nil {
+				return fmt.Errorf("model: resume: payload for slot %d: %w", s, err)
+			}
+			e.buf[arena][s].Data = d
+			data = rest
+		}
+		if len(data) != 0 {
+			return fmt.Errorf("model: resume: %d trailing payload bytes", len(data))
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/view"
@@ -52,6 +53,16 @@ type TypedAlgo[S any] struct {
 	Step func(state *S, round int, inbox []WordMsg, out *Outbox) bool
 	// Out extracts the final output from a state.
 	Out func(state *S) Output
+
+	// Optional checkpoint codecs (snapshot.go): EncodeState appends a
+	// self-delimiting encoding of a state and DecodeState consumes one
+	// from the front of src, returning the remainder. Required only
+	// for checkpointed or resumed runs; uint64 states (WordAlgo) fall
+	// back to a fixed-width little-endian default, so every packed
+	// word workload is checkpointable with no codec at all. Payloads
+	// need no codec on the typed plane — they are the word lane.
+	EncodeState func(dst []byte, state *S) []byte
+	DecodeState func(src []byte, state *S) (rest []byte, err error)
 }
 
 // WordAlgo is the fully packed fixed-width instantiation: the whole
@@ -148,6 +159,22 @@ func (te *TypedEngine[S]) runStates(ids []int, algo TypedAlgo[S], maxRounds int,
 		e.halted[v] = false
 		e.errs[v] = nil
 	}
+	if e.ck != nil {
+		enc, err := te.encStates(algo)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		e.ckTyped = true
+		e.ckEncStates = enc
+		e.ckEncData = nil
+	}
+	if snap := e.resume; snap != nil {
+		e.resume = nil
+		if err := te.restoreTyped(snap, algo, sched != nil); err != nil {
+			e.failedResume(snap)
+			return nil, 0, nil, err
+		}
+	}
 	step := te.stepTyped(algo)
 	prep := func(ob *Outbox) { ob.wdense = make([]WordMsg, e.maxSlots) }
 	if sched != nil {
@@ -159,6 +186,74 @@ func (te *TypedEngine[S]) runStates(ids []int, algo TypedAlgo[S], maxRounds int,
 		return nil, 0, nil, err
 	}
 	return te.col, rounds, rep, nil
+}
+
+// encStates builds the state-column encoder for a checkpointed typed
+// run: the algorithm's EncodeState per node, or the fixed-width
+// little-endian default when the column is []uint64 (WordAlgo).
+func (te *TypedEngine[S]) encStates(algo TypedAlgo[S]) (func(dst []byte) []byte, error) {
+	if algo.EncodeState != nil {
+		return func(dst []byte) []byte {
+			for v := range te.col {
+				dst = algo.EncodeState(dst, &te.col[v])
+			}
+			return dst
+		}, nil
+	}
+	wcol, ok := any(te.col).([]uint64)
+	if !ok {
+		return nil, fmt.Errorf("model: checkpointing armed but typed algorithm has no EncodeState codec")
+	}
+	return func(dst []byte) []byte {
+		for _, w := range wcol {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+		return dst
+	}, nil
+}
+
+// restoreTyped restores a typed run from snap: the shared plane state,
+// the state column through the algorithm's codec (or the uint64
+// default), and the pending word-lane payloads.
+func (te *TypedEngine[S]) restoreTyped(snap *Snapshot, algo TypedAlgo[S], faulty bool) error {
+	e := te.e
+	if algo.DecodeState == nil {
+		if _, ok := any(te.col).([]uint64); !ok {
+			return fmt.Errorf("model: resume: typed algorithm has no DecodeState codec")
+		}
+	}
+	if err := e.restoreCommon(snap, true, faulty); err != nil {
+		return err
+	}
+	if algo.DecodeState != nil {
+		src := snap.States
+		for v := 0; v < e.n; v++ {
+			rest, err := algo.DecodeState(src, &te.col[v])
+			if err != nil {
+				return fmt.Errorf("model: resume: state of node %d: %w", v, err)
+			}
+			src = rest
+		}
+		if len(src) != 0 {
+			return fmt.Errorf("model: resume: %d trailing state bytes", len(src))
+		}
+	} else {
+		wcol := any(te.col).([]uint64)
+		if len(snap.States) != 8*e.n {
+			return fmt.Errorf("model: resume: state column is %d bytes (want %d)", len(snap.States), 8*e.n)
+		}
+		for v := range wcol {
+			wcol[v] = binary.LittleEndian.Uint64(snap.States[8*v:])
+		}
+	}
+	if len(snap.Words) != len(snap.Pending) {
+		return fmt.Errorf("model: resume: %d payload words for %d pending slots", len(snap.Words), len(snap.Pending))
+	}
+	arena := snap.Round & 1
+	for i, s := range snap.Pending {
+		e.wbuf[arena][s] = snap.Words[i]
+	}
+	return nil
 }
 
 // stepTyped is the clean typed step: compact the node's live word

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// The jobs API: asynchronous, durable counterparts of the synchronous
+// compute endpoints. Unlike the cacheable GET endpoints (which keep
+// their terse text error bodies), everything under /v1/jobs speaks
+// JSON both ways — machine-submitted, machine-polled.
+//
+//	POST   /v1/jobs             submit (spec JSON body) → 202 + status
+//	GET    /v1/jobs             list + state gauge
+//	GET    /v1/jobs/{id}        status and progress
+//	GET    /v1/jobs/{id}/result result bytes (409 until done)
+//	DELETE /v1/jobs/{id}        cancel
+
+// maxJobBody bounds a job submission body.
+const maxJobBody = 1 << 20
+
+// routeJobs dispatches the /v1/jobs subtree.
+func (s *Server) routeJobs(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		s.jobError(w, http.StatusNotFound, "jobs are not enabled on this server (start localapproxd with -jobs)")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs")
+	rest = strings.TrimPrefix(rest, "/")
+	if rest == "" {
+		switch r.Method {
+		case http.MethodPost:
+			s.handleJobSubmit(w, r)
+		case http.MethodGet, http.MethodHead:
+			s.handleJobList(w)
+		default:
+			s.jobError(w, http.StatusMethodNotAllowed, "method %s not allowed on /v1/jobs (POST to submit, GET to list)", r.Method)
+		}
+		return
+	}
+	id, sub, _ := strings.Cut(rest, "/")
+	switch {
+	case sub == "" && (r.Method == http.MethodGet || r.Method == http.MethodHead):
+		s.handleJobStatus(w, id)
+	case sub == "" && r.Method == http.MethodDelete:
+		s.handleJobCancel(w, id)
+	case sub == "result" && (r.Method == http.MethodGet || r.Method == http.MethodHead):
+		s.handleJobResult(w, id)
+	case sub == "result":
+		s.jobError(w, http.StatusMethodNotAllowed, "method %s not allowed on /v1/jobs/{id}/result (GET only)", r.Method)
+	case sub != "":
+		s.jobError(w, http.StatusNotFound, "unknown jobs endpoint %q", r.URL.Path)
+	default:
+		s.jobError(w, http.StatusMethodNotAllowed, "method %s not allowed on /v1/jobs/{id} (GET for status, DELETE to cancel)", r.Method)
+	}
+}
+
+// handleJobSubmit decodes the spec and registers the job. Submission
+// is idempotent (content-addressed ids), so a retried POST is safe.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	var spec job.Spec
+	if err := dec.Decode(&spec); err != nil {
+		s.met.badRequests.Add(1)
+		s.jobError(w, http.StatusBadRequest, "malformed job spec: %v", err)
+		return
+	}
+	st, err := s.jobs.Submit(spec)
+	switch {
+	case err == nil:
+		s.writeJobJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, job.ErrSaturated):
+		s.met.shed.Add(1)
+		s.shedJSON(w, err.Error(), 1+s.jobs.QueueDepth()/s.jobs.Workers())
+	case errors.Is(err, job.ErrDraining):
+		s.jobError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		s.met.badRequests.Add(1)
+		s.jobError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// handleJobList renders every job plus the state gauge.
+func (s *Server) handleJobList(w http.ResponseWriter) {
+	s.writeJobJSON(w, http.StatusOK, map[string]any{
+		"jobs":        s.jobs.List(),
+		"states":      s.jobs.StateCounts(),
+		"queue_depth": s.jobs.QueueDepth(),
+	})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, id string) {
+	st, ok := s.jobs.Get(id)
+	if !ok {
+		s.jobError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	s.writeJobJSON(w, http.StatusOK, st)
+}
+
+// handleJobResult serves the stored result bytes verbatim (they are
+// already canonical JSON, byte-deterministic in the spec).
+func (s *Server) handleJobResult(w http.ResponseWriter, id string) {
+	body, err := s.jobs.Result(id)
+	switch {
+	case err == nil:
+		w.Header()["Content-Type"] = hdrJSON
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	case errors.Is(err, job.ErrNotFound):
+		s.jobError(w, http.StatusNotFound, "no job %q", id)
+	case errors.Is(err, job.ErrNotDone):
+		s.jobError(w, http.StatusConflict, "%v", err)
+	default:
+		s.jobError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, id string) {
+	st, err := s.jobs.Cancel(id)
+	if errors.Is(err, job.ErrNotFound) {
+		s.jobError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	s.writeJobJSON(w, http.StatusOK, st)
+}
+
+// jobError answers with the jobs API's JSON error shape.
+func (s *Server) jobError(w http.ResponseWriter, code int, format string, args ...any) {
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Header()["Content-Type"] = hdrJSON
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func (s *Server) writeJobJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.jobError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header()["Content-Type"] = hdrJSON
+	w.WriteHeader(code)
+	w.Write(body)
+}

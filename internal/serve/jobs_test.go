@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// jobServer builds a Server with an attached job manager over a fresh
+// temp dir.
+func jobServer(t *testing.T) *Server {
+	t.Helper()
+	m, err := job.Open(job.Config{Dir: t.TempDir(), Workers: 2, Queue: 4})
+	if err != nil {
+		t.Fatalf("job.Open: %v", err)
+	}
+	t.Cleanup(m.Close)
+	s := New(Config{})
+	s.AttachJobs(m)
+	return s
+}
+
+// doReq drives an arbitrary-method request through the handler.
+func doReq(t *testing.T, s *Server, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest(method, target, rd))
+	return rr
+}
+
+func decodeStatus(t *testing.T, body []byte) job.Status {
+	t.Helper()
+	var st job.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decoding job status %s: %v", body, err)
+	}
+	return st
+}
+
+// TestJobsEndpointLifecycle walks the whole HTTP surface: submit,
+// idempotent resubmit, status poll, result retrieval, list, cancel.
+func TestJobsEndpointLifecycle(t *testing.T) {
+	s := jobServer(t)
+
+	spec := `{"kind": "flood", "host": "cycle:24", "rounds": 24, "seed": 3}`
+	rr := doReq(t, s, http.MethodPost, "/v1/jobs", spec)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("submit: want 202, got %d (%s)", rr.Code, rr.Body.String())
+	}
+	st := decodeStatus(t, rr.Body.Bytes())
+	if st.ID == "" {
+		t.Fatalf("submit returned no id: %s", rr.Body.String())
+	}
+
+	// Resubmitting the identical spec is the same job (content-addressed
+	// id), not a second one.
+	rr = doReq(t, s, http.MethodPost, "/v1/jobs", spec)
+	if rr.Code != http.StatusAccepted || decodeStatus(t, rr.Body.Bytes()).ID != st.ID {
+		t.Fatalf("resubmit: want 202 with same id %s, got %d (%s)", st.ID, rr.Code, rr.Body.String())
+	}
+
+	// Result is 409 until done, then 200 with the deterministic body.
+	for {
+		rr = doReq(t, s, http.MethodGet, "/v1/jobs/"+st.ID+"/result", "")
+		if rr.Code == http.StatusOK {
+			break
+		}
+		if rr.Code != http.StatusConflict {
+			t.Fatalf("result while running: want 409 or 200, got %d (%s)", rr.Code, rr.Body.String())
+		}
+	}
+	var res struct {
+		Kind      string `json:"kind"`
+		Leader    uint64 `json:"leader"`
+		Converged int    `json:"converged"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &res); err != nil || res.Kind != "flood" || res.Converged < 1 {
+		t.Fatalf("flood result body = %s (err %v)", rr.Body.String(), err)
+	}
+
+	rr = doReq(t, s, http.MethodGet, "/v1/jobs/"+st.ID, "")
+	if rr.Code != 200 || decodeStatus(t, rr.Body.Bytes()).State != "done" {
+		t.Fatalf("status after completion: %d (%s)", rr.Code, rr.Body.String())
+	}
+
+	rr = doReq(t, s, http.MethodGet, "/v1/jobs", "")
+	if rr.Code != 200 {
+		t.Fatalf("list: %d", rr.Code)
+	}
+	var list struct {
+		Jobs   []job.Status     `json:"jobs"`
+		States map[string]int64 `json:"states"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil || len(list.Jobs) != 1 || list.States["done"] != 1 {
+		t.Fatalf("list body = %s (err %v)", rr.Body.String(), err)
+	}
+
+	// Cancel on a terminal job is a no-op 200; DELETE on a missing job
+	// is 404.
+	if rr = doReq(t, s, http.MethodDelete, "/v1/jobs/"+st.ID, ""); rr.Code != 200 {
+		t.Fatalf("cancel done job: %d", rr.Code)
+	}
+	if rr = doReq(t, s, http.MethodDelete, "/v1/jobs/jmissing", ""); rr.Code != 404 {
+		t.Fatalf("cancel missing job: want 404, got %d", rr.Code)
+	}
+}
+
+// TestJobsEndpointErrors covers the JSON error surface: disabled
+// subsystem, malformed and invalid specs, unknown ids and methods.
+func TestJobsEndpointErrors(t *testing.T) {
+	bare := New(Config{})
+	if rr := doReq(t, bare, http.MethodGet, "/v1/jobs", ""); rr.Code != 404 || !strings.Contains(rr.Body.String(), "not enabled") {
+		t.Fatalf("jobs without manager: want 404 'not enabled', got %d (%s)", rr.Code, rr.Body.String())
+	}
+
+	s := jobServer(t)
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodPost, "/v1/jobs", `{not json`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/jobs", `{"kind": "flood", "host": "cycle:8", "rounds": 8, "bogus": 1}`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/jobs", `{"kind": "warp", "host": "cycle:8"}`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/jobs", `{"kind": "flood", "host": "cycle:8"}`, http.StatusBadRequest},
+		{http.MethodGet, "/v1/jobs/junknown", "", http.StatusNotFound},
+		{http.MethodGet, "/v1/jobs/junknown/result", "", http.StatusNotFound},
+		{http.MethodPut, "/v1/jobs", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/jobs/jx", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/jobs/jx/result", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/v1/jobs/jx/bogus", "", http.StatusNotFound},
+	} {
+		rr := doReq(t, s, tc.method, tc.path, tc.body)
+		if rr.Code != tc.want {
+			t.Fatalf("%s %s: want %d, got %d (%s)", tc.method, tc.path, tc.want, rr.Code, rr.Body.String())
+		}
+		if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s %s: jobs errors must be JSON, got Content-Type %q", tc.method, tc.path, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("%s %s: body %q is not {error: ...}", tc.method, tc.path, rr.Body.String())
+		}
+	}
+}
+
+// TestJobsEndpointSaturation asserts a full job queue answers 429 with
+// a depth-derived Retry-After, mirroring the synchronous path's shed.
+func TestJobsEndpointSaturation(t *testing.T) {
+	m, err := job.Open(job.Config{Dir: t.TempDir(), Workers: 1, Queue: 1})
+	if err != nil {
+		t.Fatalf("job.Open: %v", err)
+	}
+	t.Cleanup(m.Close)
+	s := New(Config{})
+	s.AttachJobs(m)
+
+	// Long flood jobs occupy the single worker and the queue; keep
+	// submitting distinct specs until one sheds.
+	sawShed := false
+	for n := 0; n < 64 && !sawShed; n++ {
+		body := `{"kind": "flood", "host": "cycle:512", "rounds": 500000, "seed": ` + strconv.Itoa(n+1) + `}`
+		rr := doReq(t, s, http.MethodPost, "/v1/jobs", body)
+		switch rr.Code {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			sawShed = true
+			if ra := rr.Header().Get("Retry-After"); ra == "" || ra == "0" {
+				t.Fatalf("shed without usable Retry-After: %v", rr.Header())
+			}
+			var e struct {
+				Error      string `json:"error"`
+				RetryAfter int    `json:"retry_after_s"`
+			}
+			if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil || e.RetryAfter < 1 {
+				t.Fatalf("shed body = %s (err %v)", rr.Body.String(), err)
+			}
+		default:
+			t.Fatalf("submit %d: unexpected status %d (%s)", n, rr.Code, rr.Body.String())
+		}
+	}
+	if !sawShed {
+		t.Fatal("never saturated the job queue")
+	}
+}
+
+// TestMetricsJobsBlock asserts /metrics carries the job-state gauge and
+// per-endpoint latency histograms once jobs are attached.
+func TestMetricsJobsBlock(t *testing.T) {
+	s := jobServer(t)
+	doReq(t, s, http.MethodGet, "/v1/jobs", "")
+	rr := doReq(t, s, http.MethodGet, "/metrics", "")
+	if rr.Code != 200 {
+		t.Fatalf("/metrics: %d", rr.Code)
+	}
+	var m struct {
+		Jobs struct {
+			States  map[string]int64 `json:"states"`
+			Workers int              `json:"workers"`
+		} `json:"jobs"`
+		Latency map[string]struct {
+			Count     int64            `json:"count"`
+			BucketsLE map[string]int64 `json:"buckets_le"`
+		} `json:"latency_by_endpoint"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics body: %v\n%s", err, rr.Body.String())
+	}
+	if m.Jobs.Workers != 2 {
+		t.Fatalf("jobs.workers = %d, want 2", m.Jobs.Workers)
+	}
+	if _, ok := m.Jobs.States["pending"]; !ok {
+		t.Fatalf("jobs.states missing pending gauge: %s", rr.Body.String())
+	}
+	h, ok := m.Latency["/v1/jobs"]
+	if !ok || h.Count < 1 {
+		t.Fatalf("latency_by_endpoint missing /v1/jobs: %s", rr.Body.String())
+	}
+	if inf, ok := h.BucketsLE["+Inf"]; !ok || inf != h.Count {
+		t.Fatalf("+Inf bucket %d should equal count %d", inf, h.Count)
+	}
+}

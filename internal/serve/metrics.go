@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"strconv"
 	"sync/atomic"
 )
 
@@ -8,8 +9,8 @@ import (
 // request path (no locks, no allocation — the cache-hit fast path
 // stays at zero allocs) and rendered as one JSON document by the
 // /metrics endpoint. Gauges that the server does not own — worker-
-// budget occupancy, admission queue depth — are sampled at render
-// time instead of being tracked here.
+// budget occupancy, admission queue depth, job states — are sampled
+// at render time instead of being tracked here.
 type metrics struct {
 	// requests counts every request routed, whatever its outcome.
 	requests atomic.Int64
@@ -33,4 +34,101 @@ type metrics struct {
 	// latencyMicros/latencyCount accumulate request wall time.
 	latencyMicros atomic.Int64
 	latencyCount  atomic.Int64
+	// endpoints holds one latency histogram per endpoint.
+	endpoints [numEndpoints]histogram
+}
+
+// Endpoint indices for the per-endpoint latency histograms; epOther
+// absorbs 404s and unknown paths.
+const (
+	epHealthz = iota
+	epReadyz
+	epMetrics
+	epHosts
+	epProfiles
+	epWorkloads
+	epMeasure
+	epRun
+	epJobs
+	epOther
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	"/healthz", "/readyz", "/metrics", "/v1/hosts", "/v1/profiles",
+	"/v1/workloads", "/v1/measure", "/v1/run", "/v1/jobs", "other",
+}
+
+// endpointIndex classifies a request path. Literal switch plus one
+// prefix check — no allocation on the hot path.
+func endpointIndex(path string) int {
+	switch path {
+	case "/healthz":
+		return epHealthz
+	case "/readyz":
+		return epReadyz
+	case "/metrics":
+		return epMetrics
+	case "/v1/hosts":
+		return epHosts
+	case "/v1/profiles":
+		return epProfiles
+	case "/v1/workloads":
+		return epWorkloads
+	case "/v1/measure":
+		return epMeasure
+	case "/v1/run":
+		return epRun
+	}
+	if len(path) >= len("/v1/jobs") && path[:len("/v1/jobs")] == "/v1/jobs" {
+		return epJobs
+	}
+	return epOther
+}
+
+// latencyBucketsMicros are the fixed histogram bucket upper bounds
+// (microseconds); the last implicit bucket is +Inf. Spanning 50µs to
+// 5s covers everything from a cache hit to a deadline-bounded run.
+var latencyBucketsMicros = [...]int64{
+	50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+}
+
+// histogram is a fixed-bucket latency histogram: atomics only, so
+// observe is wait-free and allocation-free on the request path.
+type histogram struct {
+	buckets [len(latencyBucketsMicros) + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func (h *histogram) observe(micros int64) {
+	i := 0
+	for i < len(latencyBucketsMicros) && micros > latencyBucketsMicros[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(micros)
+}
+
+// render emits the histogram as cumulative {le: count} pairs plus
+// count and sum — the conventional shape scrapers expect. Buckets
+// are keyed by their upper bound in microseconds ("+Inf" last).
+func (h *histogram) render() map[string]any {
+	cum := int64(0)
+	buckets := make(map[string]int64, len(h.buckets))
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(latencyBucketsMicros) {
+			le = strconv.FormatInt(latencyBucketsMicros[i], 10)
+		}
+		buckets[le] = cum
+	}
+	return map[string]any{
+		"count":        h.count.Load(),
+		"total_micros": h.sum.Load(),
+		"buckets_le":   buckets,
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -351,8 +352,20 @@ func TestAdmissionShedAndQueueDeadline(t *testing.T) {
 	if rr.Code != http.StatusTooManyRequests {
 		t.Fatalf("saturated: want 429, got %d (%s)", rr.Code, rr.Body.String())
 	}
-	if rr.Header().Get("Retry-After") != "1" {
-		t.Fatalf("429 missing Retry-After: %v", rr.Header())
+	// Retry-After is computed from live queue depth (1 queued here, so
+	// at least 2 seconds); assert it is a positive integer.
+	if ra, err := strconv.Atoi(rr.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("429 wants a positive integer Retry-After: %v", rr.Header())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("429 body should be JSON, got Content-Type %q", ct)
+	}
+	var shedBody struct {
+		Error      string `json:"error"`
+		RetryAfter int    `json:"retry_after_s"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &shedBody); err != nil || shedBody.Error == "" || shedBody.RetryAfter < 1 {
+		t.Fatalf("429 body = %q, want JSON {error, retry_after_s}", rr.Body.String())
 	}
 	if s.met.shed.Load() != 1 {
 		t.Fatalf("shed counter = %d, want 1", s.met.shed.Load())

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/host"
+	"repro/internal/job"
 	"repro/internal/model"
 	"repro/internal/par"
 )
@@ -62,6 +64,11 @@ type Config struct {
 	CacheEntries int
 	// MaxRmax caps sweep/gather radii (default 8, as the CLIs cap).
 	MaxRmax int
+	// Logger, when non-nil, logs one structured line per request
+	// (request id, method, path, status, duration). Nil keeps the
+	// cache-hit path allocation-free; production passes a slog.Logger
+	// with the flag-selected handler.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +100,9 @@ type Server struct {
 	adm      *admission
 	cache    *cache
 	met      metrics
+	log      *slog.Logger
+	jobs     *job.Manager
+	reqID    atomic.Int64
 	draining atomic.Bool
 
 	// testHook, when set, runs inside every admitted computation
@@ -108,8 +118,13 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		adm:   newAdmission(cfg.Workers, cfg.Queue),
 		cache: newCache(cfg.CacheEntries),
+		log:   cfg.Logger,
 	}
 }
+
+// AttachJobs enables the durable jobs API (/v1/jobs), backed by m.
+// The manager's lifecycle (Open, Drain) belongs to the caller.
+func (s *Server) AttachJobs(m *job.Manager) { s.jobs = m }
 
 // BeginDrain flips the server to draining: /readyz answers 503 so
 // load balancers stop routing here, while in-flight and already-
@@ -125,32 +140,60 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // zero allocs (Header().Set would allocate a fresh 1-element slice
 // per call).
 var (
-	hdrJSON  = []string{"application/json"}
-	hdrText  = []string{"text/plain; charset=utf-8"}
-	hdrHit   = []string{"hit"}
-	hdrMiss  = []string{"miss"}
-	hdrRetry = []string{"1"}
+	hdrJSON = []string{"application/json"}
+	hdrText = []string{"text/plain; charset=utf-8"}
+	hdrHit  = []string{"hit"}
+	hdrMiss = []string{"miss"}
 )
 
 // keyPool recycles cache-key scratch buffers across requests.
 var keyPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
 
+// loggingWriter captures the response status for the request log. It
+// is only allocated when a Logger is configured, so the logger-less
+// cache-hit path stays at zero allocations.
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (lw *loggingWriter) WriteHeader(code int) {
+	lw.status = code
+	lw.ResponseWriter.WriteHeader(code)
+}
+
 // ServeHTTP is the outermost handler: request counting, latency
-// accounting, and the recovering wrapper that converts a handler
-// panic into a stamped 500 with the process still serving (workload
-// panics are already converted to errors by par.Catch deeper down;
-// this layer catches everything else).
+// accounting (aggregate + per-endpoint histogram), optional
+// structured request logging, and the recovering wrapper that
+// converts a handler panic into a stamped 500 with the process still
+// serving (workload panics are already converted to errors by
+// par.Catch deeper down; this layer catches everything else).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	start := time.Now()
+	ep := endpointIndex(r.URL.Path)
+	var lw *loggingWriter
+	var rid int64
+	if s.log != nil {
+		rid = s.reqID.Add(1)
+		lw = &loggingWriter{ResponseWriter: w, status: http.StatusOK}
+		w = lw
+	}
 	defer func() {
-		s.met.latencyMicros.Add(time.Since(start).Microseconds())
+		micros := time.Since(start).Microseconds()
+		s.met.latencyMicros.Add(micros)
 		s.met.latencyCount.Add(1)
+		s.met.endpoints[ep].observe(micros)
 		if rec := recover(); rec != nil {
 			s.met.panics.Add(1)
 			w.Header()["Content-Type"] = hdrText
 			w.WriteHeader(http.StatusInternalServerError)
 			fmt.Fprintf(w, "internal error: panic: %v\n", rec)
+		}
+		if lw != nil {
+			s.log.Info("request",
+				"rid", rid, "method", r.Method, "path", r.URL.Path,
+				"status", lw.status, "micros", micros)
 		}
 	}()
 	s.route(w, r)
@@ -158,19 +201,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // endpoints is the 404 listing (and the README of the service).
 const endpoints = `endpoints:
-  GET /healthz                          liveness
-  GET /readyz                           readiness (503 once draining)
-  GET /metrics                          counters, cache stats, worker occupancy (JSON)
-  GET /v1/hosts                         host-family registry (JSON)
-  GET /v1/profiles                      fault-profile grammar (JSON)
-  GET /v1/workloads                     run-endpoint workload registry (JSON)
-  GET /v1/measure?host=D&rmax=R         layered homogeneity sweep [deadline_ms=N]
-  GET /v1/run?algo=A&host=D|n=N         engine workload [seed=S] [faults=P] [rmax=R] [deadline_ms=N]
+  GET    /healthz                          liveness
+  GET    /readyz                           readiness (503 once draining)
+  GET    /metrics                          counters, cache stats, latency histograms, job gauge (JSON)
+  GET    /v1/hosts                         host-family registry (JSON)
+  GET    /v1/profiles                      fault-profile grammar (JSON)
+  GET    /v1/workloads                     run-endpoint workload registry (JSON)
+  GET    /v1/measure?host=D&rmax=R         layered homogeneity sweep [deadline_ms=N]
+  GET    /v1/run?algo=A&host=D|n=N         engine workload [seed=S] [faults=P] [rmax=R] [deadline_ms=N]
+  POST   /v1/jobs                          submit a durable job (JSON spec body)
+  GET    /v1/jobs                          list jobs + state gauge
+  GET    /v1/jobs/{id}                     job status and progress
+  GET    /v1/jobs/{id}/result              result bytes of a done job
+  DELETE /v1/jobs/{id}                     cancel a job
 `
 
 // route dispatches by literal path — no ServeMux, no per-request
-// pattern allocation, so routing costs nothing on the hit path.
+// pattern allocation, so routing costs nothing on the hit path. The
+// jobs subtree carries its own method handling (POST/DELETE); every
+// other endpoint is GET/HEAD only.
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	if p := r.URL.Path; len(p) >= len("/v1/jobs") && p[:len("/v1/jobs")] == "/v1/jobs" {
+		s.routeJobs(w, r)
+		return
+	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		s.met.badRequests.Add(1)
 		http.Error(w, "method not allowed (GET only)", http.StatusMethodNotAllowed)
@@ -207,15 +261,33 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics renders the counter block plus sampled gauges.
+// handleMetrics renders the counter block plus sampled gauges,
+// per-endpoint latency histograms, and (when jobs are attached) the
+// job-state gauge.
 func (s *Server) handleMetrics(w http.ResponseWriter) {
 	m := &s.met
+	hists := make(map[string]any, numEndpoints)
+	for i := range m.endpoints {
+		if m.endpoints[i].count.Load() > 0 {
+			hists[endpointNames[i]] = m.endpoints[i].render()
+		}
+	}
+	var jobsBlock map[string]any
+	if s.jobs != nil {
+		jobsBlock = map[string]any{
+			"states":      s.jobs.StateCounts(),
+			"queue_depth": s.jobs.QueueDepth(),
+			"workers":     s.jobs.Workers(),
+		}
+	}
 	s.writeJSONValue(w, map[string]any{
-		"requests":     m.requests.Load(),
-		"shed":         m.shed.Load(),
-		"timeouts":     m.timeouts.Load(),
-		"panics":       m.panics.Load(),
-		"bad_requests": m.badRequests.Load(),
+		"latency_by_endpoint": hists,
+		"jobs":                jobsBlock,
+		"requests":            m.requests.Load(),
+		"shed":                m.shed.Load(),
+		"timeouts":            m.timeouts.Load(),
+		"panics":              m.panics.Load(),
+		"bad_requests":        m.badRequests.Load(),
 		"cache": map[string]int64{
 			"hits":      m.hits.Load(),
 			"misses":    m.misses.Load(),
@@ -475,9 +547,11 @@ func (s *Server) respond(w http.ResponseWriter, body []byte, err error) {
 	var pe *par.PanicError
 	switch {
 	case errors.Is(err, errShed):
+		// Retry-After reflects the actual backlog: one second per
+		// queued request ahead, floor 1 — an honest hint instead of a
+		// constant.
 		s.met.shed.Add(1)
-		w.Header()["Retry-After"] = hdrRetry
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		s.shedJSON(w, err.Error(), 1+int(s.adm.depth()))
 	case errors.As(err, &pe):
 		s.met.panics.Add(1)
 		http.Error(w, "computation panicked: "+pe.Error(), http.StatusInternalServerError)
@@ -498,6 +572,21 @@ func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheState []stri
 	hdr["Content-Type"] = hdrJSON
 	hdr["X-Cache"] = cacheState
 	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// shedJSON answers 429 with a machine-readable JSON body and a
+// backlog-derived Retry-After header (shared by the run/measure
+// admission gate and the jobs queue).
+func (s *Server) shedJSON(w http.ResponseWriter, msg string, retryAfter int) {
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	hdr := w.Header()
+	hdr["Retry-After"] = []string{strconv.Itoa(retryAfter)}
+	hdr["Content-Type"] = hdrJSON
+	w.WriteHeader(http.StatusTooManyRequests)
+	body, _ := json.Marshal(map[string]any{"error": msg, "retry_after_s": retryAfter})
 	w.Write(body)
 }
 

@@ -44,6 +44,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/homog"
 	"repro/internal/host"
+	"repro/internal/job"
 	"repro/internal/model"
 	"repro/internal/order"
 	"repro/internal/par"
@@ -296,6 +297,46 @@ type (
 
 // NewServer builds the hardened simulation-service handler.
 var NewServer = serve.New
+
+// Durable jobs and checkpoints (DESIGN.md §11): long-running workloads
+// submitted over /v1/jobs checkpoint their engine (or certify
+// enumeration) state into content-addressed, hash-verified snapshot
+// files, survive crashes by resuming from the latest valid snapshot on
+// OpenJobs, retry transient failures with backoff, and produce result
+// bytes identical to an uninterrupted run. Engine snapshot/resume is
+// also usable directly: Snapshot at a round barrier, Resume on a fresh
+// engine of the same host — byte-deterministic, clean and faulty,
+// untyped and typed word-lane alike.
+type (
+	// JobManager owns the worker pool, the job directory and the
+	// lifecycle (attach to a Server with AttachJobs).
+	JobManager = job.Manager
+	// JobConfig sizes a JobManager (zero values take the defaults).
+	JobConfig = job.Config
+	// JobSpec is a job submission; its canonical encoding is the
+	// job's content-addressed identity.
+	JobSpec = job.Spec
+	// JobStatus is the externally visible job record.
+	JobStatus = job.Status
+	// Snapshot is a round-barrier capture of an Engine's state.
+	Snapshot = model.Snapshot
+	// Checkpointer arms an engine with a periodic (or on-demand)
+	// snapshot sink.
+	Checkpointer = model.Checkpointer
+	// CertifySnapshot is a cursor+catalogue capture of a certify
+	// enumeration.
+	CertifySnapshot = core.CertifySnapshot
+	// CertifyOpts arms CertifyPOLowerBoundOpts with context,
+	// progress, checkpointing and resume.
+	CertifyOpts = core.CertifyOpts
+)
+
+var (
+	OpenJobs                = job.Open
+	DecodeSnapshot          = model.DecodeSnapshot
+	DecodeCertifySnapshot   = core.DecodeCertifySnapshot
+	CertifyPOLowerBoundOpts = core.CertifyPOLowerBoundOpts
+)
 
 // Panic isolation and budget introspection from the par runtime:
 // Catch runs a function and converts a panic (its own or a worker's)

@@ -65,6 +65,8 @@ WATCHED = [
     "BenchmarkRunRoundsFaulty",
     "BenchmarkRunRoundsTyped",
     "BenchmarkRunRoundsTypedFaulty",
+    "BenchmarkRunRoundsCheckpointIdle",
+    "BenchmarkSnapshotRestore",
     "BenchmarkEngineMillionCycleTyped",
     "BenchmarkServeCachedRequest",
 ]
