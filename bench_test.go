@@ -21,6 +21,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/group"
 	"repro/internal/homog"
+	"repro/internal/host"
 	"repro/internal/model"
 	"repro/internal/order"
 	"repro/internal/par"
@@ -458,6 +459,90 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 		if _, _, err := e.Resume(snap).RunStates(nil, benchPulseWordAlgo(32), 40); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchPulseShardedAlgo is benchPulseWordAlgo in the sharded form:
+// the same countdown broadcast through the shared WordSender surface.
+func benchPulseShardedAlgo(rounds int) model.ShardedWordAlgo {
+	return model.ShardedWordAlgo{
+		Init: func(v int64, info model.NodeInfo) uint64 { return uint64(rounds) },
+		Step: func(state *uint64, round int, inbox []model.WordMsg, out model.WordSender) bool {
+			if *state == 0 {
+				return true
+			}
+			*state--
+			out.BroadcastWord(*state)
+			return false
+		},
+		Out: func(*uint64) model.Output { return model.Output{} },
+	}
+}
+
+// benchShardedEngines caches the sharded engines across calibration
+// calls: the 4096-node torus at P=4 (local-heavy traffic) and a
+// 4096-node shift-regular circulant at P=8 whose seeded long-range
+// shifts make most arcs cross shard boundaries (exchange-heavy).
+var benchShardedEngines struct {
+	sync.Once
+	torus *model.ShardedEngine
+	shift *model.ShardedEngine
+}
+
+func shardedBenchEngines(b *testing.B) (*model.ShardedEngine, *model.ShardedEngine) {
+	benchShardedEngines.Do(func() {
+		t, err := model.NewShardedEngine(model.SourceOf(model.HostFromGraph(graph.Torus(64, 64))), 4)
+		if err != nil {
+			panic(err)
+		}
+		src, err := host.ParseShard("shift-regular:d=8,n=4096,seed=1")
+		if err != nil {
+			panic(err)
+		}
+		s, err := model.NewShardedEngine(src, 8)
+		if err != nil {
+			panic(err)
+		}
+		benchShardedEngines.torus, benchShardedEngines.shift = t, s
+	})
+	return benchShardedEngines.torus, benchShardedEngines.shift
+}
+
+func BenchmarkShardedRound(b *testing.B) {
+	// BenchmarkRunRoundsTyped through the sharded engine: the same
+	// 4096-node torus workload at P=4, parallelism 8. Workers, arenas
+	// and the exchange staging are per-run persistent, so after the
+	// warm-up a steady-state round is two barrier phases and zero
+	// allocations — CI-gated against BENCH_ci.json in ns/op and
+	// allocs/op; the ratio to BenchmarkRunRoundsTyped is the sharding
+	// overhead on local-heavy traffic, recorded in BENCH_pr10.json.
+	defer par.Set(par.Set(8))
+	se, _ := shardedBenchEngines(b)
+	if _, err := se.Run(nil, benchPulseShardedAlgo(4), 8); err != nil {
+		b.Fatal(err) // warm-up: arenas, exchange staging, worklists
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := se.Run(nil, benchPulseShardedAlgo(b.N), b.N+2); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkShardedExchange(b *testing.B) {
+	// The exchange-heavy twin: 4096 nodes, degree 8, seeded long-range
+	// shifts at P=8, so most slots route through the cross-shard
+	// staging buffers and the round barrier's drain phase dominates.
+	// CI-gated against BENCH_ci.json — prices the counting-sorted
+	// exchange drain per round, also at 0 allocs/op steady state.
+	defer par.Set(par.Set(8))
+	_, se := shardedBenchEngines(b)
+	if _, err := se.Run(nil, benchPulseShardedAlgo(4), 8); err != nil {
+		b.Fatal(err) // warm-up: arenas, exchange staging, worklists
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := se.Run(nil, benchPulseShardedAlgo(b.N), b.N+2); err != nil {
+		b.Fatal(err)
 	}
 }
 

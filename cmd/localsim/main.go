@@ -64,6 +64,23 @@
 // flood (FloodMax leader election for -rounds rounds) is the
 // long-horizon workload built for this: each round is cheap, there are
 // many of them, and convergence is checkable at any prefix.
+//
+// -shards P runs cole-vishkin or matching on the sharded engine
+// (model.ShardedEngine, DESIGN.md §12): the host is partitioned into P
+// contiguous shards, each with its own CSR slice, word-lane arenas and
+// workers, and cross-shard arcs drain through a compact exchange buffer
+// at the round barrier. Implicit shard-capable families (cycle, dcycle,
+// torus, shift-regular) generate their topology shard-locally, so
+// descriptors past the flat int32 capacity run in bounded resident
+// memory:
+//
+//	localsim -algo cole-vishkin -host dcycle:100000000 -shards 16
+//	localsim -algo matching -host cycle:100000000 -shards 16
+//	localsim -algo cole-vishkin -n 1000000 -shards 4 -faults lossy:p=0.01
+//
+// P=1 sharded output is byte-identical to the flat engine; fault
+// coordinates stay global, so faulty sharded runs degrade identically
+// too (they need a materialisable host for the schedule constructor).
 package main
 
 import (
@@ -128,6 +145,7 @@ func main() {
 	ckptDir := flag.String("checkpoint", "", "scale mode: snapshot the engine into this directory (word-lane workloads)")
 	ckptEvery := flag.Int("checkpoint-every", 64, "scale mode: rounds between snapshots (with -checkpoint)")
 	resume := flag.Bool("resume", false, "scale mode: resume from the latest valid snapshot in -checkpoint")
+	shards := flag.Int("shards", 0, "scale mode: run cole-vishkin/matching on the sharded engine with this many shards (implicit host generation; hosts may exceed the flat int32 capacity)")
 	flag.Parse()
 	rmaxSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -163,6 +181,21 @@ func main() {
 		if *ckptEvery < 1 {
 			exitWith(usagef("-checkpoint-every %d out of range (want >= 1)", *ckptEvery))
 		}
+	}
+	if *shards != 0 {
+		if *algo == "" {
+			exitWith(usagef("-shards needs -algo (the sharded engine runs scale-mode workloads only)"))
+		}
+		if *shards < 1 {
+			exitWith(usagef("-shards %d out of range (want >= 1)", *shards))
+		}
+		if *ckptDir != "" {
+			exitWith(usagef("-checkpoint does not support -shards (the sharded plane has no snapshot codec yet)"))
+		}
+		if err := runScaleSharded(*algo, *hostDesc, *n, *seed, *shards, prof); err != nil {
+			exitWith(err)
+		}
+		return
 	}
 	if *algo != "" {
 		ck := ckptSpec{dir: *ckptDir, every: *ckptEvery, resume: *resume}
@@ -421,6 +454,103 @@ func runScale(algo, hostDesc string, n int, seed int64, rmax, rounds int, prof *
 		fmt.Printf("rounds: %d   radius-%d view types: %d   wall: %s\n",
 			rounds, r, len(types), time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runScaleSharded is the sharded scale mode: cole-vishkin and matching
+// on model.ShardedEngine, with the host generated shard-locally from an
+// implicit source when the family has one (so descriptors past the flat
+// int32 capacity — dcycle:100000000 and beyond — run in bounded resident
+// memory) and adapted from the materialised registry host otherwise.
+// Fault schedules keep global (seed, round, slot) coordinates, so a
+// sharded faulty run degrades byte-identically to the flat engine; they
+// need a materialisable host, since the profile constructor does.
+func runScaleSharded(algo, hostDesc string, n int, seed int64, shards int, prof *model.Profile) error {
+	if algo != "cole-vishkin" && algo != "matching" {
+		return usagef("-shards supports cole-vishkin and matching only (got %q)", algo)
+	}
+	if hostDesc == "" {
+		fam := "cycle"
+		if algo == "cole-vishkin" {
+			fam = "dcycle"
+		}
+		hostDesc = fmt.Sprintf("%s:%d", fam, n)
+	}
+	src, err := host.ParseShard(hostDesc)
+	if err != nil {
+		// Not an implicit family: any materialisable registry host
+		// still runs sharded through the adapter source.
+		h, desc, herr := resolveHost(hostDesc)
+		if herr != nil {
+			return usagef("%v\n(no implicit shard source either: %v)", herr, err)
+		}
+		src, hostDesc = model.SourceOf(h), desc
+	}
+	var sched model.Schedule
+	if prof != nil {
+		h, err := model.MaterializeSource(src)
+		if err != nil {
+			return fmt.Errorf("-faults with -shards needs a materialisable host (fault schedules hash global coordinates from a flat host): %w", err)
+		}
+		sched = prof.New(h, seed)
+		fmt.Printf("sharded scale mode: %s on %s (n=%d, P=%d) under faults %s\n", algo, hostDesc, src.N(), shards, prof.Desc)
+	} else {
+		fmt.Printf("sharded scale mode: %s on %s (n=%d, P=%d)\n", algo, hostDesc, src.N(), shards)
+	}
+	se, err := model.NewShardedEngine(src, shards)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	nTotal := src.N()
+	switch algo {
+	case "cole-vishkin":
+		idf := model.SeededIDs(nTotal, seed)
+		maxID := int(nTotal - 1)
+		var res *algorithms.ShardedCVResult
+		if sched != nil {
+			res, err = algorithms.ColeVishkinMISShardedFaulty(se, idf, maxID, sched)
+		} else {
+			res, err = algorithms.ColeVishkinMISSharded(se, idf, maxID)
+		}
+		if err != nil {
+			return err
+		}
+		if sched != nil {
+			rep := res.Report
+			fmt.Printf("rounds: %d   |MIS| = %d   crashed: %d   dropped: %d   violations: %d   uncovered: %d   wall: %s\n",
+				res.Rounds, res.MISSize, rep.NumCrashed, rep.Dropped,
+				res.Violations, res.Uncovered, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Printf("rounds: %d   |MIS| = %d   |MIS|/n = %.4f   feasible: yes   wall: %s\n",
+				res.Rounds, res.MISSize, float64(res.MISSize)/float64(nTotal), time.Since(start).Round(time.Millisecond))
+		}
+	case "matching":
+		rng := rand.New(rand.NewSource(seed))
+		var res *algorithms.ShardedMatchingResult
+		if sched != nil {
+			res, err = algorithms.RandomizedMatchingShardedFaulty(se, rng, sched)
+		} else {
+			res, err = algorithms.RandomizedMatchingSharded(se, rng)
+		}
+		if err != nil {
+			return err
+		}
+		if sched != nil {
+			rep := res.Report
+			fmt.Printf("rounds: 2   |M| = %d   crashed: %d   dropped: %d   conflicts: %d   wall: %s\n",
+				res.Matched, rep.NumCrashed, rep.Dropped, res.Conflicts, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Printf("rounds: 2   |M| = %d   |M|/n = %.4f   conflicts: %d   wall: %s\n",
+				res.Matched, float64(res.Matched)/float64(nTotal), res.Conflicts, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	var xout, xvol int64
+	for _, st := range se.Stats() {
+		xout += st.ExchangeOut
+		xvol += st.Exchanged
+	}
+	fmt.Printf("shards: %d   cross-shard arcs: %d   exchanged words: %d\n", shards, xout, xvol)
 	return nil
 }
 

@@ -129,68 +129,83 @@ func cvPlan(h *model.Host, ids []int) (steps, last int, err error) {
 // round still halts at its next up round (identical to == on clean
 // runs).
 func coleVishkinWordAlgo(steps, last int) model.WordAlgo {
+	step := coleVishkinWordStep(steps, last)
 	return model.WordAlgo{
-		Init: func(v int, info model.NodeInfo) uint64 {
-			w := uint64(info.ID)
-			// Exactly one of the two letter-sorted slots is the in-arc
-			// (the predecessor on the oriented cycle); remember which.
-			if info.Letters[1].In {
-				w |= cvPredSlot1
-			}
-			return w
-		},
+		Init: func(v int, info model.NodeInfo) uint64 { return cvInit(info) },
 		Step: func(state *uint64, round int, inbox []model.WordMsg, out *model.Outbox) bool {
-			s := *state
-			predSlot := int32(0)
-			if s&cvPredSlot1 != 0 {
-				predSlot = 1
-			}
-			// An undelivered direction leaves the zero word: colour 0,
-			// not in the MIS — the typed image of the zero cvMsg.
-			var pred, succ uint64
-			for _, m := range inbox {
-				if m.Slot == predSlot {
-					pred = m.W
-				} else {
-					succ = m.W
-				}
-			}
-			color := s & cvColorMask
-			switch {
-			case round == 0:
-				// Nothing received yet; just broadcast below.
-			case round <= steps:
-				// Bit-parallel Cole–Vishkin reduction against the
-				// predecessor.
-				i := uint64(0)
-				if x := color ^ pred&cvColorMask; x != 0 {
-					i = uint64(bits.TrailingZeros64(x))
-				}
-				color = 2*i | color>>i&1
-			case round <= steps+3:
-				// Shift down 5 -> then 4 -> then 3.
-				target := uint64(5 - (round - steps - 1))
-				if color == target {
-					color = cvFreeColor(pred&cvColorMask, succ&cvColorMask)
-				}
-			default:
-				// MIS sweep for colour classes 0, 1, 2.
-				class := uint64(round - steps - 4)
-				if color == class && pred&cvMISBit == 0 && succ&cvMISBit == 0 {
-					s |= cvMISBit
-				}
-			}
-			s = s&^cvColorMask | color
-			*state = s
-			if round >= last {
-				return true
-			}
-			out.BroadcastWord(s &^ cvPredSlot1)
-			return false
+			return step(state, round, inbox, out)
 		},
 		Out: func(state *uint64) model.Output {
 			return model.Output{Member: *state&cvMISBit != 0}
 		},
+	}
+}
+
+// cvInit packs a node's starting state: the identifier in the colour
+// lane plus the in-arc slot marker. Exactly one of the two
+// letter-sorted slots is the in-arc (the predecessor on the oriented
+// cycle); remember which.
+func cvInit(info model.NodeInfo) uint64 {
+	w := uint64(info.ID)
+	if info.Letters[1].In {
+		w |= cvPredSlot1
+	}
+	return w
+}
+
+// coleVishkinWordStep is the pipeline's step over the abstract send
+// surface — the one core behind both the flat WordAlgo and the
+// sharded ShardedWordAlgo, so the differential tests compare a single
+// implementation against itself across planes.
+func coleVishkinWordStep(steps, last int) func(state *uint64, round int, inbox []model.WordMsg, out model.WordSender) bool {
+	return func(state *uint64, round int, inbox []model.WordMsg, out model.WordSender) bool {
+		s := *state
+		predSlot := int32(0)
+		if s&cvPredSlot1 != 0 {
+			predSlot = 1
+		}
+		// An undelivered direction leaves the zero word: colour 0,
+		// not in the MIS — the typed image of the zero cvMsg.
+		var pred, succ uint64
+		for _, m := range inbox {
+			if m.Slot == predSlot {
+				pred = m.W
+			} else {
+				succ = m.W
+			}
+		}
+		color := s & cvColorMask
+		switch {
+		case round == 0:
+			// Nothing received yet; just broadcast below.
+		case round <= steps:
+			// Bit-parallel Cole–Vishkin reduction against the
+			// predecessor.
+			i := uint64(0)
+			if x := color ^ pred&cvColorMask; x != 0 {
+				i = uint64(bits.TrailingZeros64(x))
+			}
+			color = 2*i | color>>i&1
+		case round <= steps+3:
+			// Shift down 5 -> then 4 -> then 3.
+			target := uint64(5 - (round - steps - 1))
+			if color == target {
+				color = cvFreeColor(pred&cvColorMask, succ&cvColorMask)
+			}
+		default:
+			// MIS sweep for colour classes 0, 1, 2.
+			class := uint64(round - steps - 4)
+			if color == class && pred&cvMISBit == 0 && succ&cvMISBit == 0 {
+				s |= cvMISBit
+			}
+		}
+		s = s&^cvColorMask | color
+		*state = s
+		if round >= last {
+			return true
+		}
+		out.BroadcastWord(s &^ cvPredSlot1)
+		return false
 	}
 }
 

@@ -98,26 +98,32 @@ func proposalWordAlgo(states []proposeState) model.WordAlgo {
 			return uint64(slotOf(info.Letters, states[v].letter)) | mPropose
 		},
 		Step: func(state *uint64, round int, inbox []model.WordMsg, out *model.Outbox) bool {
-			s := *state
-			if round == 0 {
-				if s&mPropose != 0 {
-					out.SendWord(int(s&mSlotMask), 1)
-					*state = s | mSent
-				}
-				return false
-			}
-			if s&mPropose != 0 && s&mSent != 0 {
-				slot := int32(s & mSlotMask)
-				for _, m := range inbox {
-					if m.Slot == slot {
-						*state = s | mMatched
-					}
-				}
-			}
-			return true
+			return proposalStep(state, round, inbox, out)
 		},
 		Out: func(*uint64) model.Output { return model.Output{} },
 	}
+}
+
+// proposalStep is the exchange round over the abstract send surface —
+// shared by the flat WordAlgo above and the sharded port.
+func proposalStep(state *uint64, round int, inbox []model.WordMsg, out model.WordSender) bool {
+	s := *state
+	if round == 0 {
+		if s&mPropose != 0 {
+			out.SendWord(int(s&mSlotMask), 1)
+			*state = s | mSent
+		}
+		return false
+	}
+	if s&mPropose != 0 && s&mSent != 0 {
+		slot := int32(s & mSlotMask)
+		for _, m := range inbox {
+			if m.Slot == slot {
+				*state = s | mMatched
+			}
+		}
+	}
+	return true
 }
 
 // slotOf locates l in a letter-sorted slot row (the typed NodeInfo

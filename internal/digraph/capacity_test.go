@@ -1,0 +1,71 @@
+package digraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// As in graph's capacity regressions, over-capacity inputs are staged
+// with aliased rows and synthetic offset arrays so no test allocates
+// anywhere near 2^31 real entries.
+
+func wantCapacityErr(t *testing.T, err error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: expected flat-CSR capacity error, got nil", what)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "use shards") || !strings.Contains(msg, "flat-CSR capacity") {
+		t.Fatalf("%s: error does not name the capacity bound and the shard escape hatch: %v", what, err)
+	}
+}
+
+func TestNewBuilderVertexCapacity(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewBuilder: expected flat-CSR capacity panic, got none")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("NewBuilder: panic value is %T, want error: %v", r, r)
+		}
+		wantCapacityErr(t, err, "NewBuilder")
+	}()
+	NewBuilder(int(graph.FlatCapacity)+1, 2)
+}
+
+func TestFlattenArcsCapacity(t *testing.T) {
+	shared := make([]Arc, 1<<21)
+	rows := make([][]Arc, 1024) // 1024 x 2^21 = 2^31 logical arcs
+	for i := range rows {
+		rows[i] = shared
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("flattenArcs: expected flat-CSR capacity panic, got none")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("flattenArcs: panic value is %T, want error: %v", r, r)
+		}
+		wantCapacityErr(t, err, "flattenArcs")
+	}()
+	flattenArcs(rows)
+}
+
+func TestUnderlyingArcCapacity(t *testing.T) {
+	// Synthetic offsets: each direction individually fits int32, but
+	// the undirected CSR needs their sum, which does not. The guard
+	// must fire before the arc arrays are touched (they are nil here).
+	d := &Digraph{
+		n:      2,
+		outOff: []int32{0, 0, 1 << 30},
+		inOff:  []int32{0, 0, 1 << 30},
+	}
+	_, err := d.Underlying()
+	wantCapacityErr(t, err, "Underlying")
+}

@@ -67,10 +67,15 @@ type Builder struct {
 }
 
 // NewBuilder returns a builder for an L-digraph on n vertices with the
-// given alphabet size.
+// given alphabet size. Vertex ids and CSR offsets are int32, so n is
+// capped at graph.FlatCapacity; larger hosts must stay implicit
+// (host.ShardSource).
 func NewBuilder(n, alphabet int) *Builder {
 	if n < 0 || alphabet < 0 {
 		panic("digraph: negative size")
+	}
+	if int64(n) > graph.FlatCapacity {
+		panic(capacityErr("vertex count", int64(n)))
 	}
 	return &Builder{
 		n:        n,
@@ -149,9 +154,24 @@ func (b *Builder) Build() *Digraph {
 	return &Digraph{n: b.n, alphabet: b.alphabet, outOff: outOff, inOff: inOff, out: out, in: in}
 }
 
+// capacityErr mirrors graph's flat-capacity diagnostic for the
+// digraph CSR arrays.
+func capacityErr(what string, have int64) error {
+	return fmt.Errorf("digraph: %s %d exceeds the flat-CSR int32 capacity %d: host exceeds flat-CSR capacity, use shards (model.ShardedEngine over a host.ShardSource)",
+		what, have, int64(graph.FlatCapacity))
+}
+
 // flattenArcs concatenates per-vertex arc rows into one flat array
-// with row offsets.
+// with row offsets. Row totals are checked in 64 bits first: the
+// int32 offset accumulation would wrap silently past 2^31 arcs.
 func flattenArcs(rows [][]Arc) ([]int32, []Arc) {
+	total := int64(0)
+	for _, row := range rows {
+		total += int64(len(row))
+	}
+	if total > graph.FlatCapacity {
+		panic(capacityErr("arc count", total))
+	}
 	off := make([]int32, len(rows)+1)
 	for v, row := range rows {
 		off[v+1] = off[v] + int32(len(row))
@@ -214,6 +234,12 @@ func (d *Digraph) InArc(v, label int) (Arc, bool) {
 // single pass over the flat arc arrays. Underlying runs once per
 // extracted ball in the homogeneity scans.
 func (d *Digraph) Underlying() (*graph.Graph, error) {
+	// out-arcs + in-arcs undirected slots can exceed int32 even when
+	// each arc array fits; check before the int32 accumulation wraps.
+	undirected := int64(d.outOff[d.n]) + int64(d.inOff[d.n])
+	if undirected > graph.FlatCapacity {
+		return nil, capacityErr("undirected arc count", undirected)
+	}
 	off := make([]int32, d.n+1)
 	for v := 0; v < d.n; v++ {
 		off[v+1] = off[v] + int32(d.Degree(v))

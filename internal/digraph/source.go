@@ -1,0 +1,34 @@
+package digraph
+
+// A Source generates a properly labelled digraph node by node,
+// without ever materialising it — the substrate the sharded round
+// engine partitions, letting host families past the int32 flat-CSR
+// capacity exist as generators instead of arrays. Implementations
+// must be deterministic, cheap per call and safe for concurrent use.
+//
+// The contract mirrors Digraph restricted to one node: out- and
+// in-arc lists are label-sorted, out-labels are distinct among
+// themselves and in-labels likewise (proper labelling), and arcs are
+// reciprocal — the out-arc (v -> w, l) is seen from w as the in-arc
+// (w <- v, l). Consumers verify reciprocity where they can and fail
+// loudly on inconsistent sources.
+type Source interface {
+	// N returns the number of nodes; unlike a flat digraph it may
+	// exceed the int32 capacity.
+	N() int64
+	// Alphabet returns the number of edge labels.
+	Alphabet() int
+	// Degree returns v's out- and in-degree (constant time).
+	Degree(v int64) (out, in int)
+	// AppendArcs appends v's label-sorted out- and in-arcs (SourceArc.To
+	// is the target for out, the source for in) and returns the
+	// extended slices.
+	AppendArcs(v int64, out, in []SourceArc) ([]SourceArc, []SourceArc)
+}
+
+// SourceArc is one labelled arc of an implicitly generated digraph:
+// the global id of the other endpoint plus the arc label.
+type SourceArc struct {
+	To    int64
+	Label int
+}

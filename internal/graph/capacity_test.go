@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// The capacity regressions construct builders whose rows alias one
+// shared backing slice, so 2^31 logical arcs cost a few megabytes of
+// real memory — the guards must fire before any full-size CSR array
+// would be allocated.
+
+const aliasRowLen = 1 << 21 // 1024 rows x 2^21 entries = 2^31 logical arcs
+
+func wantCapacityErr(t *testing.T, err error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: expected flat-CSR capacity error, got nil", what)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "use shards") || !strings.Contains(msg, "flat-CSR capacity") {
+		t.Fatalf("%s: error does not name the capacity bound and the shard escape hatch: %v", what, err)
+	}
+}
+
+func wantCapacityPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: expected flat-CSR capacity panic, got none", what)
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("%s: panic value is %T, want error: %v", what, r, r)
+		}
+		wantCapacityErr(t, err, what)
+	}()
+	fn()
+}
+
+func TestNewBuilderVertexCapacity(t *testing.T) {
+	wantCapacityPanic(t, "NewBuilder", func() {
+		NewBuilder(FlatCapacity + 1)
+	})
+}
+
+func TestAddEdgeArcCapacity(t *testing.T) {
+	b := NewBuilder(4)
+	// One edge below the 2m = 2^31-2 boundary is still accepted...
+	b.m = FlatCapacity/2 - 1
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge at 2m=%d: unexpected error %v", 2*b.m, err)
+	}
+	// ...and the next one, which would push 2m past int32, is not.
+	// (This also protects the int32 insertion-ordinal cast.)
+	err := b.AddEdge(2, 3)
+	wantCapacityErr(t, err, "AddEdge")
+}
+
+func TestBuildArcCapacity(t *testing.T) {
+	shared := make([]int32, aliasRowLen)
+	rows := make([][]int32, 1024)
+	for i := range rows {
+		rows[i] = shared
+	}
+	b := &Builder{n: len(rows), adj: rows}
+	wantCapacityPanic(t, "Build", func() { b.Build() })
+}
+
+func TestFromAdjacencyArcCapacity(t *testing.T) {
+	shared := make([]int, aliasRowLen)
+	adj := make([][]int, 1024)
+	for i := range adj {
+		adj[i] = shared
+	}
+	_, err := FromAdjacency(adj)
+	wantCapacityErr(t, err, "FromAdjacency")
+}
+
+func TestCapacityBoundaryStillBuilds(t *testing.T) {
+	// Sanity: the guards reject over-capacity inputs, not ordinary ones.
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	g := b.Build()
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("small graph corrupted by capacity guards: %v", g)
+	}
+}

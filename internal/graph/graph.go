@@ -14,8 +14,25 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"slices"
 )
+
+// FlatCapacity is the largest entry count the int32 CSR substrate can
+// address: offsets and vertex ids are []int32, so a flat graph can
+// hold at most 2^31-1 vertices and 2^31-1 directed arc slots (2m).
+// Hosts past this bound must be sharded instead of materialised —
+// see model.ShardedEngine and host.ShardSource.
+const FlatCapacity = math.MaxInt32
+
+// capacityErr renders the uniform over-capacity diagnosis. Before the
+// guards existed the int32 casts silently wrapped, corrupting offsets
+// for any host past 2^31 arcs; now the failure is loud and names the
+// way out.
+func capacityErr(what string, have int64) error {
+	return fmt.Errorf("graph: %s %d exceeds the flat-CSR int32 capacity %d: host exceeds flat-CSR capacity, use shards (model.ShardedEngine over a host.ShardSource)",
+		what, have, int64(FlatCapacity))
+}
 
 // Graph is an immutable undirected simple graph on vertices 0..n-1 in
 // CSR form: the neighbours of v are nbr[off[v]:off[v+1]], sorted
@@ -38,10 +55,15 @@ type Builder struct {
 	seq   [][]int32 // parallel to adj: 1-based insertion ordinal of the edge
 }
 
-// NewBuilder returns a builder for a graph on n vertices.
+// NewBuilder returns a builder for a graph on n vertices. Vertex ids
+// are stored as int32 in the CSR arrays, so n is capped at
+// FlatCapacity; larger hosts must stay implicit (host.ShardSource).
 func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative vertex count")
+	}
+	if int64(n) > FlatCapacity {
+		panic(capacityErr("vertex count", int64(n)))
 	}
 	return &Builder{n: n, adj: make([][]int32, n), seq: make([][]int32, n)}
 }
@@ -59,6 +81,11 @@ func (b *Builder) AddEdge(u, v int) error {
 	}
 	if u == v {
 		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	// Each edge occupies two directed CSR slots and one int32 insertion
+	// ordinal; past FlatCapacity both would silently wrap.
+	if 2*(int64(b.m)+1) > FlatCapacity {
+		return capacityErr("arc count", 2*(int64(b.m)+1))
 	}
 	i, dup := searchRow(b.adj[u], int32(v))
 	if dup {
@@ -103,6 +130,15 @@ func (b *Builder) Build() *Graph {
 		panic("graph: Build called twice")
 	}
 	b.built = true
+	// Total the rows in 64 bits first: the int32 offset accumulation
+	// below would wrap silently past 2^31 directed arcs.
+	total := int64(0)
+	for _, row := range b.adj {
+		total += int64(len(row))
+	}
+	if total > FlatCapacity {
+		panic(capacityErr("arc count", total))
+	}
 	off := make([]int32, b.n+1)
 	for v, row := range b.adj {
 		off[v+1] = off[v] + int32(len(row))
@@ -135,6 +171,16 @@ func insertInt32(row []int32, i int, x int32) []int32 {
 // duplicate edges (parallel arcs) and asymmetric entries are rejected.
 func FromAdjacency(adj [][]int) (*Graph, error) {
 	n := len(adj)
+	if int64(n) > FlatCapacity {
+		return nil, capacityErr("vertex count", int64(n))
+	}
+	total := int64(0)
+	for _, l := range adj {
+		total += int64(len(l))
+	}
+	if total > FlatCapacity {
+		return nil, capacityErr("arc count", total)
+	}
 	off := make([]int32, n+1)
 	for v, l := range adj {
 		off[v+1] = off[v] + int32(len(l))
@@ -162,6 +208,12 @@ func FromCSR(off, nbr []int32) (*Graph, error) {
 	n := len(off) - 1
 	if n < 0 {
 		return nil, fmt.Errorf("graph: empty offset array")
+	}
+	if int64(n) > FlatCapacity {
+		return nil, capacityErr("vertex count", int64(n))
+	}
+	if int64(len(nbr)) > FlatCapacity {
+		return nil, capacityErr("arc count", int64(len(nbr)))
 	}
 	if off[0] != 0 {
 		return nil, fmt.Errorf("graph: offsets start at %d, want 0", off[0])

@@ -31,6 +31,9 @@ func init() {
 			if err != nil || n < 3 {
 				return nil, orErr(err, "need n >= 3")
 			}
+			if err := checkFlat(int64(n), 2*int64(n)); err != nil {
+				return nil, err
+			}
 			return graph.Cycle(n), nil
 		}),
 	})
@@ -40,6 +43,9 @@ func init() {
 			n, err := p.Int("n", 12)
 			if err != nil || n < 3 {
 				return nil, orErr(err, "need n >= 3")
+			}
+			if err := checkFlat(int64(n), 2*int64(n)); err != nil {
+				return nil, err
 			}
 			b := digraph.NewBuilder(n, 1)
 			for i := 0; i < n; i++ {
@@ -60,6 +66,9 @@ func init() {
 			if err != nil || n < 1 {
 				return nil, orErr(err, "need n >= 1")
 			}
+			if err := checkFlat(int64(n), 2*(int64(n)-1)); err != nil {
+				return nil, err
+			}
 			return graph.Path(n), nil
 		}),
 	})
@@ -69,6 +78,9 @@ func init() {
 			n, err := p.Int("n", 5)
 			if err != nil || n < 1 {
 				return nil, orErr(err, "need n >= 1")
+			}
+			if err := checkFlat(int64(n), int64(n)*(int64(n)-1)); err != nil {
+				return nil, err
 			}
 			return graph.Complete(n), nil
 		}),
@@ -87,6 +99,13 @@ func init() {
 			if len(dims) != 2 || dims[0] < 1 || dims[1] < 1 {
 				return nil, fmt.Errorf("need two positive dimensions")
 			}
+			n, err := mulNodes(dims)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkFlat(n, 4*n); err != nil {
+				return nil, err
+			}
 			return graph.Grid(dims[0], dims[1]), nil
 		}),
 	})
@@ -99,6 +118,13 @@ func init() {
 			}
 			if len(dims) != 3 || dims[0] < 1 || dims[1] < 1 || dims[2] < 1 {
 				return nil, fmt.Errorf("need three positive dimensions")
+			}
+			n, err := mulNodes(dims)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkFlat(n, 6*n); err != nil {
+				return nil, err
 			}
 			return graph.Grid3D(dims[0], dims[1], dims[2]), nil
 		}),
@@ -114,6 +140,13 @@ func init() {
 				if s < 3 {
 					return nil, fmt.Errorf("side %d < 3", s)
 				}
+			}
+			n, err := mulNodes(dims)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkFlat(n, 2*int64(len(dims))*n); err != nil {
+				return nil, err
 			}
 			return graph.Torus(dims...), nil
 		}),
@@ -144,6 +177,9 @@ func init() {
 					return nil, fmt.Errorf("offset %d out of range for n=%d", s, n)
 				}
 			}
+			if err := checkFlat(int64(n), 2*int64(len(offs))*int64(n)); err != nil {
+				return nil, err
+			}
 			return graph.Circulant(n, offs...), nil
 		}),
 	})
@@ -165,8 +201,49 @@ func init() {
 			if d < 1 || n <= d || n*d%2 != 0 {
 				return nil, fmt.Errorf("need 1 <= d < n with n*d even")
 			}
+			if err := checkFlat(int64(n), int64(n)*int64(d)); err != nil {
+				return nil, err
+			}
 			return graph.RandomRegular(n, d, rand.New(rand.NewSource(seed))), nil
 		}),
+	})
+	Register(Family{
+		Name:   "shift-regular",
+		Syntax: "shift-regular:d=<d>,n=<n>,seed=<s>",
+		Doc:    "d-regular circulant on d/2 seeded distinct shifts (shard-generable stand-in for random-regular)",
+		Build: func(p *Params) (*Host, error) {
+			d, err := p.Int("d", 4)
+			if err != nil {
+				return nil, err
+			}
+			n, err := p.Int("n", 16)
+			if err != nil {
+				return nil, err
+			}
+			seed, err := p.Int64("seed", 1)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkFlat(int64(n), int64(n)*int64(d)); err != nil {
+				return nil, err
+			}
+			shifts, err := shiftRegularShifts(n, d, seed)
+			if err != nil {
+				return nil, err
+			}
+			b := digraph.NewBuilder(n, len(shifts))
+			for v := 0; v < n; v++ {
+				for j, s := range shifts {
+					b.MustAddArc(v, (v+s)%n, j)
+				}
+			}
+			dg := b.Build()
+			g, err := dg.Underlying()
+			if err != nil {
+				return nil, err
+			}
+			return &Host{G: g, D: dg}, nil
+		},
 	})
 	Register(Family{
 		Name: "margulis-expander", Syntax: "margulis-expander:n=<n>", Doc: "Margulis/Gabber-Galil expander on Z_n x Z_n (degree <= 8)",
@@ -190,6 +267,49 @@ func init() {
 		Doc:    "cyclic l-lift of a base host (seed=0: single twisted arc; else random shifts)",
 		Build:  buildLift,
 	})
+}
+
+// shiftRegularShifts derives the d/2 distinct shifts of the
+// shift-regular family from (n, d, seed): a splitmix64 stream with
+// rejection over [1, (n-1)/2], sorted ascending so shift index j is
+// the family's canonical arc label. The implicit shard source
+// (shards.go) re-derives exactly the same shifts, so the materialised
+// and generated hosts agree arc for arc.
+func shiftRegularShifts(n, d int, seed int64) ([]int, error) {
+	if d < 2 || d%2 != 0 {
+		return nil, fmt.Errorf("need even d >= 2")
+	}
+	half := (n - 1) / 2
+	if n < 3 || d/2 > half {
+		return nil, fmt.Errorf("need d/2 <= (n-1)/2 distinct shifts, have d=%d n=%d", d, n)
+	}
+	shifts := make([]int, 0, d/2)
+	seen := make(map[int]bool, d/2)
+	x := uint64(seed)
+	limit := 64*(d+16) + 8*half // coupon-collector slack even when d/2 == half
+	for draws := 0; len(shifts) < d/2; draws++ {
+		if draws > limit {
+			return nil, fmt.Errorf("shift derivation for n=%d d=%d seed=%d did not converge", n, d, seed)
+		}
+		x = splitmix64(x)
+		s := int(x%uint64(half)) + 1
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		shifts = append(shifts, s)
+	}
+	slices.Sort(shifts)
+	return shifts, nil
+}
+
+// splitmix64 is the standard SplitMix64 finaliser, the same mixer the
+// fault scheduler builds its coordinate hashes from.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // orErr returns err when non-nil, else a new error with the message.
@@ -357,6 +477,9 @@ func buildLift(p *Params) (*Host, error) {
 	}
 	if l < 1 {
 		return nil, fmt.Errorf("need l >= 1")
+	}
+	if err := checkFlat(int64(base.G.N())*int64(l), 4*int64(base.G.M())*int64(l)); err != nil {
+		return nil, err
 	}
 	seed, err := p.Int64("seed", 0)
 	if err != nil {

@@ -22,6 +22,7 @@ var familySamples = map[string][]string{
 	"hypercube":         {"hypercube:4", "hypercube:1"},
 	"circulant":         {"circulant:16,1+2", "circulant:9,1"},
 	"random-regular":    {"random-regular:d=3,n=16,seed=7"},
+	"shift-regular":     {"shift-regular:d=4,n=16,seed=7", "shift-regular:d=2,n=5,seed=1"},
 	"margulis-expander": {"margulis-expander:n=8"},
 	"cayley":            {"cayley:W,level=2,k=2,seed=1"},
 	"lift":              {"lift:cycle:9,l=3", "lift:petersen,l=2,seed=5"},

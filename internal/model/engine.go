@@ -3,6 +3,7 @@ package model
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -187,7 +188,13 @@ func NewEngine(h *Host) *Engine {
 	n := h.G.N()
 	e := &Engine{h: h, n: n}
 	e.off = make([]int32, n+1)
+	slots := int64(0)
 	for v := 0; v < n; v++ {
+		slots += int64(len(h.D.Out(v)) + len(h.D.In(v)))
+		if slots > math.MaxInt32 {
+			panic(fmt.Errorf("model: message plane needs %d+ slots, exceeding the int32 flat-plane capacity %d: host exceeds flat-CSR capacity, use shards (NewShardedEngine)",
+				slots, int64(math.MaxInt32)))
+		}
 		e.off[v+1] = e.off[v] + int32(len(h.D.Out(v))+len(h.D.In(v)))
 		if w := e.off[v+1] - e.off[v]; w > e.maxSlots {
 			e.maxSlots = w

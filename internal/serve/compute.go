@@ -93,6 +93,17 @@ type runResponse struct {
 	// Size is the solution size: |MIS|, |M|, or distinct view types.
 	Size   int          `json:"size"`
 	Faults *faultResult `json:"faults,omitempty"`
+	// Sharded is present only on shards= runs.
+	Sharded *shardedResult `json:"sharded,omitempty"`
+}
+
+// shardedResult summarises a sharded run's exchange plane: shard
+// count, resident cross-shard arcs and total words exchanged (the
+// per-shard breakdown is on /metrics).
+type shardedResult struct {
+	P              int   `json:"p"`
+	CrossArcs      int64 `json:"cross_arcs"`
+	ExchangedWords int64 `json:"exchanged_words"`
 }
 
 type faultResult struct {
@@ -221,5 +232,107 @@ func computeRun(ctx context.Context, hostDesc, algo string, seed int64, faults s
 	default:
 		return nil, fmt.Errorf("unknown workload %q\n%s", algo, describeWorkloads())
 	}
+	return json.Marshal(resp)
+}
+
+// computeRunSharded is the shards= path of /v1/run: cole-vishkin and
+// matching on model.ShardedEngine, generated shard-locally when the
+// family has an implicit source (so descriptors past the flat int32
+// capacity run in bounded resident memory) and adapted from the
+// materialised host otherwise. The engine registers with the server's
+// shard gauges, so /metrics shows per-shard occupancy and exchange
+// volume while the run is in flight and a final snapshot after.
+func (s *Server) computeRunSharded(ctx context.Context, hostDesc, algo string, seed int64, faults string, shards int) ([]byte, error) {
+	desc := hostDesc
+	src, err := host.ParseShard(hostDesc)
+	if err != nil {
+		rh, perr := host.Parse(hostDesc)
+		if perr != nil {
+			return nil, fmt.Errorf("%w\n(no implicit shard source either: %v)", perr, err)
+		}
+		var h *model.Host
+		if rh.D != nil {
+			h = &model.Host{D: rh.D, G: rh.G}
+		} else {
+			h = model.HostFromGraph(rh.G)
+		}
+		src, desc = model.SourceOf(h), rh.Desc
+	}
+	var sched model.Schedule
+	var profDesc string
+	if faults != "" {
+		prof, err := model.ParseProfile(faults)
+		if err != nil {
+			return nil, err
+		}
+		mh, err := model.MaterializeSource(src)
+		if err != nil {
+			return nil, fmt.Errorf("faults with shards need a materialisable host (schedules hash global coordinates from a flat host): %w", err)
+		}
+		sched = prof.New(mh, seed)
+		profDesc = prof.Desc
+	}
+	se, err := model.NewShardedEngine(src, shards)
+	if err != nil {
+		return nil, err
+	}
+	se.WithContext(ctx)
+	s.shard.track(se, desc)
+	completed := false
+	defer func() { s.shard.finish(se, desc, completed) }()
+	n := src.N()
+	resp := runResponse{Host: desc, Algo: algo, N: int(n), Seed: seed}
+	switch algo {
+	case "cole-vishkin":
+		idf := model.SeededIDs(n, seed)
+		if sched != nil {
+			res, err := algorithms.ColeVishkinMISShardedFaulty(se, idf, int(n-1), sched)
+			if err != nil {
+				return nil, err
+			}
+			resp.Rounds, resp.Size = res.Rounds, int(res.MISSize)
+			resp.Faults = &faultResult{
+				Profile: profDesc, Crashed: res.Report.NumCrashed,
+				Dropped: res.Report.Dropped, Duplicated: res.Report.Duplicated,
+				Reordered:  res.Report.Reordered,
+				Violations: int(res.Violations), Uncovered: int(res.Uncovered),
+			}
+		} else {
+			res, err := algorithms.ColeVishkinMISSharded(se, idf, int(n-1))
+			if err != nil {
+				return nil, err
+			}
+			resp.Rounds, resp.Size = res.Rounds, int(res.MISSize)
+		}
+	case "matching":
+		rng := rand.New(rand.NewSource(seed))
+		if sched != nil {
+			res, err := algorithms.RandomizedMatchingShardedFaulty(se, rng, sched)
+			if err != nil {
+				return nil, err
+			}
+			resp.Rounds, resp.Size = 2, int(res.Matched)
+			resp.Faults = &faultResult{
+				Profile: profDesc, Crashed: res.Report.NumCrashed,
+				Dropped: res.Report.Dropped, Duplicated: res.Report.Duplicated,
+				Reordered: res.Report.Reordered, Conflicts: int(res.Conflicts),
+			}
+		} else {
+			res, err := algorithms.RandomizedMatchingSharded(se, rng)
+			if err != nil {
+				return nil, err
+			}
+			resp.Rounds, resp.Size = 2, int(res.Matched)
+		}
+	default:
+		return nil, fmt.Errorf("shards supports the cole-vishkin and matching workloads only")
+	}
+	completed = true
+	var arcs, words int64
+	for _, st := range se.Stats() {
+		arcs += st.ExchangeOut
+		words += st.Exchanged
+	}
+	resp.Sharded = &shardedResult{P: shards, CrossArcs: arcs, ExchangedWords: words}
 	return json.Marshal(resp)
 }

@@ -17,6 +17,7 @@ type queryParams struct {
 	n        string
 	seed     string
 	rmax     string
+	shards   string
 	deadline string
 	// unknown is the first unrecognised parameter name, for the strict
 	// 400 (the descriptor grammars fail loudly on unused arguments;
@@ -54,6 +55,8 @@ func parseQuery(raw string) queryParams {
 			q.seed = v
 		case "rmax":
 			q.rmax = v
+		case "shards":
+			q.shards = v
 		case "deadline_ms":
 			q.deadline = v
 		default:

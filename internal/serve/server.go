@@ -100,6 +100,7 @@ type Server struct {
 	adm      *admission
 	cache    *cache
 	met      metrics
+	shard    shardGauges
 	log      *slog.Logger
 	jobs     *job.Manager
 	reqID    atomic.Int64
@@ -208,7 +209,7 @@ const endpoints = `endpoints:
   GET    /v1/profiles                      fault-profile grammar (JSON)
   GET    /v1/workloads                     run-endpoint workload registry (JSON)
   GET    /v1/measure?host=D&rmax=R         layered homogeneity sweep [deadline_ms=N]
-  GET    /v1/run?algo=A&host=D|n=N         engine workload [seed=S] [faults=P] [rmax=R] [deadline_ms=N]
+  GET    /v1/run?algo=A&host=D|n=N         engine workload [seed=S] [faults=P] [rmax=R] [shards=K] [deadline_ms=N]
   POST   /v1/jobs                          submit a durable job (JSON spec body)
   GET    /v1/jobs                          list jobs + state gauge
   GET    /v1/jobs/{id}                     job status and progress
@@ -306,6 +307,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 			"count":        m.latencyCount.Load(),
 			"total_micros": m.latencyMicros.Load(),
 		},
+		"sharded":  s.shard.render(),
 		"draining": s.draining.Load(),
 	})
 }
@@ -325,10 +327,10 @@ func (s *Server) handleHosts(w http.ResponseWriter) {
 // only on a miss parse the host and run the cancellable sweep.
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	q := parseQuery(r.URL.RawQuery)
-	if q.unknown != "" || q.algo != "" || q.n != "" || q.seed != "" || q.faults != "" {
+	if q.unknown != "" || q.algo != "" || q.n != "" || q.seed != "" || q.faults != "" || q.shards != "" {
 		bad := q.unknown
 		if bad == "" {
-			bad = "algo/n/seed/faults"
+			bad = "algo/n/seed/faults/shards"
 		}
 		s.badRequest(w, "unknown parameter %q (measure takes host, rmax, deadline_ms)", bad)
 		return
@@ -423,6 +425,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	shards := 0
+	if q.shards != "" {
+		if q.algo != "cole-vishkin" && q.algo != "matching" {
+			s.badRequest(w, "shards supports the cole-vishkin and matching workloads only")
+			return
+		}
+		var ok bool
+		shards, ok = atoiQ(q.shards)
+		if !ok || shards < 1 {
+			s.badRequest(w, "shards %q out of range (need an integer >= 1)", q.shards)
+			return
+		}
+	}
 	deadline, ok := s.parseDeadline(q.deadline)
 	if !ok {
 		s.badRequest(w, "deadline_ms %q is not a positive integer", q.deadline)
@@ -452,6 +467,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	b = strconv.AppendInt(b, seed, 10)
 	b = append(b, keySep)
 	b = append(b, q.faults...)
+	if shards > 0 {
+		// Sharded responses carry a shards block, so they key
+		// separately from the flat spelling of the same tuple.
+		b = append(b, keySep)
+		b = strconv.AppendInt(b, int64(shards), 10)
+	}
 	h := hashKey(b)
 	if body := s.cache.get(h, b); body != nil {
 		*bp = b
@@ -466,6 +487,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	keyPool.Put(bp)
 	algo, faults := q.algo, q.faults
 	s.compute(w, r, h, key, deadline, func(ctx context.Context) ([]byte, error) {
+		if shards > 0 {
+			return s.computeRunSharded(ctx, hostDesc, algo, seed, faults, shards)
+		}
 		return computeRun(ctx, hostDesc, algo, seed, faults, rmax)
 	})
 }

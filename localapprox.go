@@ -194,6 +194,55 @@ var (
 	SimulatePORoundsTypedFaulty = model.SimulatePORoundsTypedFaulty
 )
 
+// The sharded giant-host plane (DESIGN.md §12): NewShardedEngine
+// partitions a host into P contiguous shards — each with its own CSR
+// slice, word-lane arenas and workers — and drains cross-shard arcs
+// through a compact exchange buffer at the round barrier. A ShardSource
+// describes the topology one node at a time, so implicit shard-capable
+// families (ParseShardHost: cycle, dcycle, torus, shift-regular) run
+// hosts past the flat int32 capacity in bounded resident memory; any
+// materialised host runs sharded through SourceOf. P=1 sharded output
+// is byte-identical to the flat Engine, clean and faulty alike (fault
+// coordinates stay global).
+type (
+	// ShardedEngine is the P-shard round engine.
+	ShardedEngine = model.ShardedEngine
+	// ShardedWordAlgo is the sharded uint64 word-lane algorithm form
+	// (Init is sequential in global node order; Step sends through the
+	// shared WordSender interface, so one core drives both planes).
+	ShardedWordAlgo = model.ShardedWordAlgo
+	// ShardSource generates a host's topology shard-locally.
+	ShardSource = model.ShardSource
+	// ShardArc is one labelled arc emitted by a ShardSource.
+	ShardArc = model.ShardArc
+	// ShardStats is one shard's occupancy and exchange snapshot.
+	ShardStats = model.ShardStats
+	// IDFunc assigns identifiers without materialising an id table.
+	IDFunc = model.IDFunc
+	// WordSender is the send surface shared by the flat Outbox and the
+	// sharded outbox.
+	WordSender = model.WordSender
+	// ShardedCVResult is a sharded Cole–Vishkin run's summary.
+	ShardedCVResult = algorithms.ShardedCVResult
+	// ShardedMatchingResult is a sharded matching run's summary.
+	ShardedMatchingResult = algorithms.ShardedMatchingResult
+)
+
+var (
+	NewShardedEngine                = model.NewShardedEngine
+	ShardSourceOf                   = model.SourceOf
+	MaterializeShardSource          = model.MaterializeSource
+	SeededIDs                       = model.SeededIDs
+	ParseShardHost                  = host.ParseShard
+	ShardHostFamilies               = host.ShardFamilies
+	RegisterShardFamily             = host.RegisterShard
+	ColeVishkinSharded              = algorithms.ColeVishkinMISSharded
+	ColeVishkinShardedFaulty        = algorithms.ColeVishkinMISShardedFaulty
+	RandomizedMatchingSharded       = algorithms.RandomizedMatchingSharded
+	RandomizedMatchingShardedFaulty = algorithms.RandomizedMatchingShardedFaulty
+	VisitShardedMatching            = algorithms.VisitShardedMatching
+)
+
 // Fault injection (DESIGN.md §8): every engine entry point has a
 // *Faulty twin taking a Schedule built from a parseable profile
 // descriptor. A faulty execution is a pure function of (host, ids,

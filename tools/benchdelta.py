@@ -44,10 +44,14 @@ EngineMillionCycleTyped (the typed million-node round: pins the word
 lane's per-round cost at memory-bound scale; its allocs_op baseline is
 null on purpose — the benchmark amortises one run's setup over b.N
 rounds, so the per-op alloc count varies with the runner's speed and
-only the normalised ns/op is gated), and ServeCachedRequest (the
+only the normalised ns/op is gated), ServeCachedRequest (the
 localapproxd end-to-end handler path on a warm cache entry: routing,
 query parse, canonical key, FNV hash, lock-free probe, response write
-— its 0 allocs/op baseline pins the service's repeat-request promise).
+— its 0 allocs/op baseline pins the service's repeat-request promise),
+and ShardedRound / ShardedExchange (the sharded engine's steady-state
+round at 0 allocs/op: the torus at P=4 prices the two-phase barrier on
+local-heavy traffic, the long-shift circulant at P=8 prices the
+counting-sorted cross-shard exchange drain).
 """
 import json
 import re
@@ -69,6 +73,8 @@ WATCHED = [
     "BenchmarkSnapshotRestore",
     "BenchmarkEngineMillionCycleTyped",
     "BenchmarkServeCachedRequest",
+    "BenchmarkShardedRound",
+    "BenchmarkShardedExchange",
 ]
 
 LINE = re.compile(
